@@ -1,0 +1,90 @@
+// Shared plumbing for the benchmark harnesses. Every bench binary
+// regenerates one family of the paper's tables/figures on the stand-in
+// workloads (DESIGN.md §5) and honours the same environment knobs:
+//
+//   WEAVESS_SCALE     multiplies dataset cardinality (default 0.5 — a
+//                     laptop-friendly sweep; 1.0 doubles the load)
+//   WEAVESS_DATASETS  comma-separated stand-in subset (default: all eight)
+//   WEAVESS_ALGOS     comma-separated algorithm subset (default: all)
+#ifndef WEAVESS_BENCH_BENCH_COMMON_H_
+#define WEAVESS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+#include "eval/table.h"
+
+namespace weavess::bench {
+
+inline double EnvScale(double fallback = 0.5) {
+  const char* value = std::getenv("WEAVESS_SCALE");
+  if (value == nullptr) return fallback;
+  const double scale = std::atof(value);
+  return scale > 0.0 ? scale : fallback;
+}
+
+inline std::vector<std::string> SplitCsv(const char* value) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += *p;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+/// Stand-in datasets selected by WEAVESS_DATASETS (default: all eight).
+inline std::vector<std::string> SelectedDatasets() {
+  const char* value = std::getenv("WEAVESS_DATASETS");
+  if (value == nullptr) return StandInNames();
+  return SplitCsv(value);
+}
+
+/// Algorithms selected by WEAVESS_ALGOS (default: the given list, or all).
+inline std::vector<std::string> SelectedAlgorithms(
+    std::vector<std::string> defaults = {}) {
+  const char* value = std::getenv("WEAVESS_ALGOS");
+  if (value != nullptr) return SplitCsv(value);
+  if (!defaults.empty()) return defaults;
+  return AlgorithmNames();
+}
+
+/// Default construction options for the stand-in scale (the paper grid-
+/// searches per dataset; fixed laptop-scale defaults keep runs tractable).
+inline AlgorithmOptions DefaultOptions() {
+  AlgorithmOptions options;
+  options.knng_degree = 25;
+  options.max_degree = 25;
+  options.build_pool = 80;
+  options.nn_descent_iters = 8;
+  return options;
+}
+
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("Workloads: synthetic stand-ins (see DESIGN.md §2); scale=%.2f\n",
+              EnvScale());
+  std::printf("==================================================\n");
+}
+
+/// Ladder of candidate-pool sizes for recall-tradeoff curves (coarser than
+/// the evaluator's default, to keep bench wall-time down).
+inline std::vector<uint32_t> BenchPoolLadder() {
+  return {10, 20, 40, 80, 160, 320, 640};
+}
+
+}  // namespace weavess::bench
+
+#endif  // WEAVESS_BENCH_BENCH_COMMON_H_

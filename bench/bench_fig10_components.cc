@@ -1,0 +1,151 @@
+// Reproduces the component study (§5.4):
+//   Figure 10 (a–f) — search performance when exactly one pipeline
+//                     component is swapped while all others stay at the
+//                     benchmark settings of Table 13 (C1_NSG, C2_NSSG,
+//                     C3_HNSW, C4/C6_NSSG, C5 none, C7_NSW);
+//   Table 15        — construction time per component choice.
+// Expected shapes: C1_NSG (NN-Descent init) beats random/KD-tree init;
+// distribution-aware C3 (HNSW/NSSG/DPG/Vamana) beats distance-only
+// C3_KGraph; tree-based C4 entries (NGT, SPTAG-BKT) lag hash/no-extra-index
+// entries; C5_NSG >= C5_Vamana; C7_NSW is the strongest all-round router.
+#include <memory>
+
+#include "bench_common.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+
+// Benchmark-algorithm settings (Table 13) at stand-in scale.
+PipelineConfig BenchmarkConfig() {
+  PipelineConfig config;
+  config.init = InitKind::kNnDescent;            // C1_NSG
+  config.nn_descent.k = 25;
+  config.nn_descent.iterations = 8;              // Appendix L's optimum
+  config.candidates = CandidateKind::kExpansion; // C2_NSSG
+  config.candidate_limit = 80;
+  config.candidate_search_pool = 80;
+  config.selection = SelectionKind::kRng;        // C3_HNSW
+  config.max_degree = 25;
+  config.connectivity = ConnectivityKind::kNone; // C5_IEH
+  config.seeds = SeedKind::kRandomFixed;         // C4/C6_NSSG
+  config.routing = RoutingKind::kBestFirst;      // C7_NSW
+  return config;
+}
+
+struct Variant {
+  const char* component;  // "C1" .. "C7"
+  const char* label;      // e.g. "C1_NSG"
+  PipelineConfig config;
+};
+
+std::vector<Variant> MakeVariants() {
+  std::vector<Variant> variants;
+  auto add = [&variants](const char* component, const char* label,
+                         auto mutate) {
+    PipelineConfig config = BenchmarkConfig();
+    mutate(config);
+    variants.push_back({component, label, config});
+  };
+  // C1: initialization (Fig. 10a).
+  add("C1", "C1_NSG", [](PipelineConfig&) {});
+  add("C1", "C1_KGraph",
+      [](PipelineConfig& c) { c.init = InitKind::kRandom; });
+  add("C1", "C1_EFANNA",
+      [](PipelineConfig& c) { c.init = InitKind::kKdForest; });
+  // C2: candidate acquisition (Fig. 10b).
+  add("C2", "C2_NSSG", [](PipelineConfig&) {});
+  add("C2", "C2_DPG",
+      [](PipelineConfig& c) { c.candidates = CandidateKind::kNeighbors; });
+  add("C2", "C2_NSW",
+      [](PipelineConfig& c) { c.candidates = CandidateKind::kSearch; });
+  // C3: neighbor selection (Fig. 10c).
+  add("C3", "C3_HNSW", [](PipelineConfig&) {});
+  add("C3", "C3_KGraph",
+      [](PipelineConfig& c) { c.selection = SelectionKind::kDistance; });
+  add("C3", "C3_NSSG",
+      [](PipelineConfig& c) { c.selection = SelectionKind::kAngle; });
+  add("C3", "C3_DPG",
+      [](PipelineConfig& c) { c.selection = SelectionKind::kDpg; });
+  add("C3", "C3_Vamana", [](PipelineConfig& c) {
+    c.selection = SelectionKind::kAlphaTwoPass;
+    c.alpha = 2.0f;
+  });
+  // C4/C6: seed preprocessing + acquisition (Fig. 10d).
+  add("C4", "C4_NSSG", [](PipelineConfig&) {});
+  add("C4", "C4_NSG",
+      [](PipelineConfig& c) { c.seeds = SeedKind::kCentroid; });
+  add("C4", "C4_IEH", [](PipelineConfig& c) { c.seeds = SeedKind::kLsh; });
+  add("C4", "C4_HCNNG",
+      [](PipelineConfig& c) { c.seeds = SeedKind::kKdLeaf; });
+  add("C4", "C4_NGT",
+      [](PipelineConfig& c) { c.seeds = SeedKind::kVpTree; });
+  add("C4", "C4_SPTAG-BKT",
+      [](PipelineConfig& c) { c.seeds = SeedKind::kKMeansTree; });
+  // C5: connectivity (Fig. 10e).
+  add("C5", "C5_Vamana", [](PipelineConfig&) {});
+  add("C5", "C5_NSG", [](PipelineConfig& c) {
+    c.connectivity = ConnectivityKind::kDfsTree;
+  });
+  // C7: routing (Fig. 10f).
+  add("C7", "C7_NSW", [](PipelineConfig&) {});
+  add("C7", "C7_FANNG",
+      [](PipelineConfig& c) { c.routing = RoutingKind::kBacktrack; });
+  add("C7", "C7_HCNNG",
+      [](PipelineConfig& c) { c.routing = RoutingKind::kGuided; });
+  add("C7", "C7_NGT",
+      [](PipelineConfig& c) { c.routing = RoutingKind::kRange; });
+  return variants;
+}
+
+void Run() {
+  Banner("Figure 10 / Table 15",
+         "Component swaps under the unified benchmark algorithm");
+  const double scale = EnvScale();
+  std::vector<std::string> datasets = SelectedDatasets();
+  if (std::getenv("WEAVESS_DATASETS") == nullptr) {
+    datasets = {"SIFT1M", "GIST1M"};  // the paper's simple/hard pair
+  }
+
+  TablePrinter fig10({"Dataset", "Component", "Variant", "L", "Recall@10",
+                      "Speedup", "QPS"});
+  TablePrinter table15({"Dataset", "Component", "Variant", "CT(s)"});
+
+  for (const std::string& dataset_name : datasets) {
+    const Workload workload = MakeStandIn(dataset_name, scale);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+    for (const Variant& variant : MakeVariants()) {
+      PipelineIndex index(variant.label, variant.config);
+      index.Build(workload.base);
+      table15.AddRow({dataset_name, variant.component, variant.label,
+                      TablePrinter::Fixed(index.build_stats().seconds, 2)});
+      for (const SearchPoint& point :
+           SweepPoolSizes(index, workload.queries, truth, kRecallAtK,
+                          {20, 60, 180})) {
+        fig10.AddRow({dataset_name, variant.component, variant.label,
+                      TablePrinter::Int(point.params.pool_size),
+                      TablePrinter::Fixed(point.recall, 3),
+                      TablePrinter::Fixed(point.speedup, 1),
+                      TablePrinter::Fixed(point.qps, 0)});
+      }
+      std::printf("evaluated %-12s on %-8s\n", variant.label,
+                  dataset_name.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n--- Figure 10: component search performance ---\n");
+  fig10.Print();
+  std::printf("\n--- Table 15: component construction time ---\n");
+  table15.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

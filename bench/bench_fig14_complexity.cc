@@ -1,0 +1,101 @@
+// Reproduces the empirical complexity study (Appendix D, Figure 14 and the
+// derived exponents of Table 2): construction time and the number of
+// distance evaluations at Recall@10 = 0.99 as functions of |S|, with
+// log-log slope fits. The paper's derived exponents (e.g., KGraph search
+// ~O(|S|^0.54), DPG ~O(|S|^0.28), construction ~O(|S|^1.14) for NN-Descent
+// algorithms) are the reference shapes.
+#include <cmath>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+constexpr double kTargetRecall = 0.99;
+
+// Least-squares slope of log(y) against log(x).
+double FitExponent(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  const size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(std::max(ys[i], 1e-9));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+void Run() {
+  Banner("Figure 14 / Table 2 exponents (Appendix D)",
+         "CT and NDC@0.99 vs |S|, with log-log slope fits");
+  const double scale = EnvScale();
+
+  // The paper's complexity datasets: dim 32, 10 clusters, SD 5 (Table 8).
+  std::vector<uint32_t> sizes;
+  for (uint32_t base : {2000u, 4000u, 8000u, 16000u}) {
+    sizes.push_back(static_cast<uint32_t>(base * std::max(scale, 0.25)));
+  }
+  const std::vector<std::string> algorithms = SelectedAlgorithms(
+      {"KGraph", "EFANNA", "DPG", "NSW", "IEH", "Vamana", "HCNNG", "k-DR",
+       "NGT-panng", "NSG"});
+
+  TablePrinter points({"Algorithm", "|S|", "CT(s)", "NDC@0.99",
+                       "Recall@10"});
+  TablePrinter fits({"Algorithm", "CT exponent", "NDC exponent"});
+
+  for (const std::string& algorithm : algorithms) {
+    std::vector<double> ns, cts, ndcs;
+    for (uint32_t n : sizes) {
+      SyntheticSpec spec;
+      spec.dim = 32;
+      spec.num_base = n;
+      spec.num_queries = 100;
+      spec.num_clusters = 10;
+      spec.stddev = 5.0f;
+      spec.center_range = 10.0f;  // heavily overlapping clusters: the
+                                  // paper's sub-linear search fits require
+                                  // random-seeded KGraph to reach 0.99
+      spec.seed = 314;
+      const Workload workload = GenerateSynthetic(spec);
+      const GroundTruth truth =
+          ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+      std::unique_ptr<AnnIndex> index =
+          CreateAlgorithm(algorithm, DefaultOptions());
+      index->Build(workload.base);
+      const CandidateSizeResult found =
+          FindCandidateSize(*index, workload.queries, truth, kRecallAtK,
+                            kTargetRecall, DefaultPoolLadder());
+      points.AddRow({algorithm, TablePrinter::Int(n),
+                     TablePrinter::Fixed(index->build_stats().seconds, 2),
+                     TablePrinter::Fixed(found.point.mean_ndc, 0) +
+                         (found.reached_target ? "" : "*"),
+                     TablePrinter::Fixed(found.point.recall, 3)});
+      ns.push_back(n);
+      cts.push_back(index->build_stats().seconds);
+      ndcs.push_back(found.point.mean_ndc);
+      std::printf("%-10s |S|=%u done\n", algorithm.c_str(), n);
+      std::fflush(stdout);
+    }
+    fits.AddRow({algorithm, TablePrinter::Fixed(FitExponent(ns, cts), 2),
+                 TablePrinter::Fixed(FitExponent(ns, ndcs), 2)});
+  }
+  std::printf("\n--- Figure 14: raw points (* = below 0.99 recall) ---\n");
+  points.Print();
+  std::printf("\n--- Table 2-style fitted exponents ---\n");
+  fits.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Appendix L (Figure 15 / Table 14): the effect of NN-Descent
+// iteration count on the benchmark algorithm's construction time and
+// search performance. The paper's finding — search performance first rises
+// then plateaus/drops with iterations, while construction time grows
+// steadily, so the *best* graph quality is not worth paying for — is the
+// basis of guideline H1 (§6).
+#include "bench_common.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+
+void Run() {
+  Banner("Figure 15 / Table 14",
+         "NN-Descent iterations vs construction time and search");
+  const double scale = EnvScale();
+  std::vector<std::string> datasets = SelectedDatasets();
+  if (std::getenv("WEAVESS_DATASETS") == nullptr) {
+    datasets = {"SIFT1M", "GIST1M"};
+  }
+
+  TablePrinter table({"Dataset", "iter", "CT(s)", "L", "Recall@10",
+                      "Speedup"});
+  for (const std::string& dataset_name : datasets) {
+    const Workload workload = MakeStandIn(dataset_name, scale);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+    for (uint32_t iterations : {2u, 4u, 6u, 8u, 10u, 12u}) {
+      PipelineConfig config;
+      config.init = InitKind::kNnDescent;
+      config.nn_descent.k = 25;
+      config.nn_descent.iterations = iterations;
+      config.nn_descent.delta = 0.0;  // isolate the iteration count
+      config.candidates = CandidateKind::kExpansion;
+      config.selection = SelectionKind::kRng;
+      config.max_degree = 25;
+      config.connectivity = ConnectivityKind::kNone;
+      config.seeds = SeedKind::kRandomFixed;
+      config.routing = RoutingKind::kBestFirst;
+      PipelineIndex index("iters", config);
+      index.Build(workload.base);
+      for (const SearchPoint& point :
+           SweepPoolSizes(index, workload.queries, truth, kRecallAtK,
+                          {20, 80, 320})) {
+        table.AddRow({dataset_name, TablePrinter::Int(iterations),
+                      TablePrinter::Fixed(index.build_stats().seconds, 2),
+                      TablePrinter::Int(point.params.pool_size),
+                      TablePrinter::Fixed(point.recall, 3),
+                      TablePrinter::Fixed(point.speedup, 1)});
+      }
+      std::printf("iter=%u on %s done\n", iterations, dataset_name.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n--- Figure 15 / Table 14 ---\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

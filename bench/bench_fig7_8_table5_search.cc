@@ -1,0 +1,101 @@
+// Reproduces the paper's search evaluation (§5.3):
+//   Figure 7 — QPS vs Recall@10 curves per algorithm per dataset;
+//   Figure 8 — Speedup (= |S| / NDC) vs Recall@10;
+//   Table 5  — candidate-set size CS, query path length PL, and peak
+//              memory MO at the high-precision target (Recall@10 >= 0.90;
+//              entries marked '+' hit their recall ceiling first).
+// Expected shapes from the paper: RNG-/MST-based algorithms (NSG, NSSG,
+// HCNNG, HNSW, DPG) dominate the high-recall region, especially on hard
+// datasets (GloVe/GIST stand-ins); KNNG-/DG-based algorithms fade there;
+// SPTAG degrades fastest as LID grows.
+#include <memory>
+
+#include "bench_common.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+constexpr double kTargetRecall = 0.90;
+
+void Run() {
+  Banner("Figure 7 / Figure 8 / Table 5",
+         "QPS vs Recall@10, Speedup vs Recall@10, and CS/PL/MO at 0.90");
+  const double scale = EnvScale();
+
+  // Default dataset pair spans the hardness range (one easy, one hard);
+  // WEAVESS_DATASETS widens to all eight.
+  std::vector<std::string> datasets = SelectedDatasets();
+  if (std::getenv("WEAVESS_DATASETS") == nullptr) {
+    datasets = {"SIFT1M", "GloVe"};
+  }
+
+  TablePrinter curves({"Dataset", "Algorithm", "L", "Recall@10", "QPS",
+                       "Speedup", "NDC", "PL"});
+  TablePrinter table5({"Dataset", "Algorithm", "CS", "PL", "MO(MB)",
+                       "Recall@10"});
+
+  for (const std::string& dataset_name : datasets) {
+    const Workload workload = MakeStandIn(dataset_name, scale);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+    for (const std::string& algorithm : SelectedAlgorithms()) {
+      std::unique_ptr<AnnIndex> index =
+          CreateAlgorithm(algorithm, DefaultOptions());
+      index->Build(workload.base);
+      bool reached = false;
+      for (const SearchPoint& point :
+           SweepPoolSizes(*index, workload.queries, truth, kRecallAtK,
+                          BenchPoolLadder())) {
+        curves.AddRow({dataset_name, algorithm,
+                       TablePrinter::Int(point.params.pool_size),
+                       TablePrinter::Fixed(point.recall, 3),
+                       TablePrinter::Fixed(point.qps, 0),
+                       TablePrinter::Fixed(point.speedup, 1),
+                       TablePrinter::Fixed(point.mean_ndc, 0),
+                       TablePrinter::Fixed(point.mean_hops, 0)});
+        if (!reached && point.recall >= kTargetRecall) {
+          reached = true;
+          table5.AddRow(
+              {dataset_name, algorithm,
+               TablePrinter::Int(point.params.pool_size),
+               TablePrinter::Fixed(point.mean_hops, 0),
+               TablePrinter::Megabytes(EstimateSearchMemory(
+                   *index, workload.base, point.params)),
+               TablePrinter::Fixed(point.recall, 3)});
+        }
+      }
+      if (!reached) {
+        // Recall "ceiling" before the target, like the paper's "CS+" rows.
+        SearchParams params;
+        params.k = kRecallAtK;
+        params.pool_size = BenchPoolLadder().back();
+        const SearchPoint ceiling =
+            EvaluateSearch(*index, workload.queries, truth, params);
+        table5.AddRow({dataset_name, algorithm,
+                       TablePrinter::Int(params.pool_size) + "+",
+                       TablePrinter::Fixed(ceiling.mean_hops, 0),
+                       TablePrinter::Megabytes(EstimateSearchMemory(
+                           *index, workload.base, params)),
+                       TablePrinter::Fixed(ceiling.recall, 3)});
+      }
+      std::printf("swept %-10s on %-8s\n", algorithm.c_str(),
+                  dataset_name.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n--- Figures 7 & 8: tradeoff curves (QPS & Speedup vs "
+              "Recall@10) ---\n");
+  curves.Print();
+  std::printf("\n--- Table 5: CS / PL / MO at Recall@10 >= %.2f ---\n",
+              kTargetRecall);
+  table5.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

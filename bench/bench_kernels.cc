@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks for the hot kernels every algorithm
+// shares: the distance function at the paper's dataset dimensionalities
+// (Table 3), candidate-pool insertion, visited-list stamping, and
+// NN-Descent's inner join step. These quantify the per-NDC cost that the
+// Speedup metric abstracts away.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/visited_list.h"
+
+namespace weavess {
+namespace {
+
+void BM_L2Sqr(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(dim), b(dim);
+  for (auto& v : a) v = rng.NextFloat();
+  for (auto& v : b) v = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Sqr(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// The eight real-world dimensionalities of Table 3.
+BENCHMARK(BM_L2Sqr)->Arg(100)->Arg(128)->Arg(192)->Arg(256)->Arg(300)
+    ->Arg(420)->Arg(960)->Arg(1369);
+
+void BM_CandidatePoolInsert(benchmark::State& state) {
+  const auto capacity = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<Neighbor> stream(4096);
+  for (uint32_t i = 0; i < stream.size(); ++i) {
+    stream[i] = Neighbor(i, rng.NextFloat());
+  }
+  for (auto _ : state) {
+    CandidatePool pool(capacity);
+    for (const Neighbor& nb : stream) pool.Insert(nb);
+    benchmark::DoNotOptimize(pool.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_CandidatePoolInsert)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_VisitedListCheckAndMark(benchmark::State& state) {
+  VisitedList visited(100000);
+  Rng rng(3);
+  std::vector<uint32_t> ids(4096);
+  for (auto& id : ids) {
+    id = static_cast<uint32_t>(rng.NextBounded(100000));
+  }
+  for (auto _ : state) {
+    visited.Reset();
+    for (uint32_t id : ids) benchmark::DoNotOptimize(visited.CheckAndMark(id));
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_VisitedListCheckAndMark);
+
+void BM_RngNextBounded(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextBounded);
+
+}  // namespace
+}  // namespace weavess
+
+BENCHMARK_MAIN();

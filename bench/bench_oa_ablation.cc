@@ -1,0 +1,89 @@
+// Ablation study of the optimized algorithm (OA, §6): starting from the
+// full OA recipe, each component choice is reverted to its main
+// alternative, one at a time, to quantify what every ingredient buys.
+// This is this repository's own extension of the paper's Fig. 10 / Fig. 11
+// methodology (DESIGN.md calls OA's composition out as the headline design
+// choice to validate).
+#include "bench_common.h"
+#include "algorithms/oa.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+
+struct Ablation {
+  const char* label;
+  PipelineConfig config;
+};
+
+std::vector<Ablation> MakeAblations() {
+  const PipelineConfig oa = OptimizedConfig(DefaultOptions());
+  std::vector<Ablation> ablations;
+  auto add = [&ablations, &oa](const char* label, auto mutate) {
+    PipelineConfig config = oa;
+    mutate(config);
+    ablations.push_back({label, config});
+  };
+  add("OA (full)", [](PipelineConfig&) {});
+  add("-C7: best-first only",
+      [](PipelineConfig& c) { c.routing = RoutingKind::kBestFirst; });
+  add("-C7: guided only",
+      [](PipelineConfig& c) { c.routing = RoutingKind::kGuided; });
+  add("-C2: ANNS candidates",
+      [](PipelineConfig& c) { c.candidates = CandidateKind::kSearch; });
+  add("-C3: distance-only",
+      [](PipelineConfig& c) { c.selection = SelectionKind::kDistance; });
+  add("-C5: no connectivity",
+      [](PipelineConfig& c) { c.connectivity = ConnectivityKind::kNone; });
+  add("-C4: centroid seed",
+      [](PipelineConfig& c) { c.seeds = SeedKind::kCentroid; });
+  add("-C1: random init",
+      [](PipelineConfig& c) { c.init = InitKind::kRandom; });
+  return ablations;
+}
+
+void Run() {
+  Banner("OA ablation (extension)",
+         "Revert each OA component choice one at a time");
+  const double scale = EnvScale();
+  std::vector<std::string> datasets = SelectedDatasets();
+  if (std::getenv("WEAVESS_DATASETS") == nullptr) {
+    datasets = {"SIFT1M", "GIST1M"};
+  }
+
+  TablePrinter table({"Dataset", "Variant", "CT(s)", "L", "Recall@10",
+                      "Speedup"});
+  for (const std::string& dataset_name : datasets) {
+    const Workload workload = MakeStandIn(dataset_name, scale);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+    for (const Ablation& ablation : MakeAblations()) {
+      PipelineIndex index(ablation.label, ablation.config);
+      index.Build(workload.base);
+      for (const SearchPoint& point :
+           SweepPoolSizes(index, workload.queries, truth, kRecallAtK,
+                          {20, 80, 320})) {
+        table.AddRow({dataset_name, ablation.label,
+                      TablePrinter::Fixed(index.build_stats().seconds, 2),
+                      TablePrinter::Int(point.params.pool_size),
+                      TablePrinter::Fixed(point.recall, 3),
+                      TablePrinter::Fixed(point.speedup, 1)});
+      }
+      std::printf("%-22s on %s done\n", ablation.label,
+                  dataset_name.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n--- OA ablation ---\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces the scalability study on synthetic datasets (Appendix J,
+// Table 12): construction time (CT) and QPS at a fixed recall target while
+// sweeping, one at a time,
+//   dimensionality  {8, 32, 128}
+//   cardinality     {1e3, 1e4, 3e4}   (paper: 1e4, 1e5, 1e6 — scaled)
+//   #clusters       {1, 10, 100}
+//   per-cluster SD  {1, 5, 10}
+// around the paper's pivot configuration (dim 32, n 1e5→1e4, 10 clusters,
+// SD 5, Table 10). Expected shapes: QPS falls with dimension/cardinality/
+// SD for every algorithm; RNG-/MST-based algorithms widen their lead as
+// hardness grows; brute-force builders (IEH/FANNG/k-DR) blow up in CT with
+// cardinality.
+#include <memory>
+
+#include "bench_common.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+constexpr double kTargetRecall = 0.90;
+
+struct Sweep {
+  const char* label;  // e.g. "d_8"
+  SyntheticSpec spec;
+};
+
+std::vector<Sweep> MakeSweeps(double scale) {
+  const auto n = [scale](uint32_t base) {
+    return static_cast<uint32_t>(base * scale);
+  };
+  SyntheticSpec pivot;
+  pivot.dim = 32;
+  pivot.num_base = n(10000);
+  pivot.num_queries = 200;
+  pivot.num_clusters = 10;
+  pivot.stddev = 5.0f;
+  pivot.center_range = 30.0f;  // SD 1/5/10 spans separated → overlapping
+  pivot.seed = 712;
+
+  std::vector<Sweep> sweeps;
+  auto add = [&sweeps, &pivot](const char* label, auto mutate) {
+    SyntheticSpec spec = pivot;
+    mutate(spec);
+    sweeps.push_back({label, spec});
+  };
+  add("d_8", [](SyntheticSpec& s) { s.dim = 8; });
+  add("d_32", [](SyntheticSpec&) {});
+  add("d_128", [](SyntheticSpec& s) { s.dim = 128; });
+  add("n_1000", [n](SyntheticSpec& s) { s.num_base = n(1000); });
+  add("n_10000", [](SyntheticSpec&) {});
+  add("n_30000", [n](SyntheticSpec& s) { s.num_base = n(30000); });
+  add("c_1", [](SyntheticSpec& s) { s.num_clusters = 1; });
+  add("c_10", [](SyntheticSpec&) {});
+  add("c_100", [](SyntheticSpec& s) { s.num_clusters = 100; });
+  add("s_1", [](SyntheticSpec& s) { s.stddev = 1.0f; });
+  add("s_5", [](SyntheticSpec&) {});
+  add("s_10", [](SyntheticSpec& s) { s.stddev = 10.0f; });
+  return sweeps;
+}
+
+void Run() {
+  Banner("Table 12 (Appendix J)",
+         "Scalability across dimension / cardinality / clusters / SD");
+  const double scale = EnvScale();
+
+  TablePrinter table({"Sweep", "Algorithm", "CT(s)", "QPS@0.90",
+                      "Recall@10"});
+  for (const Sweep& sweep : MakeSweeps(scale)) {
+    const Workload workload = GenerateSynthetic(sweep.spec, sweep.label);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, kRecallAtK);
+    for (const std::string& algorithm : SelectedAlgorithms()) {
+      std::unique_ptr<AnnIndex> index =
+          CreateAlgorithm(algorithm, DefaultOptions());
+      index->Build(workload.base);
+      const CandidateSizeResult found =
+          FindCandidateSize(*index, workload.queries, truth, kRecallAtK,
+                            kTargetRecall, BenchPoolLadder());
+      table.AddRow({sweep.label, algorithm,
+                    TablePrinter::Fixed(index->build_stats().seconds, 2),
+                    TablePrinter::Fixed(found.point.qps, 0) +
+                        (found.reached_target ? "" : "*"),
+                    TablePrinter::Fixed(found.point.recall, 3)});
+      std::printf("%-8s %-10s done\n", sweep.label, algorithm.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n--- Table 12: CT and QPS at Recall@10 >= %.2f "
+              "(* = recall ceiling below target) ---\n",
+              kTargetRecall);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

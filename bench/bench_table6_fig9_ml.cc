@@ -1,0 +1,166 @@
+// Reproduces the machine-learning-optimization study (§5.5 / Appendix R):
+//   Table 6 / Table 24 — index processing time (IPT) and memory
+//                        consumption (MC) of NSG vs NSG+ML1, HNSW+ML2,
+//                        NSG+ML3;
+//   Figure 9 / 19      — Speedup vs Recall@1 (ML1's limitation) and
+//                        Recall@10 tradeoffs of the ML variants.
+// Expected shape (the paper's conclusion): ML variants improve the
+// speedup-recall tradeoff but at disproportionate preprocessing time and
+// memory — which is why production deployments run the plain algorithms.
+#include <algorithm>
+#include <memory>
+
+#include "bench_common.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/nsg.h"
+#include "core/neighbor.h"
+#include "core/timer.h"
+#include "ml/early_termination.h"
+#include "ml/learned_routing.h"
+#include "ml/pca.h"
+
+namespace weavess::bench {
+namespace {
+
+void SweepInto(TablePrinter& curves, const std::string& dataset_name,
+               const std::string& method, AnnIndex& index,
+               const Dataset& queries, const GroundTruth& truth,
+               uint32_t k) {
+  for (const SearchPoint& point :
+       SweepPoolSizes(index, queries, truth, k, {20, 60, 180, 540})) {
+    curves.AddRow({dataset_name, method,
+                   TablePrinter::Int(point.params.pool_size),
+                   TablePrinter::Fixed(point.recall, 3),
+                   TablePrinter::Fixed(point.speedup, 1),
+                   TablePrinter::Fixed(point.qps, 0)});
+  }
+}
+
+void Run() {
+  Banner("Table 6 / Table 24 / Figures 9 & 19",
+         "ML-based optimizations: cost (IPT, MC) vs tradeoff gain");
+  const double scale = EnvScale();
+  std::vector<std::string> datasets = SelectedDatasets();
+  if (std::getenv("WEAVESS_DATASETS") == nullptr) {
+    // The paper used SIFT100K / GIST100K — the smaller stand-ins here.
+    datasets = {"SIFT1M", "GIST1M"};
+  }
+
+  TablePrinter costs({"Dataset", "Method", "IPT(s)", "MC(MB)"});
+  TablePrinter curves({"Dataset", "Method", "L", "Recall@10", "Speedup",
+                       "QPS"});
+
+  for (const std::string& dataset_name : datasets) {
+    const Workload workload = MakeStandIn(dataset_name, scale);
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, 10);
+    const AlgorithmOptions options = DefaultOptions();
+
+    // Plain NSG baseline.
+    {
+      auto nsg = CreateNsg(options);
+      nsg->Build(workload.base);
+      costs.AddRow({dataset_name, "NSG",
+                    TablePrinter::Fixed(nsg->build_stats().seconds, 2),
+                    TablePrinter::Megabytes(workload.base.MemoryBytes() +
+                                            nsg->IndexMemoryBytes())});
+      SweepInto(curves, dataset_name, "NSG", *nsg, workload.queries, truth,
+                10);
+    }
+    // NSG + ML1 (learned-routing surrogate): heavy embedding table.
+    {
+      LearnedRoutingIndex::Params params;
+      params.num_landmarks = 256;
+      params.evaluate_fraction = 0.4f;
+      LearnedRoutingIndex ml1(CreateNsg(options), params);
+      ml1.Build(workload.base);
+      costs.AddRow({dataset_name, "NSG+ML1",
+                    TablePrinter::Fixed(ml1.build_stats().seconds, 2),
+                    TablePrinter::Megabytes(workload.base.MemoryBytes() +
+                                            ml1.IndexMemoryBytes())});
+      SweepInto(curves, dataset_name, "NSG+ML1", ml1, workload.queries,
+                truth, 10);
+    }
+    // HNSW + ML2 (learned early termination), as in the original paper.
+    {
+      EarlyTerminationIndex::Params params;
+      EarlyTerminationIndex ml2(CreateHnsw(options), params);
+      ml2.Build(workload.base);
+      costs.AddRow({dataset_name, "HNSW+ML2",
+                    TablePrinter::Fixed(ml2.build_stats().seconds, 2),
+                    TablePrinter::Megabytes(workload.base.MemoryBytes() +
+                                            ml2.IndexMemoryBytes())});
+      SweepInto(curves, dataset_name, "HNSW+ML2", ml2, workload.queries,
+                truth, 10);
+    }
+    // NSG + ML3 (dimensionality reduction): graph over PCA-projected
+    // vectors, exact re-ranking of the returned candidates.
+    {
+      Timer timer;
+      const uint32_t components =
+          std::min<uint32_t>(workload.base.dim(), 24);
+      PcaModel pca(workload.base, components);
+      const Dataset projected = pca.Project(workload.base);
+      auto nsg = CreateNsg(options);
+      nsg->Build(projected);
+      const double ipt = timer.Seconds();
+      costs.AddRow(
+          {dataset_name, "NSG+ML3", TablePrinter::Fixed(ipt, 2),
+           TablePrinter::Megabytes(
+               workload.base.MemoryBytes() + projected.MemoryBytes() +
+               nsg->IndexMemoryBytes() + pca.MemoryBytes())});
+      // Sweep with query projection + exact re-rank.
+      for (uint32_t pool : {20u, 60u, 180u, 540u}) {
+        SearchParams params;
+        params.k = 30;  // over-fetch, then re-rank exactly
+        params.pool_size = pool;
+        double recall_sum = 0.0;
+        uint64_t ndc = 0;
+        Timer sweep_timer;
+        std::vector<float> q_projected(components);
+        for (uint32_t q = 0; q < workload.queries.size(); ++q) {
+          pca.ProjectVector(workload.queries.Row(q), q_projected.data());
+          QueryStats stats;
+          std::vector<uint32_t> fetched =
+              nsg->Search(q_projected.data(), params, &stats);
+          // Exact re-rank in the original space.
+          std::vector<Neighbor> reranked;
+          reranked.reserve(fetched.size());
+          for (uint32_t id : fetched) {
+            reranked.emplace_back(
+                id, L2Sqr(workload.queries.Row(q), workload.base.Row(id),
+                          workload.base.dim()));
+          }
+          std::sort(reranked.begin(), reranked.end());
+          std::vector<uint32_t> top;
+          for (size_t i = 0; i < reranked.size() && i < 10; ++i) {
+            top.push_back(reranked[i].id);
+          }
+          recall_sum += Recall(top, truth[q], 10);
+          ndc += stats.distance_evals + fetched.size();
+        }
+        const double n = workload.queries.size();
+        const double mean_ndc = static_cast<double>(ndc) / n;
+        curves.AddRow({dataset_name, "NSG+ML3", TablePrinter::Int(pool),
+                       TablePrinter::Fixed(recall_sum / n, 3),
+                       TablePrinter::Fixed(workload.base.size() / mean_ndc,
+                                           1),
+                       TablePrinter::Fixed(n / sweep_timer.Seconds(), 0)});
+      }
+    }
+    std::printf("finished %s\n", dataset_name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n--- Table 6 / Table 24: IPT and MC ---\n");
+  costs.Print();
+  std::printf("\n--- Figures 9 & 19: tradeoff curves ---\n");
+  curves.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

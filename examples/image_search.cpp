@@ -1,0 +1,49 @@
+// Image-retrieval scenario: SIFT-style descriptors (the paper's S5 —
+// "search on simple datasets"). Builds the algorithms Table 7 recommends
+// for this regime (DPG, NSG, HCNNG, NSSG) plus HNSW as a reference, and
+// compares their accuracy/efficiency operating points side by side — the
+// decision a practitioner makes when picking an index for an image search
+// service.
+//
+//   $ ./build/examples/image_search
+#include <cstdio>
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace weavess;
+
+  // SIFT1M stand-in: 128-dim descriptors, moderate intrinsic dimension.
+  const Workload workload = MakeStandIn("SIFT1M", /*scale=*/0.8);
+  std::printf("image-descriptor workload: %u vectors x %u dims (LID ~%.1f)\n",
+              workload.base.size(), workload.base.dim(),
+              EstimateLid(workload.base));
+  const GroundTruth truth =
+      ComputeGroundTruth(workload.base, workload.queries, 10);
+
+  TablePrinter table({"Algorithm", "Build(s)", "Index", "Recall@10", "QPS",
+                      "Speedup"});
+  for (const char* name : {"DPG", "NSG", "HCNNG", "NSSG", "HNSW"}) {
+    std::unique_ptr<AnnIndex> index = CreateAlgorithm(name);
+    index->Build(workload.base);
+    // Operating point: the smallest pool reaching Recall@10 >= 0.95.
+    const CandidateSizeResult found =
+        FindCandidateSize(*index, workload.queries, truth, 10, 0.95,
+                          {20, 40, 80, 160, 320, 640});
+    table.AddRow({name, TablePrinter::Fixed(index->build_stats().seconds, 2),
+                  TablePrinter::Megabytes(index->IndexMemoryBytes()),
+                  TablePrinter::Fixed(found.point.recall, 3),
+                  TablePrinter::Fixed(found.point.qps, 0),
+                  TablePrinter::Fixed(found.point.speedup, 1)});
+    std::printf("evaluated %s\n", name);
+  }
+  std::printf("\nOperating points at Recall@10 >= 0.95 "
+              "(Table 7's S5 recommendation set):\n");
+  table.Print();
+  return 0;
+}

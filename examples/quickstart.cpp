@@ -1,0 +1,62 @@
+// Quickstart: build a graph-based ANNS index and run queries.
+//
+//   $ ./build/examples/quickstart
+//
+// Generates a synthetic 64-dimensional workload, builds an HNSW index via
+// the registry, and searches it at several accuracy/efficiency operating
+// points, printing Recall@10, QPS, and the Speedup metric (|S| / NDC).
+#include <cstdio>
+
+#include "algorithms/registry.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+
+int main() {
+  using namespace weavess;
+
+  // 1. Data: 20k base vectors + 500 queries from a clustered distribution.
+  SyntheticSpec spec;
+  spec.dim = 64;
+  spec.num_base = 20000;
+  spec.num_queries = 500;
+  spec.num_clusters = 12;
+  spec.stddev = 8.0f;
+  const Workload workload = GenerateSynthetic(spec, "quickstart");
+  std::printf("dataset: %u vectors, %u dims, %u queries\n",
+              workload.base.size(), workload.base.dim(),
+              workload.queries.size());
+
+  // 2. Exact ground truth for evaluation (linear scan).
+  const GroundTruth truth =
+      ComputeGroundTruth(workload.base, workload.queries, 10);
+
+  // 3. Index: pick any algorithm from the registry ("HNSW", "NSG", ...).
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(workload.base);
+  std::printf("built %s in %.2fs (%llu distance evaluations)\n",
+              index->name().c_str(), index->build_stats().seconds,
+              static_cast<unsigned long long>(
+                  index->build_stats().distance_evals));
+
+  // 4. Search one query directly...
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 100;  // the accuracy/efficiency knob (L / ef)
+  QueryStats stats;
+  const std::vector<uint32_t> result =
+      index->Search(workload.queries.Row(0), params, &stats);
+  std::printf("query 0: nearest id %u (%llu distance evals, %llu hops)\n",
+              result.front(),
+              static_cast<unsigned long long>(stats.distance_evals),
+              static_cast<unsigned long long>(stats.hops));
+
+  // 5. ...then sweep the knob over the whole query set.
+  std::printf("\n%8s %10s %10s %10s\n", "L", "Recall@10", "QPS", "Speedup");
+  for (const SearchPoint& point : SweepPoolSizes(
+           *index, workload.queries, truth, 10, {10, 30, 100, 300})) {
+    std::printf("%8u %10.3f %10.0f %10.1f\n", point.params.pool_size,
+                point.recall, point.qps, point.speedup);
+  }
+  return 0;
+}

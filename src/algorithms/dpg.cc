@@ -1,0 +1,32 @@
+#include "algorithms/dpg.h"
+
+#include <algorithm>
+
+namespace weavess {
+
+PipelineConfig DpgConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kNnDescent;
+  // DPG diversifies a K-degree KGraph down to κ = K/2 neighbors, then adds
+  // reverse edges without a cap (its index is therefore large — Fig. 6).
+  config.nn_descent.k = std::max(2u, 2 * options.max_degree);
+  config.nn_descent.iterations = options.nn_descent_iters;
+  config.candidates = CandidateKind::kNeighbors;
+  config.selection = SelectionKind::kDpg;
+  config.max_degree = std::max(1u, options.max_degree);
+  config.add_reverse_edges = true;
+  config.reverse_edge_cap = 0;  // unbounded, like the original
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kRandomPerQuery;
+  config.num_seeds = 0;  // fill the pool with random seeds (KGraph-style)
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateDpg(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("DPG", DpgConfig(options));
+}
+
+}  // namespace weavess

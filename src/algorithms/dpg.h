@@ -1,0 +1,18 @@
+// A9 DPG [61]: diversifies KGraph's neighbors by maximizing inter-neighbor
+// angles (an RNG approximation, Appendix C) and undirects all edges.
+#ifndef WEAVESS_ALGORITHMS_DPG_H_
+#define WEAVESS_ALGORITHMS_DPG_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig DpgConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateDpg(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_DPG_H_

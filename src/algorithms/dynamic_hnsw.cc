@@ -1,0 +1,227 @@
+#include "algorithms/dynamic_hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/distance.h"
+
+namespace weavess {
+
+DynamicHnsw::DynamicHnsw(uint32_t dim, const Params& params)
+    : dim_(dim),
+      params_(params),
+      level_lambda_(1.0 /
+                    std::log(static_cast<double>(std::max(2u, params.m)))),
+      rng_(params.seed) {
+  WEAVESS_CHECK(dim >= 1);
+  WEAVESS_CHECK(params.m >= 2);
+}
+
+float DynamicHnsw::Distance(const float* a, uint32_t id,
+                            uint64_t* ndc) const {
+  if (ndc != nullptr) ++*ndc;
+  return L2Sqr(a, store_.data() + static_cast<size_t>(id) * dim_, dim_);
+}
+
+const float* DynamicHnsw::Vector(uint32_t id) const {
+  WEAVESS_CHECK(id < num_points_);
+  return store_.data() + static_cast<size_t>(id) * dim_;
+}
+
+uint32_t DynamicHnsw::GreedyStep(const float* query, uint32_t entry,
+                                 uint32_t level, uint64_t* ndc) const {
+  uint32_t current = entry;
+  float current_dist = Distance(query, current, ndc);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : links_[current][level]) {
+      const float dist = Distance(query, neighbor, ndc);
+      if (dist < current_dist) {
+        current = neighbor;
+        current_dist = dist;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+void DynamicHnsw::SearchLevel(const float* query, uint32_t level,
+                              CandidatePool& pool, uint64_t* ndc,
+                              uint64_t* hops) {
+  size_t next;
+  while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    const uint32_t current = pool[next].id;
+    pool.MarkChecked(next);
+    if (hops != nullptr) ++*hops;
+    for (uint32_t neighbor : links_[current][level]) {
+      if (visited_->CheckAndMark(neighbor)) continue;
+      pool.Insert(Neighbor(neighbor, Distance(query, neighbor, ndc)));
+    }
+  }
+}
+
+void DynamicHnsw::Connect(uint32_t point, uint32_t level,
+                          const std::vector<Neighbor>& selected) {
+  const uint32_t bound = DegreeBound(level);
+  auto& own = links_[point][level];
+  for (const Neighbor& nb : selected) {
+    own.push_back(nb.id);
+    auto& theirs = links_[nb.id][level];
+    theirs.push_back(point);
+    if (theirs.size() > bound) {
+      // Shrink with the RNG heuristic, computed directly on the store.
+      std::vector<Neighbor> scored;
+      scored.reserve(theirs.size());
+      const float* base = Vector(nb.id);
+      for (uint32_t id : theirs) {
+        scored.emplace_back(id, Distance(base, id, nullptr));
+      }
+      std::sort(scored.begin(), scored.end());
+      std::vector<Neighbor> kept;
+      kept.reserve(bound);
+      for (const Neighbor& candidate : scored) {
+        if (kept.size() >= bound) break;
+        bool occluded = false;
+        for (const Neighbor& existing : kept) {
+          const float between =
+              Distance(Vector(existing.id), candidate.id, nullptr);
+          if (between <= candidate.distance) {
+            occluded = true;
+            break;
+          }
+        }
+        if (!occluded) kept.push_back(candidate);
+      }
+      theirs.clear();
+      for (const Neighbor& keep : kept) theirs.push_back(keep.id);
+    }
+  }
+}
+
+uint32_t DynamicHnsw::Add(const float* vector) {
+  const uint32_t id = num_points_++;
+  store_.insert(store_.end(), vector, vector + dim_);
+  deleted_.push_back(false);
+  const auto level = static_cast<uint32_t>(
+      -std::log(std::max(rng_.NextDouble(), 1e-12)) * level_lambda_);
+  links_.emplace_back();
+  links_.back().resize(level + 1);
+  visited_ = std::make_unique<VisitedList>(num_points_);
+
+  if (id == 0) {
+    entry_point_ = 0;
+    max_level_ = level;
+    return id;
+  }
+  uint32_t entry = entry_point_;
+  for (uint32_t l = max_level_; l > level && l > 0; --l) {
+    entry = GreedyStep(vector, entry, l, nullptr);
+  }
+  const uint32_t top = std::min(level, max_level_);
+  for (uint32_t l = top + 1; l-- > 0;) {
+    visited_->Reset();
+    visited_->MarkVisited(id);
+    CandidatePool pool(params_.ef_construction);
+    visited_->MarkVisited(entry);
+    pool.Insert(Neighbor(entry, Distance(vector, entry, nullptr)));
+    SearchLevel(vector, l, pool, nullptr, nullptr);
+    std::vector<Neighbor> candidates(pool.entries().begin(),
+                                     pool.entries().end());
+    // RNG heuristic selection against the store.
+    std::vector<Neighbor> selected;
+    selected.reserve(params_.m);
+    for (const Neighbor& candidate : candidates) {
+      if (selected.size() >= params_.m) break;
+      bool occluded = false;
+      for (const Neighbor& kept : selected) {
+        if (Distance(Vector(kept.id), candidate.id, nullptr) <=
+            candidate.distance) {
+          occluded = true;
+          break;
+        }
+      }
+      if (!occluded) selected.push_back(candidate);
+    }
+    Connect(id, l, selected);
+    if (!pool.entries().empty()) entry = pool[0].id;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+void DynamicHnsw::Remove(uint32_t id) {
+  WEAVESS_CHECK(id < num_points_);
+  if (!deleted_[id]) {
+    deleted_[id] = true;
+    ++num_deleted_;
+  }
+}
+
+bool DynamicHnsw::IsDeleted(uint32_t id) const {
+  WEAVESS_CHECK(id < num_points_);
+  return deleted_[id];
+}
+
+std::vector<uint32_t> DynamicHnsw::Search(const float* query,
+                                          const SearchParams& params,
+                                          QueryStats* stats) {
+  std::vector<uint32_t> result;
+  if (num_points_ == 0 || live_size() == 0) return result;
+  uint64_t ndc = 0, hops = 0;
+  uint32_t entry = entry_point_;
+  for (uint32_t l = max_level_; l > 0; --l) {
+    entry = GreedyStep(query, entry, l, &ndc);
+    ++hops;
+  }
+  visited_->Reset();
+  // Oversize the pool slightly so tombstones do not crowd out live
+  // results.
+  const uint32_t slack =
+      std::min(num_deleted_, std::max(params.pool_size / 2, 8u));
+  CandidatePool pool(std::max(params.pool_size, params.k) + slack);
+  visited_->MarkVisited(entry);
+  pool.Insert(Neighbor(entry, Distance(query, entry, &ndc)));
+  SearchLevel(query, 0, pool, &ndc, &hops);
+  for (const Neighbor& candidate : pool.entries()) {
+    if (deleted_[candidate.id]) continue;
+    result.push_back(candidate.id);
+    if (result.size() == params.k) break;
+  }
+  if (stats != nullptr) {
+    stats->distance_evals = ndc;
+    stats->hops = hops;
+  }
+  return result;
+}
+
+std::vector<uint32_t> DynamicHnsw::Compact() {
+  std::vector<uint32_t> mapping;
+  mapping.reserve(live_size());
+  DynamicHnsw rebuilt(dim_, params_);
+  for (uint32_t id = 0; id < num_points_; ++id) {
+    if (deleted_[id]) continue;
+    rebuilt.Add(Vector(id));
+    mapping.push_back(id);
+  }
+  *this = std::move(rebuilt);
+  return mapping;
+}
+
+size_t DynamicHnsw::IndexMemoryBytes() const {
+  size_t bytes = store_.size() * sizeof(float) + deleted_.size() / 8;
+  for (const auto& per_vertex : links_) {
+    for (const auto& level_links : per_vertex) {
+      bytes += sizeof(std::vector<uint32_t>) +
+               level_links.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace weavess

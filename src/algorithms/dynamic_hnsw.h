@@ -1,0 +1,91 @@
+// Dynamic HNSW: incremental insertion and logical deletion over a growing
+// vector store — the paper's §6 "Challenges" calls real-time graph-index
+// update a major open problem; HNSW's increment construction strategy is
+// the natural substrate for it. Deletions are handled by tombstoning:
+// deleted vertices still route (their edges stay navigable) but never
+// enter result sets; Compact() rebuilds to reclaim them.
+#ifndef WEAVESS_ALGORITHMS_DYNAMIC_HNSW_H_
+#define WEAVESS_ALGORITHMS_DYNAMIC_HNSW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/graph.h"
+#include "core/index.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/visited_list.h"
+
+namespace weavess {
+
+class DynamicHnsw {
+ public:
+  struct Params {
+    uint32_t m = 15;                // degree bound above layer 0 (M0 = 2M)
+    uint32_t ef_construction = 100;
+    uint64_t seed = 2024;
+  };
+
+  /// An empty index over `dim`-dimensional vectors.
+  DynamicHnsw(uint32_t dim, const Params& params);
+
+  /// Inserts a vector; returns its id (ids are dense, insertion-ordered,
+  /// and stable — deletion does not reassign them).
+  uint32_t Add(const float* vector);
+
+  /// Logically deletes id (idempotent). Deleted ids keep routing but are
+  /// excluded from results. WEAVESS_CHECK-fails on out-of-range ids.
+  void Remove(uint32_t id);
+
+  bool IsDeleted(uint32_t id) const;
+
+  /// k nearest *live* ids. Returns empty when the index is empty or all
+  /// points are deleted.
+  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
+                               QueryStats* stats = nullptr);
+
+  /// Stored vector for id (valid for dim() floats).
+  const float* Vector(uint32_t id) const;
+
+  /// Rebuilds the structure with tombstones physically removed. Returns
+  /// the mapping new_id -> old_id. Invalidates all previous ids.
+  std::vector<uint32_t> Compact();
+
+  uint32_t size() const { return num_points_; }
+  uint32_t live_size() const { return num_points_ - num_deleted_; }
+  uint32_t dim() const { return dim_; }
+  size_t IndexMemoryBytes() const;
+
+ private:
+  uint32_t GreedyStep(const float* query, uint32_t entry, uint32_t level,
+                      uint64_t* ndc) const;
+  // Best-first over one level; fills `pool`. Counts NDC/hops into the
+  // pointers when given.
+  void SearchLevel(const float* query, uint32_t level, CandidatePool& pool,
+                   uint64_t* ndc, uint64_t* hops);
+  void Connect(uint32_t point, uint32_t level,
+               const std::vector<Neighbor>& selected);
+  uint32_t DegreeBound(uint32_t level) const {
+    return level == 0 ? 2 * params_.m : params_.m;
+  }
+  float Distance(const float* a, uint32_t id, uint64_t* ndc) const;
+
+  uint32_t dim_;
+  Params params_;
+  double level_lambda_;
+  std::vector<float> store_;               // row-major vectors
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  std::vector<bool> deleted_;
+  uint32_t num_points_ = 0;
+  uint32_t num_deleted_ = 0;
+  uint32_t entry_point_ = 0;
+  uint32_t max_level_ = 0;
+  Rng rng_;
+  std::unique_ptr<VisitedList> visited_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_DYNAMIC_HNSW_H_

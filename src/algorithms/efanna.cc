@@ -1,0 +1,27 @@
+#include "algorithms/efanna.h"
+
+namespace weavess {
+
+PipelineConfig EfannaConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kKdNnDescent;
+  config.kd_trees = options.num_trees;
+  config.nn_descent.k = options.knng_degree;
+  config.nn_descent.iterations = options.nn_descent_iters;
+  config.candidates = CandidateKind::kNeighbors;
+  config.selection = SelectionKind::kDistance;
+  config.max_degree = options.knng_degree;
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kKdForest;
+  config.seed_tree_checks = options.build_pool;
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateEfanna(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("EFANNA", EfannaConfig(options));
+}
+
+}  // namespace weavess

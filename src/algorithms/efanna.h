@@ -1,0 +1,18 @@
+// A7 EFANNA [36]: KGraph with KD-tree-seeded NN-Descent initialization and
+// KD-tree seed acquisition at search time (Table 9).
+#ifndef WEAVESS_ALGORITHMS_EFANNA_H_
+#define WEAVESS_ALGORITHMS_EFANNA_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig EfannaConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateEfanna(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_EFANNA_H_

@@ -1,0 +1,30 @@
+#include "algorithms/fanng.h"
+
+#include <algorithm>
+
+namespace weavess {
+
+PipelineConfig FanngConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kBruteForce;
+  // FANNG's occlusion rule scans a deep exact candidate list; the
+  // traversal-based optimizations of [43] correspond to capping it.
+  config.nn_descent.k = std::max(options.knng_degree, 2 * options.max_degree);
+  config.candidates = CandidateKind::kNeighbors;
+  config.candidate_limit = config.nn_descent.k;
+  config.selection = SelectionKind::kRng;
+  config.max_degree = options.max_degree;
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kRandomPerQuery;
+  config.num_seeds = 0;  // fill the pool with random seeds (KGraph-style)
+  config.routing = RoutingKind::kBacktrack;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateFanng(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("FANNG", FanngConfig(options));
+}
+
+}  // namespace weavess

@@ -1,0 +1,18 @@
+// A3 FANNG [43]: occlusion-rule RNG approximation over brute-force
+// candidates, searched by best-first with backtracking (Table 9).
+#ifndef WEAVESS_ALGORITHMS_FANNG_H_
+#define WEAVESS_ALGORITHMS_FANNG_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig FanngConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateFanng(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_FANNG_H_

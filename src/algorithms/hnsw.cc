@@ -1,0 +1,178 @@
+#include "algorithms/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/timer.h"
+#include "graph/neighbor_selection.h"
+
+namespace weavess {
+
+HnswIndex::HnswIndex(const Params& params)
+    : params_(params),
+      level_lambda_(1.0 / std::log(static_cast<double>(
+                              std::max(2u, params.m)))),
+      rng_(params.seed) {
+  WEAVESS_CHECK(params.m >= 2);
+}
+
+uint32_t HnswIndex::GreedyStep(const float* query, uint32_t entry,
+                               uint32_t level, DistanceOracle& oracle,
+                               SearchContext& ctx) const {
+  uint32_t current = entry;
+  float current_dist = oracle.ToQuery(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    ++ctx.hops;
+    for (uint32_t neighbor : links_[current][level]) {
+      const float dist = oracle.ToQuery(query, neighbor);
+      if (dist < current_dist) {
+        current = neighbor;
+        current_dist = dist;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+void HnswIndex::SearchLevel(const float* query, uint32_t level,
+                            DistanceOracle& oracle, SearchContext& ctx,
+                            CandidatePool& pool) const {
+  size_t next;
+  while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    const uint32_t current = pool[next].id;
+    pool.MarkChecked(next);
+    ++ctx.hops;
+    for (uint32_t neighbor : links_[current][level]) {
+      if (ctx.visited.CheckAndMark(neighbor)) continue;
+      pool.Insert(Neighbor(neighbor, oracle.ToQuery(query, neighbor)));
+    }
+  }
+}
+
+void HnswIndex::ConnectNeighbors(uint32_t point, uint32_t level,
+                                 const std::vector<Neighbor>& selected,
+                                 DistanceOracle& oracle) {
+  const uint32_t bound = DegreeBound(level);
+  auto& own = links_[point][level];
+  for (const Neighbor& nb : selected) {
+    own.push_back(nb.id);
+    // Bidirectional link; shrink the neighbor's list with the heuristic if
+    // it overflows (Algorithm 1, line "shrink connections" in [67]).
+    auto& theirs = links_[nb.id][level];
+    theirs.push_back(point);
+    if (theirs.size() > bound) {
+      std::vector<Neighbor> scored;
+      scored.reserve(theirs.size());
+      for (uint32_t id : theirs) {
+        scored.emplace_back(id, oracle.Between(nb.id, id));
+      }
+      std::sort(scored.begin(), scored.end());
+      const std::vector<Neighbor> kept =
+          SelectRng(oracle, nb.id, scored, bound);
+      theirs.clear();
+      for (const Neighbor& keep : kept) theirs.push_back(keep.id);
+    }
+  }
+}
+
+void HnswIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(data_ == nullptr);
+  WEAVESS_CHECK(data.size() >= 2);
+  data_ = &data;
+  Timer timer;
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  SearchContext ctx(data.size());
+
+  links_.resize(data.size());
+  // Vertex 0 starts the structure at level 0.
+  links_[0].resize(1);
+  entry_point_ = 0;
+  max_level_ = 0;
+
+  for (uint32_t point = 1; point < data.size(); ++point) {
+    const auto level = static_cast<uint32_t>(
+        -std::log(std::max(rng_.NextDouble(), 1e-12)) * level_lambda_);
+    links_[point].resize(level + 1);
+
+    uint32_t entry = entry_point_;
+    // Phase 1: greedy descent through layers above `level`.
+    for (uint32_t l = max_level_; l > level && l > 0; --l) {
+      if (l <= max_level_) entry = GreedyStep(data.Row(point), entry, l,
+                                              oracle, ctx);
+    }
+    // Phase 2: ef-search and heuristic selection on each layer below.
+    const uint32_t top = std::min(level, max_level_);
+    for (uint32_t l = top + 1; l-- > 0;) {
+      ctx.BeginQuery();
+      CandidatePool pool(params_.ef_construction);
+      SeedPool({entry}, data.Row(point), oracle, ctx, pool);
+      SearchLevel(data.Row(point), l, oracle, ctx, pool);
+      std::vector<Neighbor> candidates(pool.entries().begin(),
+                                       pool.entries().end());
+      const std::vector<Neighbor> selected =
+          SelectRng(oracle, point, candidates, params_.m);
+      ConnectNeighbors(point, l, selected, oracle);
+      if (!pool.entries().empty()) entry = pool[0].id;
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = point;
+    }
+  }
+
+  // Materialize layer 0 for the uniform metrics interface.
+  base_layer_ = Graph(data.size());
+  for (uint32_t v = 0; v < data.size(); ++v) {
+    base_layer_.MutableNeighbors(v) = links_[v][0];
+  }
+  scratch_ = std::make_unique<SearchContext>(data.size());
+  build_stats_.seconds = timer.Seconds();
+  build_stats_.distance_evals = counter.count;
+}
+
+std::vector<uint32_t> HnswIndex::Search(const float* query,
+                                        const SearchParams& params,
+                                        QueryStats* stats) {
+  WEAVESS_CHECK(data_ != nullptr);
+  SearchContext& ctx = *scratch_;
+  ctx.BeginQuery();
+  DistanceCounter counter;
+  DistanceOracle oracle(*data_, &counter);
+  uint32_t entry = entry_point_;
+  for (uint32_t l = max_level_; l > 0; --l) {
+    entry = GreedyStep(query, entry, l, oracle, ctx);
+  }
+  CandidatePool pool(std::max(params.pool_size, params.k));
+  SeedPool({entry}, query, oracle, ctx, pool);
+  SearchLevel(query, 0, oracle, ctx, pool);
+  if (stats != nullptr) {
+    stats->distance_evals = counter.count;
+    stats->hops = ctx.hops;
+  }
+  return ExtractTopK(pool, params.k);
+}
+
+size_t HnswIndex::IndexMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& per_vertex : links_) {
+    for (const auto& level_links : per_vertex) {
+      bytes += sizeof(std::vector<uint32_t>) +
+               level_links.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+std::unique_ptr<AnnIndex> CreateHnsw(const AlgorithmOptions& options) {
+  HnswIndex::Params params;
+  params.m = std::max(2u, options.max_degree / 2);
+  params.ef_construction = options.build_pool;
+  params.seed = options.seed;
+  return std::make_unique<HnswIndex>(params);
+}
+
+}  // namespace weavess

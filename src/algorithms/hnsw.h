@@ -1,0 +1,76 @@
+// A2 HNSW [67]: hierarchical navigable small world. Exponentially sampled
+// layer assignment, heuristic (RNG) neighbor selection at every layer,
+// greedy descent from the top layer to a best-first search at layer 0.
+#ifndef WEAVESS_ALGORITHMS_HNSW_H_
+#define WEAVESS_ALGORITHMS_HNSW_H_
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/index.h"
+#include "core/rng.h"
+#include "search/router.h"
+
+namespace weavess {
+
+class HnswIndex : public AnnIndex {
+ public:
+  struct Params {
+    /// Degree bound M at layers >= 1; layer 0 allows 2M (HNSW's M0).
+    uint32_t m = 15;
+    uint32_t ef_construction = 100;
+    uint64_t seed = 2024;
+  };
+
+  explicit HnswIndex(const Params& params);
+
+  void Build(const Dataset& data) override;
+  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
+                               QueryStats* stats = nullptr) override;
+  /// The bottom layer (layer 0), which carries the RNG-pruned base graph.
+  const Graph& graph() const override { return base_layer_; }
+  /// Counts every layer: the hierarchy is what makes HNSW's index large.
+  size_t IndexMemoryBytes() const override;
+  BuildStats build_stats() const override { return build_stats_; }
+  std::string name() const override { return "HNSW"; }
+
+  uint32_t max_level() const { return max_level_; }
+  uint32_t entry_point() const { return entry_point_; }
+  /// Level assigned to vertex v (tests validate the geometric decay).
+  uint32_t LevelOf(uint32_t v) const {
+    return static_cast<uint32_t>(links_[v].size()) - 1;
+  }
+
+ private:
+  // Greedy ef=1 descent on `level`, returning the closest vertex found.
+  uint32_t GreedyStep(const float* query, uint32_t entry, uint32_t level,
+                      DistanceOracle& oracle, SearchContext& ctx) const;
+  // Best-first search restricted to one level.
+  void SearchLevel(const float* query, uint32_t level, DistanceOracle& oracle,
+                   SearchContext& ctx, CandidatePool& pool) const;
+  void ConnectNeighbors(uint32_t point, uint32_t level,
+                        const std::vector<Neighbor>& selected,
+                        DistanceOracle& oracle);
+  uint32_t DegreeBound(uint32_t level) const {
+    return level == 0 ? 2 * params_.m : params_.m;
+  }
+
+  Params params_;
+  double level_lambda_;  // mL = 1 / ln(M)
+  const Dataset* data_ = nullptr;
+  // links_[v][level] = neighbor list of v at that level.
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  Graph base_layer_;  // copy of level 0, exposed via graph()
+  uint32_t entry_point_ = 0;
+  uint32_t max_level_ = 0;
+  Rng rng_;
+  std::unique_ptr<SearchContext> scratch_;
+  BuildStats build_stats_;
+};
+
+std::unique_ptr<AnnIndex> CreateHnsw(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_HNSW_H_

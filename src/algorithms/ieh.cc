@@ -1,0 +1,25 @@
+#include "algorithms/ieh.h"
+
+namespace weavess {
+
+PipelineConfig IehConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kBruteForce;
+  config.nn_descent.k = options.knng_degree;  // exact-KNNG degree
+  config.candidates = CandidateKind::kNeighbors;
+  config.selection = SelectionKind::kDistance;
+  config.max_degree = options.knng_degree;
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kLsh;
+  config.num_seeds = options.num_seeds;
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateIeh(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("IEH", IehConfig(options));
+}
+
+}  // namespace weavess

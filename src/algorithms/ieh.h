@@ -1,0 +1,19 @@
+// A8 IEH [54]: brute-force exact KNNG plus hash-bucket seed acquisition
+// ("iterative expanding hashing"). The paper's MATLAB hash table is
+// replaced by native random-hyperplane LSH (DESIGN.md §2).
+#ifndef WEAVESS_ALGORITHMS_IEH_H_
+#define WEAVESS_ALGORITHMS_IEH_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig IehConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateIeh(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_IEH_H_

@@ -1,0 +1,98 @@
+#include "algorithms/kdr.h"
+
+#include <algorithm>
+
+#include "core/timer.h"
+#include "graph/exact_knng.h"
+
+namespace weavess {
+
+KdrIndex::KdrIndex(const Params& params)
+    : params_(params), rng_(params.seed) {}
+
+bool KdrIndex::Reachable(uint32_t start, uint32_t target, float limit,
+                         DistanceOracle& oracle) const {
+  // Bounded breadth-first reachability over kept edges; only edges shorter
+  // than the direct edge can justify dropping it.
+  std::vector<uint32_t> frontier = {start};
+  std::vector<uint32_t> next;
+  // Small searches: a flat visited vector would be overkill; reuse scratch.
+  SearchContext& ctx = *scratch_;
+  ctx.BeginQuery();
+  ctx.visited.MarkVisited(start);
+  for (uint32_t hop = 0; hop < params_.reach_hops; ++hop) {
+    next.clear();
+    for (uint32_t v : frontier) {
+      for (uint32_t u : graph_.Neighbors(v)) {
+        if (ctx.visited.Visited(u)) continue;
+        if (oracle.Between(v, u) >= limit) continue;
+        if (u == target) return true;
+        ctx.visited.MarkVisited(u);
+        next.push_back(u);
+      }
+    }
+    frontier.swap(next);
+    if (frontier.empty()) break;
+  }
+  return false;
+}
+
+void KdrIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(data_ == nullptr);
+  WEAVESS_CHECK(data.size() >= 2);
+  data_ = &data;
+  Timer timer;
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  scratch_ = std::make_unique<SearchContext>(data.size());
+
+  const Graph knng = BuildExactKnng(data, params_.knng_degree, &counter);
+  graph_ = Graph(data.size());
+  // Process candidate edges per vertex in ascending distance order (the
+  // exact KNNG lists are already sorted): keep (x, y) only if y cannot
+  // already reach x along kept shorter edges.
+  for (uint32_t x = 0; x < data.size(); ++x) {
+    uint32_t kept = 0;
+    for (uint32_t y : knng.Neighbors(x)) {
+      if (kept >= params_.max_degree) break;
+      const float direct = oracle.Between(x, y);
+      if (Reachable(y, x, direct, oracle)) continue;
+      graph_.AddUndirectedEdge(x, y);
+      ++kept;
+    }
+  }
+  build_stats_.seconds = timer.Seconds();
+  build_stats_.distance_evals = counter.count;
+}
+
+std::vector<uint32_t> KdrIndex::Search(const float* query,
+                                       const SearchParams& params,
+                                       QueryStats* stats) {
+  WEAVESS_CHECK(data_ != nullptr);
+  SearchContext& ctx = *scratch_;
+  ctx.BeginQuery();
+  DistanceCounter counter;
+  DistanceOracle oracle(*data_, &counter);
+  CandidatePool pool(std::max(params.pool_size, params.k));
+  // Pool-filling random seeds, like KGraph (cluster coverage scales with L).
+  std::vector<uint32_t> seeds = rng_.SampleDistinct(
+      data_->size(),
+      std::min(static_cast<uint32_t>(pool.capacity()), data_->size()));
+  SeedPool(seeds, query, oracle, ctx, pool);
+  RangeSearch(graph_, query, oracle, ctx, pool, params.epsilon);
+  if (stats != nullptr) {
+    stats->distance_evals = counter.count;
+    stats->hops = ctx.hops;
+  }
+  return ExtractTopK(pool, params.k);
+}
+
+std::unique_ptr<AnnIndex> CreateKdr(const AlgorithmOptions& options) {
+  KdrIndex::Params params;
+  params.knng_degree = options.knng_degree;
+  params.max_degree = options.max_degree / 2 + 1;
+  params.seed = options.seed;
+  return std::make_unique<KdrIndex>(params);
+}
+
+}  // namespace weavess

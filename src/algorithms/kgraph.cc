@@ -1,0 +1,28 @@
+#include "algorithms/kgraph.h"
+
+namespace weavess {
+
+PipelineConfig KGraphConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kNnDescent;
+  config.nn_descent.k = options.knng_degree;
+  config.nn_descent.iterations = options.nn_descent_iters;
+  // The KNNG itself is the index: candidates are the refined pool
+  // neighbors, kept by pure distance at the full degree K.
+  config.candidates = CandidateKind::kNeighbors;
+  config.selection = SelectionKind::kDistance;
+  config.max_degree = options.knng_degree;
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kRandomPerQuery;
+  config.num_seeds = 0;  // fill the pool with random seeds (KGraph-style)
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateKGraph(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("KGraph", KGraphConfig(options));
+}
+
+}  // namespace weavess

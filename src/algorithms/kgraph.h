@@ -1,0 +1,19 @@
+// A6 KGraph [31]: the NN-Descent KNNG. Refinement construction with random
+// initialization, expansion-based candidates, distance-only selection
+// (Table 9), random seeds and best-first routing.
+#ifndef WEAVESS_ALGORITHMS_KGRAPH_H_
+#define WEAVESS_ALGORITHMS_KGRAPH_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig KGraphConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateKGraph(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_KGRAPH_H_

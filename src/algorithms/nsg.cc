@@ -1,0 +1,27 @@
+#include "algorithms/nsg.h"
+
+namespace weavess {
+
+PipelineConfig NsgConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kNnDescent;
+  config.nn_descent.k = options.knng_degree;
+  config.nn_descent.iterations = options.nn_descent_iters;
+  config.candidates = CandidateKind::kSearch;
+  config.candidate_search_pool = options.build_pool;
+  config.candidate_limit = options.build_pool;
+  config.selection = SelectionKind::kRng;  // == HNSW's heuristic, Appendix A
+  config.max_degree = options.max_degree;
+  config.connectivity = ConnectivityKind::kDfsTree;
+  config.seeds = SeedKind::kCentroid;
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateNsg(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("NSG", NsgConfig(options));
+}
+
+}  // namespace weavess

@@ -1,0 +1,19 @@
+// A10 NSG [38]: MRNG edge selection over candidates obtained by ANNS on a
+// NN-Descent KNNG, depth-first connectivity from the medoid, and best-first
+// search entered at the medoid.
+#ifndef WEAVESS_ALGORITHMS_NSG_H_
+#define WEAVESS_ALGORITHMS_NSG_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig NsgConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateNsg(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_NSG_H_

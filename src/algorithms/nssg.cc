@@ -1,0 +1,28 @@
+#include "algorithms/nssg.h"
+
+namespace weavess {
+
+PipelineConfig NssgConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kNnDescent;
+  config.nn_descent.k = options.knng_degree;
+  config.nn_descent.iterations = options.nn_descent_iters;
+  config.candidates = CandidateKind::kExpansion;
+  config.candidate_limit = options.build_pool;
+  config.selection = SelectionKind::kAngle;
+  config.angle_degrees = options.angle_degrees;
+  config.max_degree = options.max_degree;
+  config.connectivity = ConnectivityKind::kDfsTree;
+  config.seeds = SeedKind::kRandomFixed;
+  config.num_seeds = options.num_seeds;
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateNssg(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("NSSG", NssgConfig(options));
+}
+
+}  // namespace weavess

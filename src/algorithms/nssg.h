@@ -1,0 +1,19 @@
+// A11 NSSG [37]: SSG edge selection (angle threshold θ) over two-hop
+// expansion candidates — cheaper candidate acquisition than NSG's ANNS —
+// with DFS connectivity and fixed random entries.
+#ifndef WEAVESS_ALGORITHMS_NSSG_H_
+#define WEAVESS_ALGORITHMS_NSSG_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig NssgConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateNssg(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_NSSG_H_

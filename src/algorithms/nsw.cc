@@ -1,0 +1,78 @@
+#include "algorithms/nsw.h"
+
+#include <algorithm>
+
+#include "core/timer.h"
+
+namespace weavess {
+
+NswIndex::NswIndex(const Params& params)
+    : params_(params), rng_(params.seed) {}
+
+void NswIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(data_ == nullptr);
+  WEAVESS_CHECK(data.size() >= 2);
+  data_ = &data;
+  Timer timer;
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  graph_ = Graph(data.size());
+  SearchContext ctx(data.size());
+
+  // Increment strategy: each point is inserted as a query against the
+  // subgraph of previously inserted points (C1 == seed acquisition).
+  for (uint32_t point = 1; point < data.size(); ++point) {
+    ctx.BeginQuery();
+    CandidatePool pool(params_.ef_construction);
+    // Random seeds among the already-inserted prefix.
+    std::vector<uint32_t> seeds;
+    const uint32_t want = std::min(params_.num_search_seeds, point);
+    while (seeds.size() < want) {
+      seeds.push_back(static_cast<uint32_t>(rng_.NextBounded(point)));
+    }
+    SeedPool(seeds, data.Row(point), oracle, ctx, pool);
+    BestFirstSearch(graph_, data.Row(point), oracle, ctx, pool);
+    const uint32_t connect =
+        std::min<uint32_t>(params_.edges_per_insert,
+                           static_cast<uint32_t>(pool.size()));
+    for (uint32_t i = 0; i < connect; ++i) {
+      graph_.AddUndirectedEdge(point, pool[i].id);
+    }
+  }
+  scratch_ = std::make_unique<SearchContext>(data.size());
+  build_stats_.seconds = timer.Seconds();
+  build_stats_.distance_evals = counter.count;
+}
+
+std::vector<uint32_t> NswIndex::Search(const float* query,
+                                       const SearchParams& params,
+                                       QueryStats* stats) {
+  WEAVESS_CHECK(data_ != nullptr);
+  SearchContext& ctx = *scratch_;
+  ctx.BeginQuery();
+  DistanceCounter counter;
+  DistanceOracle oracle(*data_, &counter);
+  CandidatePool pool(std::max(params.pool_size, params.k));
+  // KGraph-style seeding: fill the pool with random entries, which keeps
+  // cluster coverage proportional to the search effort L.
+  std::vector<uint32_t> seeds = rng_.SampleDistinct(
+      data_->size(),
+      std::min(static_cast<uint32_t>(pool.capacity()), data_->size()));
+  SeedPool(seeds, query, oracle, ctx, pool);
+  BestFirstSearch(graph_, query, oracle, ctx, pool);
+  if (stats != nullptr) {
+    stats->distance_evals = counter.count;
+    stats->hops = ctx.hops;
+  }
+  return ExtractTopK(pool, params.k);
+}
+
+std::unique_ptr<AnnIndex> CreateNsw(const AlgorithmOptions& options) {
+  NswIndex::Params params;
+  params.edges_per_insert = options.max_degree / 2 + 1;
+  params.ef_construction = options.build_pool;
+  params.seed = options.seed;
+  return std::make_unique<NswIndex>(params);
+}
+
+}  // namespace weavess

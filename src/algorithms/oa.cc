@@ -1,0 +1,33 @@
+#include "algorithms/oa.h"
+
+namespace weavess {
+
+PipelineConfig OptimizedConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  // C1: appropriate-quality initialization (8 NN-Descent rounds, App. L).
+  config.init = InitKind::kNnDescent;
+  config.nn_descent.k = options.knng_degree;
+  config.nn_descent.iterations = options.nn_descent_iters;
+  // C2: NSSG-style neighbor expansion — no distance-heavy ANNS per point.
+  config.candidates = CandidateKind::kExpansion;
+  config.candidate_limit = options.build_pool;
+  // C3: the RNG heuristic shared by HNSW and NSG.
+  config.selection = SelectionKind::kRng;
+  config.max_degree = options.max_degree;
+  // C5: depth-first connectivity assurance.
+  config.connectivity = ConnectivityKind::kDfsTree;
+  // C4/C6: a fixed set of random entries, no auxiliary index.
+  config.seeds = SeedKind::kRandomFixed;
+  config.num_seeds = options.num_seeds;
+  // C7: two-stage routing (guided, then best-first).
+  config.routing = RoutingKind::kTwoStage;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateOptimized(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("OA", OptimizedConfig(options));
+}
+
+}  // namespace weavess

@@ -1,0 +1,22 @@
+// OA — the optimized algorithm of §6 ("Improvement"): NN-Descent
+// initialization of moderate quality (C1), NSSG's two-hop candidate
+// acquisition (C2), NSG/HNSW's RNG selection (C3), fixed random entries
+// (C4/C6), depth-first connectivity (C5), and two-stage routing — guided
+// search then best-first (C7). The paper shows this composition beats every
+// single algorithm's efficiency-vs-accuracy tradeoff (Fig. 11).
+#ifndef WEAVESS_ALGORITHMS_OA_H_
+#define WEAVESS_ALGORITHMS_OA_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig OptimizedConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateOptimized(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_OA_H_

@@ -1,0 +1,55 @@
+// String-keyed factory over every algorithm in the survey (§3.2): the 13
+// representative algorithms (with both NGT and SPTAG variants), k-DR from
+// Appendix N, and the optimized algorithm OA from §6.
+#ifndef WEAVESS_ALGORITHMS_REGISTRY_H_
+#define WEAVESS_ALGORITHMS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+
+namespace weavess {
+
+/// Construction-side knobs shared across algorithms. Each algorithm maps
+/// these onto its own parameters (Appendix H); defaults are tuned for the
+/// laptop-scale stand-in datasets used by the benchmarks.
+struct AlgorithmOptions {
+  /// K of the underlying KNNG / NN-Descent pools.
+  uint32_t knng_degree = 25;
+  /// Degree bound after neighbor selection (R).
+  uint32_t max_degree = 30;
+  /// Candidate-set size during construction (L / C / efConstruction).
+  uint32_t build_pool = 100;
+  /// NN-Descent refinement rounds (`iter`).
+  uint32_t nn_descent_iters = 8;
+  /// Number of auxiliary trees (KD-forest size).
+  uint32_t num_trees = 4;
+  /// Entry count for random / fixed seed strategies.
+  uint32_t num_seeds = 10;
+  /// Vamana's second-pass α.
+  float alpha = 2.0f;
+  /// NSSG's minimum inter-neighbor angle θ (degrees).
+  float angle_degrees = 60.0f;
+  /// Construction threads for the stages that parallelize safely (exact-
+  /// KNNG init, refinement pass); 1 = fully deterministic single-core.
+  uint32_t num_threads = 1;
+  uint64_t seed = 2024;
+};
+
+/// Canonical algorithm names, in the paper's presentation order:
+/// KGraph, NGT-panng, NGT-onng, SPTAG-KDT, SPTAG-BKT, NSW, IEH, FANNG,
+/// HNSW, EFANNA, DPG, NSG, HCNNG, Vamana, NSSG, k-DR, OA.
+const std::vector<std::string>& AlgorithmNames();
+
+/// Creates an unbuilt index by canonical name; WEAVESS_CHECK-fails on an
+/// unknown name (use IsKnownAlgorithm to probe).
+std::unique_ptr<AnnIndex> CreateAlgorithm(
+    const std::string& name, const AlgorithmOptions& options = {});
+
+bool IsKnownAlgorithm(const std::string& name);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_REGISTRY_H_

@@ -1,0 +1,30 @@
+#include "algorithms/vamana.h"
+
+namespace weavess {
+
+PipelineConfig VamanaConfig(const AlgorithmOptions& options) {
+  PipelineConfig config;
+  config.init = InitKind::kRandom;
+  config.nn_descent.k = options.knng_degree;  // random init degree
+  config.candidates = CandidateKind::kSearch;
+  config.candidate_search_pool = options.build_pool;
+  config.candidate_limit = options.build_pool;
+  config.selection = SelectionKind::kAlphaTwoPass;
+  config.alpha = options.alpha;
+  config.max_degree = options.max_degree;
+  // Vamana's defining build behaviour: ANNS on the evolving graph plus
+  // backward-edge insertion with α-pruning.
+  config.refine_in_place = true;
+  config.connectivity = ConnectivityKind::kNone;
+  config.seeds = SeedKind::kCentroid;
+  config.routing = RoutingKind::kBestFirst;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  return config;
+}
+
+std::unique_ptr<AnnIndex> CreateVamana(const AlgorithmOptions& options) {
+  return std::make_unique<PipelineIndex>("Vamana", VamanaConfig(options));
+}
+
+}  // namespace weavess

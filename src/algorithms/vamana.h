@@ -1,0 +1,19 @@
+// A12 Vamana [88] (DiskANN's graph): random initialization, ANNS-based
+// candidates, and two α-RNG selection passes (α = 1, then α > 1) entered at
+// the medoid. No connectivity assurance (Table 9).
+#ifndef WEAVESS_ALGORITHMS_VAMANA_H_
+#define WEAVESS_ALGORITHMS_VAMANA_H_
+
+#include <memory>
+
+#include "algorithms/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace weavess {
+
+PipelineConfig VamanaConfig(const AlgorithmOptions& options);
+std::unique_ptr<AnnIndex> CreateVamana(const AlgorithmOptions& options);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ALGORITHMS_VAMANA_H_

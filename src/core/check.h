@@ -1,0 +1,41 @@
+// Lightweight runtime invariant checks. The library does not use exceptions;
+// violated invariants abort with a diagnostic, matching the style of
+// assertion macros in RocksDB/Arrow-style C++ database code.
+#ifndef WEAVESS_CORE_CHECK_H_
+#define WEAVESS_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace weavess::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "WEAVESS_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace weavess::internal
+
+/// Aborts the process with a diagnostic if `cond` is false. Enabled in all
+/// build types: index-construction invariants are cheap relative to the
+/// distance computations they guard, and silent corruption of a graph index
+/// is far more expensive to debug than the check.
+#define WEAVESS_CHECK(cond)                                         \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::weavess::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                               \
+  } while (0)
+
+/// Debug-only check for per-element hot-path assertions.
+#ifndef NDEBUG
+#define WEAVESS_DCHECK(cond) WEAVESS_CHECK(cond)
+#else
+#define WEAVESS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // WEAVESS_CORE_CHECK_H_

@@ -1,0 +1,53 @@
+#include "core/dataset.h"
+
+#include <cmath>
+
+namespace weavess {
+
+Dataset::Dataset(uint32_t num, uint32_t dim, std::vector<float> data)
+    : num_(num), dim_(dim), data_(std::move(data)) {
+  WEAVESS_CHECK(data_.size() == static_cast<size_t>(num) * dim);
+}
+
+Dataset Dataset::Zeros(uint32_t num, uint32_t dim) {
+  return Dataset(num, dim,
+                 std::vector<float>(static_cast<size_t>(num) * dim, 0.0f));
+}
+
+Dataset Dataset::Subset(const std::vector<uint32_t>& ids) const {
+  Dataset out = Zeros(static_cast<uint32_t>(ids.size()), dim_);
+  for (uint32_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(out.MutableRow(i), Row(ids[i]), sizeof(float) * dim_);
+  }
+  return out;
+}
+
+void Dataset::NormalizeRows() {
+  for (uint32_t i = 0; i < num_; ++i) {
+    float* row = MutableRow(i);
+    double norm_sqr = 0.0;
+    for (uint32_t d = 0; d < dim_; ++d) {
+      norm_sqr += static_cast<double>(row[d]) * row[d];
+    }
+    if (norm_sqr <= 0.0) continue;
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sqr));
+    for (uint32_t d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+std::vector<float> Dataset::Mean() const {
+  std::vector<double> acc(dim_, 0.0);
+  for (uint32_t i = 0; i < num_; ++i) {
+    const float* row = Row(i);
+    for (uint32_t d = 0; d < dim_; ++d) acc[d] += row[d];
+  }
+  std::vector<float> mean(dim_, 0.0f);
+  if (num_ > 0) {
+    for (uint32_t d = 0; d < dim_; ++d) {
+      mean[d] = static_cast<float>(acc[d] / num_);
+    }
+  }
+  return mean;
+}
+
+}  // namespace weavess

@@ -1,0 +1,68 @@
+// In-memory vector dataset: the finite set S ⊂ E^d of Definition 2.1. All
+// algorithms in the library index a Dataset and search it with float
+// queries of the same dimension.
+#ifndef WEAVESS_CORE_DATASET_H_
+#define WEAVESS_CORE_DATASET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace weavess {
+
+/// Row-major dense float matrix holding `size()` vectors of `dim()` floats.
+/// Copyable (a plain value type); moves are cheap.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of `data`, which must hold `num * dim` floats.
+  Dataset(uint32_t num, uint32_t dim, std::vector<float> data);
+
+  /// Allocates a zero-filled dataset.
+  static Dataset Zeros(uint32_t num, uint32_t dim);
+
+  uint32_t size() const { return num_; }
+  uint32_t dim() const { return dim_; }
+  bool empty() const { return num_ == 0; }
+
+  /// Pointer to the i-th vector (valid for `dim()` floats).
+  const float* Row(uint32_t i) const {
+    WEAVESS_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+  float* MutableRow(uint32_t i) {
+    WEAVESS_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  const std::vector<float>& raw() const { return data_; }
+
+  /// Bytes consumed by the vector payload (used in index-size accounting).
+  size_t MemoryBytes() const { return data_.size() * sizeof(float); }
+
+  /// Returns a dataset holding the rows listed in `ids`, in order.
+  Dataset Subset(const std::vector<uint32_t>& ids) const;
+
+  /// Component-wise mean of all rows; the "approximate centroid" seed used
+  /// by NSG and Vamana is the dataset point nearest to this.
+  std::vector<float> Mean() const;
+
+  /// Scales every row to unit l2 norm (zero rows are left untouched).
+  /// After normalization, l2-nearest-neighbor search is equivalent to
+  /// cosine-similarity search — how angular-metric corpora (GloVe-style
+  /// embeddings) are handled throughout the ANNS literature.
+  void NormalizeRows();
+
+ private:
+  uint32_t num_ = 0;
+  uint32_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_DATASET_H_

@@ -1,0 +1,26 @@
+#include "core/distance.h"
+
+namespace weavess {
+
+float L2Sqr(const float* a, const float* b, uint32_t dim) {
+  float sum = 0.0f;
+  for (uint32_t i = 0; i < dim; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float Dot(const float* a, const float* b, uint32_t dim) {
+  float sum = 0.0f;
+  for (uint32_t i = 0; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float NormSqr(const float* a, uint32_t dim) {
+  float sum = 0.0f;
+  for (uint32_t i = 0; i < dim; ++i) sum += a[i] * a[i];
+  return sum;
+}
+
+}  // namespace weavess

@@ -1,0 +1,82 @@
+// Euclidean distance kernels and the distance-evaluation counter that backs
+// the paper's Speedup metric (Speedup = |S| / NDC, §5.1).
+//
+// The survey removed SIMD intrinsics from every algorithm for fairness; we
+// likewise use plain scalar loops and let the compiler vectorize.
+#ifndef WEAVESS_CORE_DISTANCE_H_
+#define WEAVESS_CORE_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+
+namespace weavess {
+
+/// Squared Euclidean distance between two d-dimensional vectors. All graph
+/// algorithms compare squared distances (monotone in the true distance), so
+/// the sqrt is deferred to the API boundary.
+float L2Sqr(const float* a, const float* b, uint32_t dim);
+
+/// Euclidean (l2) distance, Equation 1 of the paper.
+inline float L2(const float* a, const float* b, uint32_t dim) {
+  return std::sqrt(L2Sqr(a, b, dim));
+}
+
+/// Inner product (used by tree splits and PCA, not as a search metric).
+float Dot(const float* a, const float* b, uint32_t dim);
+
+/// Squared l2 norm.
+float NormSqr(const float* a, uint32_t dim);
+
+/// Counts distance evaluations. One DistanceCounter is threaded through each
+/// build or search call; NDC (number of distance computations) per query is
+/// the paper's machine-independent efficiency measure.
+struct DistanceCounter {
+  uint64_t count = 0;
+};
+
+/// Distance oracle over a dataset: bundles the data, the metric, and the
+/// evaluation counter so call sites cannot forget to count.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const Dataset& data, DistanceCounter* counter)
+      : data_(&data), counter_(counter) {}
+
+  /// Distance between stored points a and b.
+  float Between(uint32_t a, uint32_t b) {
+    Count();
+    return L2Sqr(data_->Row(a), data_->Row(b), data_->dim());
+  }
+
+  /// Distance between a query vector and stored point id.
+  float ToQuery(const float* query, uint32_t id) {
+    Count();
+    return L2Sqr(query, data_->Row(id), data_->dim());
+  }
+
+  /// Distance between a query and an arbitrary vector (e.g., a tree
+  /// centroid). Counted: centroid comparisons are real query-time work.
+  float ToVector(const float* query, const float* v) {
+    Count();
+    return L2Sqr(query, v, data_->dim());
+  }
+
+  const Dataset& data() const { return *data_; }
+  uint32_t dim() const { return data_->dim(); }
+  uint32_t size() const { return data_->size(); }
+  uint64_t evaluations() const { return counter_ ? counter_->count : 0; }
+
+ private:
+  void Count() {
+    if (counter_ != nullptr) ++counter_->count;
+  }
+
+  const Dataset* data_;
+  DistanceCounter* counter_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_DISTANCE_H_

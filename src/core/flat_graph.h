@@ -1,0 +1,73 @@
+// Flattened adjacency storage for search-time memory locality (Appendix I
+// of the paper: aligning neighbor lists to a fixed stride enables
+// contiguous access and improves search efficiency — unless the maximum
+// out-degree is too large, when padding blows the memory budget).
+//
+// Two layouts over the same Graph:
+//  - CsrGraph: compact offsets + one id array (no padding);
+//  - AlignedGraph: fixed stride = max degree, padded with kInvalid
+//    (the paper's "align the adjacency list to the same size").
+#ifndef WEAVESS_CORE_FLAT_GRAPH_H_
+#define WEAVESS_CORE_FLAT_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+#include "core/graph.h"
+
+namespace weavess {
+
+/// Compressed-sparse-row view: neighbors of v are ids_[offsets_[v]] ..
+/// ids_[offsets_[v+1]).
+class CsrGraph {
+ public:
+  explicit CsrGraph(const Graph& graph);
+
+  uint32_t size() const {
+    return static_cast<uint32_t>(offsets_.size()) - 1;
+  }
+
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    WEAVESS_DCHECK(v + 1 < offsets_.size());
+    return {ids_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint64_t) + ids_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> ids_;
+};
+
+/// Fixed-stride view: every vertex owns exactly `stride()` slots; unused
+/// slots hold kInvalid. Neighbor iteration never chases a second pointer.
+class AlignedGraph {
+ public:
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+
+  explicit AlignedGraph(const Graph& graph);
+
+  uint32_t size() const { return num_vertices_; }
+  uint32_t stride() const { return stride_; }
+
+  /// All slots of v (iterate until kInvalid).
+  const uint32_t* Slots(uint32_t v) const {
+    WEAVESS_DCHECK(v < num_vertices_);
+    return slots_.data() + static_cast<size_t>(v) * stride_;
+  }
+
+  size_t MemoryBytes() const { return slots_.size() * sizeof(uint32_t); }
+
+ private:
+  uint32_t num_vertices_ = 0;
+  uint32_t stride_ = 0;
+  std::vector<uint32_t> slots_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_FLAT_GRAPH_H_

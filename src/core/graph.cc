@@ -1,0 +1,82 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace weavess {
+
+bool Graph::AddEdgeUnique(uint32_t u, uint32_t v) {
+  WEAVESS_DCHECK(u < size() && v < size());
+  auto& list = adjacency_[u];
+  if (std::find(list.begin(), list.end(), v) != list.end()) return false;
+  list.push_back(v);
+  return true;
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  WEAVESS_DCHECK(u < size());
+  const auto& list = adjacency_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+uint64_t Graph::NumEdges() const {
+  uint64_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return total;
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = adjacency_.size() * sizeof(std::vector<uint32_t>);
+  for (const auto& list : adjacency_) bytes += list.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+void Graph::SortNeighborLists() {
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+}
+
+void Graph::TruncateDegrees(uint32_t max_degree) {
+  for (auto& list : adjacency_) {
+    if (list.size() > max_degree) list.resize(max_degree);
+  }
+}
+
+void Graph::Save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  WEAVESS_CHECK(file != nullptr);
+  const uint32_t n = size();
+  WEAVESS_CHECK(std::fwrite(&n, sizeof(n), 1, file) == 1);
+  for (const auto& list : adjacency_) {
+    const auto degree = static_cast<uint32_t>(list.size());
+    WEAVESS_CHECK(std::fwrite(&degree, sizeof(degree), 1, file) == 1);
+    if (degree > 0) {
+      WEAVESS_CHECK(std::fwrite(list.data(), sizeof(uint32_t), degree,
+                                file) == degree);
+    }
+  }
+  WEAVESS_CHECK(std::fclose(file) == 0);
+}
+
+Graph Graph::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  WEAVESS_CHECK(file != nullptr);
+  uint32_t n = 0;
+  WEAVESS_CHECK(std::fread(&n, sizeof(n), 1, file) == 1);
+  Graph graph(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t degree = 0;
+    WEAVESS_CHECK(std::fread(&degree, sizeof(degree), 1, file) == 1);
+    WEAVESS_CHECK(degree <= n);
+    auto& list = graph.adjacency_[v];
+    list.resize(degree);
+    if (degree > 0) {
+      WEAVESS_CHECK(std::fread(list.data(), sizeof(uint32_t), degree,
+                               file) == degree);
+      for (uint32_t id : list) WEAVESS_CHECK(id < n);
+    }
+  }
+  std::fclose(file);
+  return graph;
+}
+
+}  // namespace weavess

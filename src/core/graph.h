@@ -1,0 +1,73 @@
+// The graph index G(V, E) of Definition 2.3: adjacency lists over vertex ids
+// that correspond 1:1 to dataset rows. Directed by convention; undirected
+// graphs (NSW, DPG, k-DR) store both arc directions.
+#ifndef WEAVESS_CORE_GRAPH_H_
+#define WEAVESS_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace weavess {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(uint32_t num_vertices) : adjacency_(num_vertices) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(adjacency_.size()); }
+
+  const std::vector<uint32_t>& Neighbors(uint32_t v) const {
+    WEAVESS_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+  std::vector<uint32_t>& MutableNeighbors(uint32_t v) {
+    WEAVESS_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  /// Appends the directed edge u -> v (no duplicate check; see AddEdgeUnique).
+  void AddEdge(uint32_t u, uint32_t v) {
+    WEAVESS_DCHECK(u < size() && v < size());
+    adjacency_[u].push_back(v);
+  }
+
+  /// Appends u -> v only if absent. Linear scan: adjacency lists are short.
+  /// Returns true if the edge was added.
+  bool AddEdgeUnique(uint32_t u, uint32_t v);
+
+  /// Adds both u -> v and v -> u, skipping duplicates.
+  void AddUndirectedEdge(uint32_t u, uint32_t v) {
+    AddEdgeUnique(u, v);
+    AddEdgeUnique(v, u);
+  }
+
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  uint64_t NumEdges() const;
+
+  /// Bytes of the adjacency payload: the index-size metric of Figure 6
+  /// counts 4 bytes per stored arc plus per-vertex list headers.
+  size_t MemoryBytes() const;
+
+  /// Sorts every adjacency list (used before set-intersection metrics).
+  void SortNeighborLists();
+
+  /// Caps every adjacency list at `max_degree`, keeping the first entries
+  /// (callers order lists by distance before truncation).
+  void TruncateDegrees(uint32_t max_degree);
+
+  /// Binary persistence: [u32 n] then per vertex [u32 degree][ids...],
+  /// little-endian. WEAVESS_CHECK-fails on I/O errors or malformed input.
+  void Save(const std::string& path) const;
+  static Graph Load(const std::string& path);
+
+ private:
+  std::vector<std::vector<uint32_t>> adjacency_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_GRAPH_H_

@@ -1,0 +1,73 @@
+// The uniform facade over all graph-based ANNS algorithms (Definition 2.3):
+// build an index over a dataset, search it with per-query statistics, and
+// expose the graph for the structural metrics of §5.
+#ifndef WEAVESS_CORE_INDEX_H_
+#define WEAVESS_CORE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/graph.h"
+
+namespace weavess {
+
+/// Knobs shared by all search routines. Not every field applies to every
+/// algorithm; unused fields are ignored (e.g., epsilon outside NGT/k-DR).
+struct SearchParams {
+  /// Number of nearest neighbors to return (Recall@k's k).
+  uint32_t k = 10;
+  /// Candidate-set size L (the CS metric of Table 5; HNSW's ef).
+  uint32_t pool_size = 100;
+  /// Range-search expansion factor ε (NGT, k-DR).
+  float epsilon = 0.10f;
+  /// Extra post-convergence expansions (FANNG's backtracking).
+  uint32_t backtrack = 100;
+};
+
+/// Per-query measurements backing Speedup (= |S| / distance_evals) and the
+/// query-path-length metric PL (= hops, expanded vertices).
+struct QueryStats {
+  uint64_t distance_evals = 0;
+  uint64_t hops = 0;
+};
+
+/// Construction-side measurements.
+struct BuildStats {
+  double seconds = 0.0;
+  uint64_t distance_evals = 0;
+};
+
+/// Abstract graph-based ANNS index. Implementations keep a pointer to the
+/// dataset passed to Build (the caller keeps it alive). Search is not
+/// thread-safe: each index owns per-query scratch (visited stamps, RNG).
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+
+  /// Builds the index over `data`; may be called once per instance.
+  virtual void Build(const Dataset& data) = 0;
+
+  /// Returns the ids of the approximate k nearest neighbors of `query`,
+  /// closest first. `stats`, when given, receives this query's counters.
+  virtual std::vector<uint32_t> Search(const float* query,
+                                       const SearchParams& params,
+                                       QueryStats* stats = nullptr) = 0;
+
+  /// The (bottom-layer) graph index, for GQ/AD/CC metrics.
+  virtual const Graph& graph() const = 0;
+
+  /// Bytes of the graph plus any auxiliary structures (trees, hash tables,
+  /// extra layers) — the index-size metric of Figure 6. Excludes the raw
+  /// vectors, which every algorithm shares equally.
+  virtual size_t IndexMemoryBytes() const = 0;
+
+  virtual BuildStats build_stats() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_INDEX_H_

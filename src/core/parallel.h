@@ -1,0 +1,52 @@
+// Minimal blocked parallel-for. The paper parallelizes the vector-heavy
+// parts of index construction (§5.1, 32 threads); this header provides the
+// same capability behind a `num_threads` knob that defaults to 1, keeping
+// single-threaded runs bit-for-bit deterministic.
+#ifndef WEAVESS_CORE_PARALLEL_H_
+#define WEAVESS_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace weavess {
+
+/// Runs fn(i, worker) for every i in [begin, end). With num_threads <= 1
+/// the loop runs inline; otherwise indices are split into contiguous
+/// blocks, one per thread. `fn` must be safe to call concurrently for
+/// distinct i. The worker index (0-based, < num_threads) lets callers keep
+/// per-thread scratch (e.g., distance counters).
+inline void ParallelForWithWorker(
+    uint32_t begin, uint32_t end, uint32_t num_threads,
+    const std::function<void(uint32_t index, uint32_t worker)>& fn) {
+  if (end <= begin) return;
+  const uint32_t count = end - begin;
+  if (num_threads <= 1 || count == 1) {
+    for (uint32_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  const uint32_t workers = std::min(num_threads, count);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const uint32_t block = (count + workers - 1) / workers;
+  for (uint32_t t = 0; t < workers; ++t) {
+    const uint32_t lo = begin + t * block;
+    const uint32_t hi = std::min(end, lo + block);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, t, &fn] {
+      for (uint32_t i = lo; i < hi; ++i) fn(i, t);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+inline void ParallelFor(uint32_t begin, uint32_t end, uint32_t num_threads,
+                        const std::function<void(uint32_t index)>& fn) {
+  ParallelForWithWorker(begin, end, num_threads,
+                        [&fn](uint32_t i, uint32_t) { fn(i); });
+}
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_PARALLEL_H_

@@ -1,0 +1,96 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace weavess {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  WEAVESS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<uint32_t> Rng::SampleDistinct(uint32_t population, uint32_t count) {
+  WEAVESS_CHECK(count <= population);
+  std::vector<uint32_t> result;
+  result.reserve(count);
+  if (count == 0) return result;
+  // For dense samples a partial Fisher-Yates over an index array is cheaper;
+  // for sparse samples use rejection with a hash set (Floyd-style).
+  if (count * 4 >= population) {
+    std::vector<uint32_t> all(population);
+    for (uint32_t i = 0; i < population; ++i) all[i] = i;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(NextBounded(population - i));
+      std::swap(all[i], all[j]);
+      result.push_back(all[i]);
+    }
+  } else {
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(count * 2);
+    while (result.size() < count) {
+      auto v = static_cast<uint32_t>(NextBounded(population));
+      if (seen.insert(v).second) result.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace weavess

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for construction-time and QPS measurements.
+#ifndef WEAVESS_CORE_TIMER_H_
+#define WEAVESS_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace weavess {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_TIMER_H_

@@ -1,0 +1,45 @@
+// Epoch-stamped visited marker. Resetting between queries is O(1): bump the
+// epoch instead of clearing the array. Standard trick from HNSW-style
+// implementations; shared by every routing strategy in search/.
+#ifndef WEAVESS_CORE_VISITED_LIST_H_
+#define WEAVESS_CORE_VISITED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace weavess {
+
+class VisitedList {
+ public:
+  explicit VisitedList(uint32_t num_elements)
+      : stamps_(num_elements, 0), epoch_(0) {}
+
+  /// Starts a new query; all elements become unvisited.
+  void Reset() {
+    if (++epoch_ == 0) {  // wrapped: do the rare full clear
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool Visited(uint32_t id) const { return stamps_[id] == epoch_; }
+
+  void MarkVisited(uint32_t id) { stamps_[id] = epoch_; }
+
+  /// Marks and reports whether the element was already visited.
+  bool CheckAndMark(uint32_t id) {
+    if (stamps_[id] == epoch_) return true;
+    stamps_[id] = epoch_;
+    return false;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(stamps_.size()); }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_VISITED_LIST_H_

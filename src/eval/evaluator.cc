@@ -1,0 +1,87 @@
+#include "eval/evaluator.h"
+
+#include "core/check.h"
+#include "core/timer.h"
+
+namespace weavess {
+
+SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
+                           const GroundTruth& truth,
+                           const SearchParams& params) {
+  WEAVESS_CHECK(queries.size() == truth.size());
+  WEAVESS_CHECK(queries.size() > 0);
+  SearchPoint point;
+  point.params = params;
+  double recall_sum = 0.0;
+  uint64_t ndc_sum = 0;
+  uint64_t hop_sum = 0;
+  Timer timer;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    QueryStats stats;
+    const std::vector<uint32_t> result =
+        index.Search(queries.Row(q), params, &stats);
+    recall_sum += Recall(result, truth[q], params.k);
+    ndc_sum += stats.distance_evals;
+    hop_sum += stats.hops;
+  }
+  const double seconds = timer.Seconds();
+  const double n = queries.size();
+  point.recall = recall_sum / n;
+  point.qps = seconds > 0.0 ? n / seconds : 0.0;
+  point.mean_ndc = static_cast<double>(ndc_sum) / n;
+  point.speedup = point.mean_ndc > 0.0
+                      ? static_cast<double>(index.graph().size()) /
+                            point.mean_ndc
+                      : 0.0;
+  point.mean_hops = static_cast<double>(hop_sum) / n;
+  return point;
+}
+
+std::vector<SearchPoint> SweepPoolSizes(
+    AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
+    uint32_t k, const std::vector<uint32_t>& pool_sizes) {
+  std::vector<SearchPoint> points;
+  points.reserve(pool_sizes.size());
+  for (uint32_t pool : pool_sizes) {
+    SearchParams params;
+    params.k = k;
+    params.pool_size = pool;
+    points.push_back(EvaluateSearch(index, queries, truth, params));
+  }
+  return points;
+}
+
+CandidateSizeResult FindCandidateSize(
+    AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
+    uint32_t k, double target_recall,
+    const std::vector<uint32_t>& pool_sizes) {
+  CandidateSizeResult result;
+  for (uint32_t pool : pool_sizes) {
+    SearchParams params;
+    params.k = k;
+    params.pool_size = pool;
+    result.point = EvaluateSearch(index, queries, truth, params);
+    if (result.point.recall >= target_recall) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  return result;
+}
+
+size_t EstimateSearchMemory(const AnnIndex& index, const Dataset& base,
+                            const SearchParams& params) {
+  // Vectors + graph/aux index + visited stamps + candidate pool.
+  return base.MemoryBytes() + index.IndexMemoryBytes() +
+         base.size() * sizeof(uint32_t) +
+         static_cast<size_t>(params.pool_size) * sizeof(uint64_t);
+}
+
+const std::vector<uint32_t>& DefaultPoolLadder() {
+  static const std::vector<uint32_t>* const kLadder =
+      new std::vector<uint32_t>{10,  16,  24,  36,  54,   81,   120,  180,
+                                270, 400, 600, 900, 1350, 2000, 3000, 4500};
+  return *kLadder;
+}
+
+}  // namespace weavess

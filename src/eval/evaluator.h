@@ -1,0 +1,61 @@
+// Search-performance evaluation: the metric bundle of §5.1 — Recall@k, QPS,
+// Speedup (= |S| / NDC), candidate-set size CS, query path length PL, and a
+// peak-memory estimate MO — plus sweep drivers for the QPS-vs-recall and
+// Speedup-vs-recall tradeoff curves of Figures 7/8.
+#ifndef WEAVESS_EVAL_EVALUATOR_H_
+#define WEAVESS_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+#include "eval/ground_truth.h"
+
+namespace weavess {
+
+struct SearchPoint {
+  SearchParams params;       // the swept parameter values
+  double recall = 0.0;       // mean Recall@k
+  double qps = 0.0;          // queries / wall-second
+  double mean_ndc = 0.0;     // mean distance evaluations per query
+  double speedup = 0.0;      // |S| / mean_ndc
+  double mean_hops = 0.0;    // query path length PL
+};
+
+/// Runs every query once under `params`.
+SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
+                           const GroundTruth& truth,
+                           const SearchParams& params);
+
+/// Sweeps the candidate-pool size L over `pool_sizes`, producing one curve
+/// point per value (k fixed). This is the paper's tradeoff-curve driver.
+std::vector<SearchPoint> SweepPoolSizes(AnnIndex& index,
+                                        const Dataset& queries,
+                                        const GroundTruth& truth, uint32_t k,
+                                        const std::vector<uint32_t>& pool_sizes);
+
+/// Smallest pool size reaching `target_recall` (the CS metric of Table 5),
+/// found by sweeping `pool_sizes` in ascending order. Returns the point for
+/// the first size that reaches the target, or the last point (recall
+/// "ceiling") if none does — mirroring the paper's "CS+" entries.
+struct CandidateSizeResult {
+  SearchPoint point;
+  bool reached_target = false;
+};
+CandidateSizeResult FindCandidateSize(AnnIndex& index, const Dataset& queries,
+                                      const GroundTruth& truth, uint32_t k,
+                                      double target_recall,
+                                      const std::vector<uint32_t>& pool_sizes);
+
+/// Peak-memory estimate during search (MO): vectors + index + per-query
+/// scratch. A deliberate estimate, not an RSS probe — it is reproducible
+/// and matches what the paper's MO column tracks across algorithms.
+size_t EstimateSearchMemory(const AnnIndex& index, const Dataset& base,
+                            const SearchParams& params);
+
+/// Default pool-size ladder used by benches (16 .. 4096, roughly log-spaced).
+const std::vector<uint32_t>& DefaultPoolLadder();
+
+}  // namespace weavess
+
+#endif  // WEAVESS_EVAL_EVALUATOR_H_

@@ -1,0 +1,47 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/parallel.h"
+
+namespace weavess {
+
+GroundTruth ComputeGroundTruth(const Dataset& base, const Dataset& queries,
+                               uint32_t k, uint32_t num_threads) {
+  WEAVESS_CHECK(base.dim() == queries.dim());
+  WEAVESS_CHECK(k >= 1 && k <= base.size());
+  GroundTruth truth(queries.size());
+  ParallelFor(0, queries.size(), num_threads, [&](uint32_t q) {
+    const float* query = queries.Row(q);
+    std::vector<Neighbor> scored(base.size());
+    for (uint32_t i = 0; i < base.size(); ++i) {
+      scored[i] = Neighbor(i, L2Sqr(query, base.Row(i), base.dim()));
+    }
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end());
+    truth[q].reserve(k);
+    for (uint32_t i = 0; i < k; ++i) truth[q].push_back(scored[i].id);
+  });
+  return truth;
+}
+
+double Recall(const std::vector<uint32_t>& result,
+              const std::vector<uint32_t>& truth, uint32_t k) {
+  WEAVESS_CHECK(k >= 1);
+  const size_t take_truth = std::min<size_t>(k, truth.size());
+  const size_t take_result = std::min<size_t>(k, result.size());
+  uint32_t hits = 0;
+  for (size_t i = 0; i < take_result; ++i) {
+    for (size_t j = 0; j < take_truth; ++j) {
+      if (result[i] == truth[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / k;
+}
+
+}  // namespace weavess

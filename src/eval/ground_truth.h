@@ -1,0 +1,28 @@
+// Exact k-NN ground truth by linear scan (how the paper's ground-truth
+// files are produced, §2.2), and the Recall@k accuracy metric.
+#ifndef WEAVESS_EVAL_GROUND_TRUTH_H_
+#define WEAVESS_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace weavess {
+
+/// ground_truth[q] = ids of the k exact nearest base vectors of query q,
+/// ascending by distance.
+using GroundTruth = std::vector<std::vector<uint32_t>>;
+
+/// `num_threads > 1` parallelizes over queries; results are identical
+/// regardless of thread count.
+GroundTruth ComputeGroundTruth(const Dataset& base, const Dataset& queries,
+                               uint32_t k, uint32_t num_threads = 1);
+
+/// Recall@k = |result ∩ truth_k| / k over the first k entries of each.
+double Recall(const std::vector<uint32_t>& result,
+              const std::vector<uint32_t>& truth, uint32_t k);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_EVAL_GROUND_TRUTH_H_

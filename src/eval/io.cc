@@ -1,0 +1,93 @@
+#include "eval/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "core/check.h"
+
+namespace weavess {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenOrDie(const std::string& path, const char* mode) {
+  FilePtr file(std::fopen(path.c_str(), mode));
+  WEAVESS_CHECK(file != nullptr && "cannot open file");
+  return file;
+}
+
+}  // namespace
+
+Dataset ReadFvecs(const std::string& path, uint32_t max_vectors) {
+  FilePtr file = OpenOrDie(path, "rb");
+  std::vector<float> payload;
+  uint32_t dim = 0;
+  uint32_t count = 0;
+  while (max_vectors == 0 || count < max_vectors) {
+    int32_t record_dim = 0;
+    if (std::fread(&record_dim, sizeof(record_dim), 1, file.get()) != 1) {
+      break;  // clean EOF
+    }
+    WEAVESS_CHECK(record_dim > 0);
+    if (dim == 0) {
+      dim = static_cast<uint32_t>(record_dim);
+    }
+    WEAVESS_CHECK(static_cast<uint32_t>(record_dim) == dim);
+    const size_t offset = payload.size();
+    payload.resize(offset + dim);
+    WEAVESS_CHECK(std::fread(payload.data() + offset, sizeof(float), dim,
+                             file.get()) == dim);
+    ++count;
+  }
+  WEAVESS_CHECK(count > 0 && "empty fvecs file");
+  return Dataset(count, dim, std::move(payload));
+}
+
+void WriteFvecs(const std::string& path, const Dataset& data) {
+  FilePtr file = OpenOrDie(path, "wb");
+  const auto dim = static_cast<int32_t>(data.dim());
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    WEAVESS_CHECK(std::fwrite(&dim, sizeof(dim), 1, file.get()) == 1);
+    WEAVESS_CHECK(std::fwrite(data.Row(i), sizeof(float), data.dim(),
+                              file.get()) == data.dim());
+  }
+}
+
+GroundTruth ReadIvecs(const std::string& path, uint32_t max_rows) {
+  FilePtr file = OpenOrDie(path, "rb");
+  GroundTruth truth;
+  while (max_rows == 0 || truth.size() < max_rows) {
+    int32_t row_len = 0;
+    if (std::fread(&row_len, sizeof(row_len), 1, file.get()) != 1) break;
+    WEAVESS_CHECK(row_len > 0);
+    std::vector<int32_t> row(row_len);
+    WEAVESS_CHECK(std::fread(row.data(), sizeof(int32_t),
+                             static_cast<size_t>(row_len),
+                             file.get()) == static_cast<size_t>(row_len));
+    std::vector<uint32_t> ids(row.begin(), row.end());
+    truth.push_back(std::move(ids));
+  }
+  WEAVESS_CHECK(!truth.empty() && "empty ivecs file");
+  return truth;
+}
+
+void WriteIvecs(const std::string& path, const GroundTruth& truth) {
+  FilePtr file = OpenOrDie(path, "wb");
+  for (const auto& row : truth) {
+    const auto len = static_cast<int32_t>(row.size());
+    WEAVESS_CHECK(std::fwrite(&len, sizeof(len), 1, file.get()) == 1);
+    for (uint32_t id : row) {
+      const auto value = static_cast<int32_t>(id);
+      WEAVESS_CHECK(std::fwrite(&value, sizeof(value), 1, file.get()) == 1);
+    }
+  }
+}
+
+}  // namespace weavess

@@ -1,0 +1,33 @@
+// fvecs / ivecs file I/O — the TEXMEX format of the paper's real datasets
+// (SIFT1M, GIST1M, …): each vector is stored as a little-endian int32
+// dimension followed by that many float32 (fvecs) or int32 (ivecs) values.
+// With these readers the benchmarks can run on the original corpora when
+// available; the synthetic stand-ins remain the offline default.
+#ifndef WEAVESS_EVAL_IO_H_
+#define WEAVESS_EVAL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "eval/ground_truth.h"
+
+namespace weavess {
+
+/// Reads an .fvecs file into a Dataset. WEAVESS_CHECK-fails on malformed
+/// input (inconsistent dimensions, truncated records). `max_vectors`
+/// limits how many records are read (0 = all).
+Dataset ReadFvecs(const std::string& path, uint32_t max_vectors = 0);
+
+/// Writes a Dataset as .fvecs.
+void WriteFvecs(const std::string& path, const Dataset& data);
+
+/// Reads an .ivecs ground-truth file (one int32 id row per query).
+GroundTruth ReadIvecs(const std::string& path, uint32_t max_rows = 0);
+
+/// Writes ground truth as .ivecs.
+void WriteIvecs(const std::string& path, const GroundTruth& truth);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_EVAL_IO_H_

@@ -1,0 +1,69 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace weavess {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WEAVESS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  WEAVESS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ",
+                  static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  for (size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string TablePrinter::Int(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string TablePrinter::Secs(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  return buffer;
+}
+
+std::string TablePrinter::Megabytes(size_t bytes) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fMB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+}  // namespace weavess

@@ -1,0 +1,36 @@
+// Fixed-width console table printing for the benchmark harnesses: every
+// bench binary reproduces a paper table/figure as rows printed through this.
+#ifndef WEAVESS_EVAL_TABLE_H_
+#define WEAVESS_EVAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weavess {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with per-column auto width to stdout.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Fixed(double value, int decimals = 2);
+  static std::string Int(uint64_t value);
+  /// Seconds with ms resolution, e.g. "1.234s".
+  static std::string Secs(double seconds);
+  /// Bytes as human-readable MB with two decimals.
+  static std::string Megabytes(size_t bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_EVAL_TABLE_H_

@@ -1,0 +1,26 @@
+// Connectivity assurance (component C5): NSG-style depth-first "tree grow".
+// After neighbor selection, some vertices may be unreachable from the entry
+// point; each such vertex is attached by searching for its nearest reachable
+// neighbor on the current graph and adding a bridging edge.
+#ifndef WEAVESS_GRAPH_CONNECTIVITY_H_
+#define WEAVESS_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+
+namespace weavess {
+
+/// Makes every vertex reachable from `root` along directed edges. For each
+/// unreachable vertex u, a best-first search from `root` (pool size
+/// `search_pool_size`) locates reachable vertices close to u and an edge
+/// closest-found → u is added. Returns the number of bridging edges added.
+uint32_t EnsureReachableFrom(Graph& graph, const Dataset& data, uint32_t root,
+                             uint32_t search_pool_size,
+                             DistanceCounter* counter = nullptr);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,88 @@
+#include "graph/exact_knng.h"
+
+#include <algorithm>
+
+#include "core/neighbor.h"
+#include "core/parallel.h"
+
+namespace weavess {
+
+Graph BuildExactKnng(const Dataset& data, uint32_t k,
+                     DistanceCounter* counter, uint32_t num_threads) {
+  const uint32_t n = data.size();
+  WEAVESS_CHECK(n >= 2);
+  const uint32_t effective_k = std::min(k, n - 1);
+  Graph graph(n);
+  const uint32_t workers = std::max(1u, num_threads);
+  std::vector<DistanceCounter> worker_counters(workers);
+  ParallelForWithWorker(
+      0, n, workers, [&](uint32_t i, uint32_t worker) {
+        DistanceOracle oracle(data, &worker_counters[worker]);
+        std::vector<Neighbor> scored;
+        scored.reserve(n - 1);
+        for (uint32_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          scored.emplace_back(j, oracle.Between(i, j));
+        }
+        std::partial_sort(scored.begin(), scored.begin() + effective_k,
+                          scored.end());
+        auto& list = graph.MutableNeighbors(i);
+        list.reserve(effective_k);
+        for (uint32_t t = 0; t < effective_k; ++t) {
+          list.push_back(scored[t].id);
+        }
+      });
+  if (counter != nullptr) {
+    for (const DistanceCounter& c : worker_counters) counter->count += c.count;
+  }
+  return graph;
+}
+
+void MergeExactKnngOnSubset(const Dataset& data,
+                            const std::vector<uint32_t>& subset, uint32_t k,
+                            Graph& graph, DistanceCounter* counter) {
+  const auto m = static_cast<uint32_t>(subset.size());
+  if (m < 2) return;
+  const uint32_t effective_k = std::min(k, m - 1);
+  DistanceOracle oracle(data, counter);
+
+  // Pairwise distances within the subset (m is small by construction).
+  std::vector<float> dist(static_cast<size_t>(m) * m, 0.0f);
+  for (uint32_t a = 0; a < m; ++a) {
+    for (uint32_t b = a + 1; b < m; ++b) {
+      const float d = oracle.Between(subset[a], subset[b]);
+      dist[static_cast<size_t>(a) * m + b] = d;
+      dist[static_cast<size_t>(b) * m + a] = d;
+    }
+  }
+  std::vector<Neighbor> merged;
+  for (uint32_t a = 0; a < m; ++a) {
+    const uint32_t p = subset[a];
+    // Merge existing neighbors (with recomputed distances) and the
+    // subset's k nearest, then keep the overall closest k.
+    merged.clear();
+    for (uint32_t existing : graph.Neighbors(p)) {
+      merged.emplace_back(existing, oracle.Between(p, existing));
+    }
+    std::vector<Neighbor> local;
+    local.reserve(m - 1);
+    for (uint32_t b = 0; b < m; ++b) {
+      if (b == a) continue;
+      local.emplace_back(subset[b], dist[static_cast<size_t>(a) * m + b]);
+    }
+    std::partial_sort(local.begin(), local.begin() + effective_k,
+                      local.end());
+    merged.insert(merged.end(), local.begin(), local.begin() + effective_k);
+    std::sort(merged.begin(), merged.end());
+    auto& list = graph.MutableNeighbors(p);
+    list.clear();
+    for (const Neighbor& nb : merged) {
+      if (std::find(list.begin(), list.end(), nb.id) == list.end()) {
+        list.push_back(nb.id);
+        if (list.size() >= k) break;
+      }
+    }
+  }
+}
+
+}  // namespace weavess

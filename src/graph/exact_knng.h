@@ -1,0 +1,36 @@
+// Exact K-nearest-neighbor graph by brute force. Used (a) as the ground
+// truth E for the graph-quality metric GQ = |E' ∩ E| / |E|, (b) as the
+// neighbor initialization of IEH / FANNG / k-DR ("brute force" in Table 9),
+// and (c) per-subset inside SPTAG's divide-and-conquer merge.
+#ifndef WEAVESS_GRAPH_EXACT_KNNG_H_
+#define WEAVESS_GRAPH_EXACT_KNNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+
+namespace weavess {
+
+/// Exact directed KNNG over the whole dataset; each adjacency list holds the
+/// K true nearest neighbors in ascending distance order. O(|S|^2) distance
+/// evaluations, counted against `counter` when provided. `num_threads > 1`
+/// parallelizes the per-vertex scans (as the paper's 32-thread builds do);
+/// results are identical regardless of thread count.
+Graph BuildExactKnng(const Dataset& data, uint32_t k,
+                     DistanceCounter* counter = nullptr,
+                     uint32_t num_threads = 1);
+
+/// Adds, for every pair of ids within `subset`, the K-nearest edges among
+/// the subset into `graph` (global vertex ids), merging with existing
+/// neighbors and keeping each list's closest `k` entries. This is SPTAG's
+/// subgraph-merge step.
+void MergeExactKnngOnSubset(const Dataset& data,
+                            const std::vector<uint32_t>& subset, uint32_t k,
+                            Graph& graph, DistanceCounter* counter = nullptr);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_GRAPH_EXACT_KNNG_H_

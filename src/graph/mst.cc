@@ -1,0 +1,55 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/union_find.h"
+
+namespace weavess {
+
+std::vector<std::pair<uint32_t, uint32_t>> BuildMst(
+    const Dataset& data, const std::vector<uint32_t>& ids,
+    DistanceCounter* counter) {
+  std::vector<std::pair<uint32_t, uint32_t>> mst_edges;
+  const auto m = static_cast<uint32_t>(ids.size());
+  if (m < 2) return mst_edges;
+  DistanceOracle oracle(data, counter);
+
+  struct WeightedEdge {
+    float weight;
+    uint32_t a;  // local indices into ids
+    uint32_t b;
+  };
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(m) * (m - 1) / 2);
+  for (uint32_t a = 0; a < m; ++a) {
+    for (uint32_t b = a + 1; b < m; ++b) {
+      edges.push_back({oracle.Between(ids[a], ids[b]), a, b});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& x, const WeightedEdge& y) {
+              return x.weight < y.weight;
+            });
+  UnionFind components(m);
+  mst_edges.reserve(m - 1);
+  for (const WeightedEdge& edge : edges) {
+    if (components.Union(edge.a, edge.b)) {
+      mst_edges.emplace_back(ids[edge.a], ids[edge.b]);
+      if (mst_edges.size() == m - 1) break;
+    }
+  }
+  return mst_edges;
+}
+
+double EdgeListWeight(
+    const Dataset& data,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  double total = 0.0;
+  for (const auto& [a, b] : edges) {
+    total += std::sqrt(L2Sqr(data.Row(a), data.Row(b), data.dim()));
+  }
+  return total;
+}
+
+}  // namespace weavess

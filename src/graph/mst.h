@@ -1,0 +1,30 @@
+// Euclidean minimum spanning tree over a point subset — the MST base graph
+// (§3.1) that HCNNG uses as its neighbor-selection rule inside each
+// hierarchical cluster (C3, Table 9: "distance" via MST).
+#ifndef WEAVESS_GRAPH_MST_H_
+#define WEAVESS_GRAPH_MST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+
+namespace weavess {
+
+/// Kruskal's algorithm over all pairs within `ids` (sizes are small: HCNNG
+/// cluster leaves). Returns |ids| - 1 edges as (global id, global id) pairs;
+/// empty input or a single id yields no edges.
+std::vector<std::pair<uint32_t, uint32_t>> BuildMst(
+    const Dataset& data, const std::vector<uint32_t>& ids,
+    DistanceCounter* counter = nullptr);
+
+/// Total weight (true l2, not squared) of an edge list; test helper for the
+/// MST minimality property.
+double EdgeListWeight(const Dataset& data,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_GRAPH_MST_H_

@@ -1,0 +1,176 @@
+#include "graph/nn_descent.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace weavess {
+
+NnDescent::NnDescent(const Dataset& data, const NnDescentParams& params,
+                     DistanceCounter* counter)
+    : data_(&data), params_(params), counter_(counter) {
+  WEAVESS_CHECK(data.size() >= 2);
+  WEAVESS_CHECK(params.k >= 1);
+  pool_capacity_ =
+      params.pool_size > 0 ? params.pool_size : params.k + 30;
+  pool_capacity_ = std::min(pool_capacity_, data.size() - 1);
+  pool_capacity_ = std::max(pool_capacity_, params.k);
+  pools_.resize(data.size());
+  for (auto& pool : pools_) pool.reserve(pool_capacity_ + 1);
+}
+
+bool NnDescent::InsertIntoPool(uint32_t node, uint32_t id, float distance) {
+  if (id == node) return false;
+  auto& pool = pools_[node];
+  if (pool.size() == pool_capacity_ && distance >= pool.back().distance) {
+    return false;
+  }
+  const Neighbor candidate(id, distance, /*checked=*/false);
+  auto it = std::lower_bound(pool.begin(), pool.end(), candidate,
+                             [](const Neighbor& a, const Neighbor& b) {
+                               return a.distance < b.distance;
+                             });
+  // Reject duplicates within the run of equal distances.
+  for (auto probe = it; probe != pool.end() && probe->distance == distance;
+       ++probe) {
+    if (probe->id == id) return false;
+  }
+  if (it != pool.begin()) {
+    for (auto probe = std::prev(it); probe->distance == distance; --probe) {
+      if (probe->id == id) return false;
+      if (probe == pool.begin()) break;
+    }
+  }
+  pool.insert(it, candidate);
+  if (pool.size() > pool_capacity_) pool.pop_back();
+  return true;
+}
+
+void NnDescent::InitRandom() {
+  Rng rng(params_.seed);
+  DistanceOracle oracle(*data_, counter_);
+  const uint32_t n = data_->size();
+  const uint32_t want = std::min(pool_capacity_, n - 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t added = 0;
+    // Sample a few extra to absorb self/duplicate rejections.
+    for (uint32_t attempt = 0; attempt < want * 3 && added < want;
+         ++attempt) {
+      const auto j = static_cast<uint32_t>(rng.NextBounded(n));
+      if (j == i) continue;
+      if (InsertIntoPool(i, j, oracle.Between(i, j))) ++added;
+    }
+  }
+}
+
+void NnDescent::InitFromGraph(const Graph& initial) {
+  WEAVESS_CHECK(initial.size() == data_->size());
+  DistanceOracle oracle(*data_, counter_);
+  Rng rng(params_.seed);
+  const uint32_t n = data_->size();
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j : initial.Neighbors(i)) {
+      InsertIntoPool(i, j, oracle.Between(i, j));
+    }
+    // Top up sparse pools so every vertex participates in joins.
+    uint32_t guard = 0;
+    while (pools_[i].size() < std::min<size_t>(params_.k, n - 1) &&
+           guard++ < 4 * params_.k) {
+      const auto j = static_cast<uint32_t>(rng.NextBounded(n));
+      if (j != i) InsertIntoPool(i, j, oracle.Between(i, j));
+    }
+  }
+}
+
+uint32_t NnDescent::Run() {
+  const uint32_t n = data_->size();
+  DistanceOracle oracle(*data_, counter_);
+  Rng rng(params_.seed ^ 0xdecafULL);
+  std::vector<std::vector<uint32_t>> new_lists(n), old_lists(n);
+  std::vector<std::vector<uint32_t>> reverse_new(n), reverse_old(n);
+
+  uint32_t iterations_run = 0;
+  for (uint32_t iter = 0; iter < params_.iterations; ++iter) {
+    ++iterations_run;
+    // --- Sampling phase: split each pool into sampled-new and old. ---
+    for (uint32_t i = 0; i < n; ++i) {
+      auto& pool = pools_[i];
+      new_lists[i].clear();
+      old_lists[i].clear();
+      reverse_new[i].clear();
+      reverse_old[i].clear();
+      uint32_t sampled = 0;
+      for (auto& entry : pool) {
+        if (!entry.checked && sampled < params_.sample_size) {
+          new_lists[i].push_back(entry.id);
+          entry.checked = true;  // joined once; becomes old
+          ++sampled;
+        } else {
+          old_lists[i].push_back(entry.id);
+        }
+      }
+    }
+    // --- Reverse phase: invert the sampled lists, then subsample R. ---
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j : new_lists[i]) reverse_new[j].push_back(i);
+      for (uint32_t j : old_lists[i]) reverse_old[j].push_back(i);
+    }
+    auto subsample = [&rng](std::vector<uint32_t>& list, uint32_t cap) {
+      if (list.size() <= cap) return;
+      for (uint32_t t = 0; t < cap; ++t) {
+        const auto pick =
+            t + static_cast<uint32_t>(rng.NextBounded(list.size() - t));
+        std::swap(list[t], list[pick]);
+      }
+      list.resize(cap);
+    };
+    for (uint32_t i = 0; i < n; ++i) {
+      subsample(reverse_new[i], params_.reverse_sample);
+      subsample(reverse_old[i], params_.reverse_sample);
+    }
+    // --- Local join: new x new and new x old around every vertex. ---
+    uint64_t updates = 0;
+    std::vector<uint32_t> join_new, join_old;
+    for (uint32_t i = 0; i < n; ++i) {
+      join_new = new_lists[i];
+      join_new.insert(join_new.end(), reverse_new[i].begin(),
+                      reverse_new[i].end());
+      join_old = old_lists[i];
+      join_old.insert(join_old.end(), reverse_old[i].begin(),
+                      reverse_old[i].end());
+      for (size_t a = 0; a < join_new.size(); ++a) {
+        const uint32_t u = join_new[a];
+        for (size_t b = a + 1; b < join_new.size(); ++b) {
+          const uint32_t v = join_new[b];
+          if (u == v) continue;
+          const float dist = oracle.Between(u, v);
+          updates += InsertIntoPool(u, v, dist) ? 1 : 0;
+          updates += InsertIntoPool(v, u, dist) ? 1 : 0;
+        }
+        for (uint32_t v : join_old) {
+          if (u == v) continue;
+          const float dist = oracle.Between(u, v);
+          updates += InsertIntoPool(u, v, dist) ? 1 : 0;
+          updates += InsertIntoPool(v, u, dist) ? 1 : 0;
+        }
+      }
+    }
+    if (updates < params_.delta * static_cast<double>(n) * params_.k) break;
+  }
+  return iterations_run;
+}
+
+Graph NnDescent::ExtractGraph(uint32_t k) const {
+  const uint32_t n = data_->size();
+  Graph graph(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto& pool = pools_[i];
+    auto& list = graph.MutableNeighbors(i);
+    const size_t take = std::min<size_t>(k, pool.size());
+    list.reserve(take);
+    for (size_t t = 0; t < take; ++t) list.push_back(pool[t].id);
+  }
+  return graph;
+}
+
+}  // namespace weavess

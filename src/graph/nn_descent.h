@@ -1,0 +1,75 @@
+// NN-Descent (Dong et al., WWW'11): iterative KNNG refinement by
+// neighborhood propagation — "my neighbors' neighbors are likely my
+// neighbors". This is the KGraph construction, the neighbor initialization
+// (C1) of NSG / NSSG / DPG, and (seeded by KD-trees) of EFANNA. Complexity
+// is empirically O(|S|^1.14) (Table 2 of the paper).
+#ifndef WEAVESS_GRAPH_NN_DESCENT_H_
+#define WEAVESS_GRAPH_NN_DESCENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/neighbor.h"
+
+namespace weavess {
+
+struct NnDescentParams {
+  /// Out-degree K of the extracted KNNG.
+  uint32_t k = 20;
+  /// Per-vertex pool capacity L (>= k). 0 means k + 30.
+  uint32_t pool_size = 0;
+  /// Maximum NN-Descent iterations (`iter` in KGraph's parameters).
+  uint32_t iterations = 8;
+  /// Forward sample size S: how many "new" neighbors join per round.
+  uint32_t sample_size = 10;
+  /// Reverse sample size R: how many reverse neighbors join per round.
+  uint32_t reverse_sample = 10;
+  /// Early-stop when the fraction of pool updates drops below delta.
+  double delta = 0.001;
+  uint64_t seed = 7;
+};
+
+class NnDescent {
+ public:
+  /// `counter`, when provided, accumulates construction-time distance
+  /// evaluations. The dataset must outlive this object.
+  NnDescent(const Dataset& data, const NnDescentParams& params,
+            DistanceCounter* counter = nullptr);
+
+  /// Fills every pool with random neighbors (KGraph / NSG / DPG init).
+  void InitRandom();
+
+  /// Seeds pools from an existing graph's adjacency lists (EFANNA's
+  /// KD-tree initialization); distances are computed here. Pools are
+  /// topped up with random entries if the graph is sparser than the pool.
+  void InitFromGraph(const Graph& initial);
+
+  /// Runs refinement rounds; returns the number executed (may stop early).
+  uint32_t Run();
+
+  /// Extracts the directed KNNG: each vertex's closest `k` pool entries in
+  /// ascending distance order.
+  Graph ExtractGraph(uint32_t k) const;
+
+  /// Read access to the refined pools (id + distance, ascending); used by
+  /// algorithms that select neighbors directly from the candidate pools.
+  const std::vector<std::vector<Neighbor>>& pools() const { return pools_; }
+
+ private:
+  // Inserts into pools_[node] keeping it sorted/bounded; returns true if
+  // the pool changed. `Neighbor::checked == false` marks "new" entries.
+  bool InsertIntoPool(uint32_t node, uint32_t id, float distance);
+
+  const Dataset* data_;
+  NnDescentParams params_;
+  DistanceCounter* counter_;
+  uint32_t pool_capacity_;
+  std::vector<std::vector<Neighbor>> pools_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_GRAPH_NN_DESCENT_H_

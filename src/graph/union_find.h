@@ -1,0 +1,53 @@
+// Disjoint-set union with path halving and union by size. Backs Kruskal's
+// MST (HCNNG clusters) and connectivity accounting.
+#ifndef WEAVESS_GRAPH_UNION_FIND_H_
+#define WEAVESS_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/check.h"
+
+namespace weavess {
+
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    WEAVESS_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if a and b were in different sets (and are now merged).
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --components_;
+    return true;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  uint32_t components() const { return components_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  uint32_t components_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_GRAPH_UNION_FIND_H_

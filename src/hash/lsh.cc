@@ -1,0 +1,84 @@
+#include "hash/lsh.h"
+
+#include "core/check.h"
+#include "core/distance.h"
+
+namespace weavess {
+
+LshTable::LshTable(const Dataset& data, const Params& params)
+    : dim_(data.dim()), num_bits_(params.num_bits) {
+  WEAVESS_CHECK(num_bits_ >= 1 && num_bits_ <= 24);
+  Rng rng(params.seed);
+  // Hyperplanes through the dataset mean give balanced buckets even for
+  // non-centered data.
+  const std::vector<float> mean = data.Mean();
+  hyperplanes_.resize(static_cast<size_t>(num_bits_) * (dim_ + 1));
+  for (uint32_t b = 0; b < num_bits_; ++b) {
+    float* row = hyperplanes_.data() + static_cast<size_t>(b) * (dim_ + 1);
+    float offset = 0.0f;
+    for (uint32_t d = 0; d < dim_; ++d) {
+      row[d] = static_cast<float>(rng.NextGaussian());
+      offset += row[d] * mean[d];
+    }
+    row[dim_] = offset;  // hyperplane bias: w·mean
+  }
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    buckets_[Signature(data.Row(i))].push_back(i);
+  }
+}
+
+uint32_t LshTable::Signature(const float* vec) const {
+  uint32_t code = 0;
+  for (uint32_t b = 0; b < num_bits_; ++b) {
+    const float* row = hyperplanes_.data() + static_cast<size_t>(b) * (dim_ + 1);
+    float dot = -row[dim_];
+    for (uint32_t d = 0; d < dim_; ++d) dot += row[d] * vec[d];
+    if (dot >= 0.0f) code |= 1u << b;
+  }
+  return code;
+}
+
+std::vector<uint32_t> LshTable::Probe(const float* query,
+                                      uint32_t min_candidates) const {
+  std::vector<uint32_t> out;
+  const uint32_t code = Signature(query);
+  auto append = [this, &out](uint32_t bucket_code) {
+    auto it = buckets_.find(bucket_code);
+    if (it != buckets_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  };
+  append(code);
+  for (uint32_t b = 0; b < num_bits_ && out.size() < min_candidates; ++b) {
+    append(code ^ (1u << b));
+  }
+  if (out.size() < min_candidates) {
+    // Hamming-2 ring: sparse tables (small datasets relative to 2^bits)
+    // need wider probing to guarantee seeds at all.
+    for (uint32_t a = 0; a < num_bits_ && out.size() < min_candidates;
+         ++a) {
+      for (uint32_t b = a + 1; b < num_bits_ && out.size() < min_candidates;
+           ++b) {
+        append(code ^ (1u << a) ^ (1u << b));
+      }
+    }
+  }
+  if (out.empty()) {
+    // Last resort: any occupied bucket (the table is never empty).
+    for (const auto& [bucket_code, ids] : buckets_) {
+      out.insert(out.end(), ids.begin(), ids.end());
+      if (out.size() >= min_candidates) break;
+    }
+  }
+  return out;
+}
+
+size_t LshTable::MemoryBytes() const {
+  size_t bytes = hyperplanes_.size() * sizeof(float);
+  for (const auto& [code, ids] : buckets_) {
+    bytes += sizeof(code) + ids.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace weavess

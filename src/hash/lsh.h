@@ -1,0 +1,47 @@
+// Random-hyperplane locality-sensitive hashing: the hash-bucket seed
+// acquisition (C4/C6) of IEH. The paper's IEH built its hash table in
+// MATLAB; this is the native C++ equivalent (documented substitution in
+// DESIGN.md §2): b random hyperplanes give each point a b-bit signature,
+// and a query probes its own bucket plus buckets at Hamming distance 1.
+#ifndef WEAVESS_HASH_LSH_H_
+#define WEAVESS_HASH_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+class LshTable {
+ public:
+  struct Params {
+    uint32_t num_bits = 12;
+    uint64_t seed = 1;
+  };
+
+  LshTable(const Dataset& data, const Params& params);
+
+  /// Ids hashed near the query: its own bucket first, then Hamming-1
+  /// buckets until at least `min_candidates` ids are collected (or all
+  /// probe buckets are exhausted). No distance evaluations.
+  std::vector<uint32_t> Probe(const float* query,
+                              uint32_t min_candidates) const;
+
+  /// Signature of an arbitrary vector (exposed for tests).
+  uint32_t Signature(const float* vec) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t dim_;
+  uint32_t num_bits_;
+  std::vector<float> hyperplanes_;  // num_bits x dim, row-major
+  std::unordered_map<uint32_t, std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_HASH_LSH_H_

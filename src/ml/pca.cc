@@ -1,0 +1,92 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+PcaModel::PcaModel(const Dataset& data, uint32_t components,
+                   uint32_t iterations, uint64_t seed)
+    : dim_(data.dim()), components_(components) {
+  WEAVESS_CHECK(components >= 1 && components <= data.dim());
+  WEAVESS_CHECK(data.size() >= 2);
+  mean_ = data.Mean();
+
+  // Centered copy (double accumulation happens per product below).
+  const uint32_t n = data.size();
+  std::vector<float> centered(static_cast<size_t>(n) * dim_);
+  for (uint32_t i = 0; i < n; ++i) {
+    const float* row = data.Row(i);
+    float* out = centered.data() + static_cast<size_t>(i) * dim_;
+    for (uint32_t d = 0; d < dim_; ++d) out[d] = row[d] - mean_[d];
+  }
+  double total_variance = 0.0;
+  for (const float v : centered) {
+    total_variance += static_cast<double>(v) * v;
+  }
+  total_variance /= n;
+
+  basis_.assign(static_cast<size_t>(components_) * dim_, 0.0f);
+  variance_.assign(components_, 0.0f);
+  Rng rng(seed);
+  std::vector<double> vec(dim_), next(dim_);
+  for (uint32_t c = 0; c < components_; ++c) {
+    for (auto& v : vec) v = rng.NextGaussian();
+    double eigen = 0.0;
+    for (uint32_t iter = 0; iter < iterations; ++iter) {
+      // next = (X^T X / n) vec  computed as two passes over the rows.
+      std::fill(next.begin(), next.end(), 0.0);
+      for (uint32_t i = 0; i < n; ++i) {
+        const float* row = centered.data() + static_cast<size_t>(i) * dim_;
+        double dot = 0.0;
+        for (uint32_t d = 0; d < dim_; ++d) dot += row[d] * vec[d];
+        for (uint32_t d = 0; d < dim_; ++d) next[d] += dot * row[d];
+      }
+      double norm = 0.0;
+      for (uint32_t d = 0; d < dim_; ++d) {
+        next[d] /= n;
+        norm += next[d] * next[d];
+      }
+      norm = std::sqrt(norm);
+      if (norm <= 1e-12) break;  // data exhausted: remaining variance ~ 0
+      eigen = norm;
+      for (uint32_t d = 0; d < dim_; ++d) vec[d] = next[d] / norm;
+    }
+    float* basis_row = basis_.data() + static_cast<size_t>(c) * dim_;
+    for (uint32_t d = 0; d < dim_; ++d) {
+      basis_row[d] = static_cast<float>(vec[d]);
+    }
+    variance_[c] = total_variance > 0.0
+                       ? static_cast<float>(eigen / total_variance)
+                       : 0.0f;
+    // Deflate: remove the found component from every row.
+    for (uint32_t i = 0; i < n; ++i) {
+      float* row = centered.data() + static_cast<size_t>(i) * dim_;
+      const float dot = Dot(row, basis_row, dim_);
+      for (uint32_t d = 0; d < dim_; ++d) row[d] -= dot * basis_row[d];
+    }
+  }
+}
+
+void PcaModel::ProjectVector(const float* vec, float* out) const {
+  std::vector<float> centered(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) centered[d] = vec[d] - mean_[d];
+  for (uint32_t c = 0; c < components_; ++c) {
+    out[c] = Dot(centered.data(),
+                 basis_.data() + static_cast<size_t>(c) * dim_, dim_);
+  }
+}
+
+Dataset PcaModel::Project(const Dataset& data) const {
+  WEAVESS_CHECK(data.dim() == dim_);
+  Dataset projected = Dataset::Zeros(data.size(), components_);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    ProjectVector(data.Row(i), projected.MutableRow(i));
+  }
+  return projected;
+}
+
+}  // namespace weavess

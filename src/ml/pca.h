@@ -1,0 +1,50 @@
+// ML3 [78] surrogate (DESIGN.md §2): dimensionality reduction that
+// preserves local geometry before graph construction. The paper's learned
+// map is replaced by PCA (power iteration with deflation) — the canonical
+// linear local-geometry-preserving projection. Reproduces the §5.5 shape:
+// large extra preprocessing time and memory for a better speedup-recall
+// tradeoff (distances in the reduced space are cheaper).
+#ifndef WEAVESS_ML_PCA_H_
+#define WEAVESS_ML_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace weavess {
+
+class PcaModel {
+ public:
+  /// Fits `components` principal components of `data` by power iteration
+  /// with deflation (`iterations` rounds each).
+  PcaModel(const Dataset& data, uint32_t components,
+           uint32_t iterations = 30, uint64_t seed = 11);
+
+  /// Projects a dataset into the component space.
+  Dataset Project(const Dataset& data) const;
+
+  /// Projects a single vector; `out` must hold `num_components()` floats.
+  void ProjectVector(const float* vec, float* out) const;
+
+  uint32_t num_components() const { return components_; }
+  uint32_t input_dim() const { return dim_; }
+
+  /// Fraction of total variance captured per component (descending).
+  const std::vector<float>& explained_variance() const { return variance_; }
+
+  size_t MemoryBytes() const {
+    return (basis_.size() + mean_.size() + variance_.size()) * sizeof(float);
+  }
+
+ private:
+  uint32_t dim_;
+  uint32_t components_;
+  std::vector<float> mean_;
+  std::vector<float> basis_;  // components_ x dim_, row-major
+  std::vector<float> variance_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_ML_PCA_H_

@@ -1,0 +1,79 @@
+// Routing strategies (component C7, Definition 4.6): best-first search and
+// the variants the paper catalogues — NGT's ε-range search, FANNG's
+// backtracking, HCNNG's guided search, and the two-stage routing of the
+// optimized algorithm (§6).
+#ifndef WEAVESS_SEARCH_ROUTER_H_
+#define WEAVESS_SEARCH_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/neighbor.h"
+#include "core/visited_list.h"
+
+namespace weavess {
+
+/// Per-query scratch state: visited stamps, the NDC counter behind the
+/// Speedup metric, and the hop counter behind the query-path-length metric
+/// (PL in Table 5 counts expanded vertices along the search).
+struct SearchContext {
+  explicit SearchContext(uint32_t num_vertices) : visited(num_vertices) {}
+
+  /// Call once per query before seeding.
+  void BeginQuery() {
+    visited.Reset();
+    hops = 0;
+  }
+
+  VisitedList visited;
+  DistanceCounter counter;
+  uint64_t hops = 0;
+};
+
+/// Evaluates `ids` against the query and inserts them into the pool,
+/// marking them visited. The common entry step for all routers.
+void SeedPool(const std::vector<uint32_t>& ids, const float* query,
+              DistanceOracle& oracle, SearchContext& ctx, CandidatePool& pool);
+
+/// Best-first search (Algorithm 1): iteratively expands the closest
+/// unchecked pool entry until the pool stops improving. The pool must
+/// already contain the seeds. Each expansion counts one hop.
+void BestFirstSearch(const Graph& graph, const float* query,
+                     DistanceOracle& oracle, SearchContext& ctx,
+                     CandidatePool& pool);
+
+/// FANNG-style best-first with backtracking: after convergence, up to
+/// `backtrack_budget` additional already-seen vertices (kept in an overflow
+/// queue) are expanded, trading time for accuracy.
+void BacktrackSearch(const Graph& graph, const float* query,
+                     DistanceOracle& oracle, SearchContext& ctx,
+                     CandidatePool& pool, uint32_t backtrack_budget);
+
+/// NGT's range search: the frontier is unbounded and a neighbor enters it
+/// while δ(n, q) < (1+ε)·r, where r is the current worst result distance.
+/// Larger ε escapes local optima at the cost of search time (§4.2 C7).
+void RangeSearch(const Graph& graph, const float* query,
+                 DistanceOracle& oracle, SearchContext& ctx,
+                 CandidatePool& pool, float epsilon);
+
+/// HCNNG's guided search: when expanding a vertex, neighbors lying on the
+/// wrong side of the dominant query direction are skipped (a coordinate
+/// comparison, not a distance evaluation), reducing NDC per hop.
+void GuidedSearch(const Graph& graph, const Dataset& data, const float* query,
+                  DistanceOracle& oracle, SearchContext& ctx,
+                  CandidatePool& pool);
+
+/// Two-stage routing of the optimized algorithm (§6): a guided stage to
+/// close in on the query region, then plain best-first to polish results.
+void TwoStageSearch(const Graph& graph, const Dataset& data,
+                    const float* query, DistanceOracle& oracle,
+                    SearchContext& ctx, CandidatePool& pool);
+
+/// Copies the pool's closest k ids into a result vector.
+std::vector<uint32_t> ExtractTopK(const CandidatePool& pool, uint32_t k);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_ROUTER_H_

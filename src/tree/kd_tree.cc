@@ -1,0 +1,182 @@
+#include "tree/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace weavess {
+
+namespace {
+
+// Priority-queue entry for best-bin-first traversal: node plus lower bound
+// on the query's distance to the node's half-space.
+struct Branch {
+  float bound;
+  uint32_t node;
+};
+struct BranchGreater {
+  bool operator()(const Branch& a, const Branch& b) const {
+    return a.bound > b.bound;
+  }
+};
+
+constexpr uint32_t kVarianceSampleSize = 128;
+
+}  // namespace
+
+KdTree::KdTree(const Dataset& data, const Params& params)
+    : data_(&data), params_(params) {
+  WEAVESS_CHECK(data.size() > 0);
+  ids_.resize(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) ids_[i] = i;
+  Rng rng(params.seed);
+  nodes_.reserve(2 * data.size() / std::max(1u, params.leaf_size) + 2);
+  BuildNode(0, data.size(), rng);
+}
+
+uint32_t KdTree::ChooseSplitDim(uint32_t begin, uint32_t end, Rng& rng,
+                                float* split_value) const {
+  const uint32_t dim = data_->dim();
+  const uint32_t count = end - begin;
+  const uint32_t sample = std::min(count, kVarianceSampleSize);
+  // Mean and variance per dimension over a sample of the node's points.
+  std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+  for (uint32_t s = 0; s < sample; ++s) {
+    const float* row = data_->Row(ids_[begin + s * count / sample]);
+    for (uint32_t d = 0; d < dim; ++d) mean[d] += row[d];
+  }
+  for (uint32_t d = 0; d < dim; ++d) mean[d] /= sample;
+  for (uint32_t s = 0; s < sample; ++s) {
+    const float* row = data_->Row(ids_[begin + s * count / sample]);
+    for (uint32_t d = 0; d < dim; ++d) {
+      const double diff = row[d] - mean[d];
+      var[d] += diff * diff;
+    }
+  }
+  // Pick randomly among the top-variance dimensions.
+  const uint32_t top = std::min(params_.num_candidate_dims, dim);
+  std::vector<uint32_t> dims(dim);
+  for (uint32_t d = 0; d < dim; ++d) dims[d] = d;
+  std::partial_sort(dims.begin(), dims.begin() + top, dims.end(),
+                    [&var](uint32_t a, uint32_t b) { return var[a] > var[b]; });
+  const uint32_t chosen = dims[rng.NextBounded(top)];
+  *split_value = static_cast<float>(mean[chosen]);
+  return chosen;
+}
+
+uint32_t KdTree::BuildNode(uint32_t begin, uint32_t end, Rng& rng) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.begin = begin;
+  node.end = end;
+  if (end - begin <= params_.leaf_size) {
+    return index;  // leaf
+  }
+  float split_value = 0.0f;
+  const uint32_t split_dim = ChooseSplitDim(begin, end, rng, &split_value);
+  auto begin_it = ids_.begin() + begin;
+  auto end_it = ids_.begin() + end;
+  auto mid_it = std::partition(
+      begin_it, end_it, [this, split_dim, split_value](uint32_t id) {
+        return data_->Row(id)[split_dim] < split_value;
+      });
+  // Degenerate split (all values equal): fall back to an even split so the
+  // recursion always terminates.
+  if (mid_it == begin_it || mid_it == end_it) {
+    mid_it = begin_it + (end - begin) / 2;
+  }
+  const uint32_t mid = begin + static_cast<uint32_t>(mid_it - begin_it);
+  const uint32_t left = BuildNode(begin, mid, rng);
+  const uint32_t right = BuildNode(mid, end, rng);
+  // `node` reference may be invalidated by vector growth; reindex.
+  Node& fixed = nodes_[index];
+  fixed.split_dim = split_dim;
+  fixed.split_value = split_value;
+  fixed.left = left;
+  fixed.right = right;
+  return index;
+}
+
+void KdTree::SearchKnn(const float* query, uint32_t max_checks,
+                       DistanceOracle& oracle, CandidatePool& pool) const {
+  std::priority_queue<Branch, std::vector<Branch>, BranchGreater> branches;
+  branches.push({0.0f, 0});
+  uint32_t checks = 0;
+  while (!branches.empty() && checks < max_checks) {
+    const Branch branch = branches.top();
+    branches.pop();
+    uint32_t current = branch.node;
+    float bound = branch.bound;
+    // Descend to a leaf, pushing the far side of each split.
+    while (nodes_[current].left != 0) {
+      const Node& node = nodes_[current];
+      const float delta = query[node.split_dim] - node.split_value;
+      const uint32_t near_child = delta < 0 ? node.left : node.right;
+      const uint32_t far_child = delta < 0 ? node.right : node.left;
+      branches.push({bound + delta * delta, far_child});
+      current = near_child;
+    }
+    const Node& leaf = nodes_[current];
+    for (uint32_t i = leaf.begin; i < leaf.end && checks < max_checks; ++i) {
+      const uint32_t id = ids_[i];
+      pool.Insert(Neighbor(id, oracle.ToQuery(query, id)));
+      ++checks;
+    }
+  }
+}
+
+std::vector<uint32_t> KdTree::LeafIds(const float* query) const {
+  uint32_t current = 0;
+  while (nodes_[current].left != 0) {
+    const Node& node = nodes_[current];
+    current = query[node.split_dim] < node.split_value ? node.left
+                                                       : node.right;
+  }
+  const Node& leaf = nodes_[current];
+  return std::vector<uint32_t>(ids_.begin() + leaf.begin,
+                               ids_.begin() + leaf.end);
+}
+
+size_t KdTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(Node) + ids_.size() * sizeof(uint32_t);
+}
+
+KdForest::KdForest(const Dataset& data, uint32_t num_trees, uint32_t leaf_size,
+                   uint64_t seed) {
+  WEAVESS_CHECK(num_trees > 0);
+  trees_.reserve(num_trees);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    KdTree::Params params;
+    params.leaf_size = leaf_size;
+    params.seed = seed + 0x9e3779b9ULL * (t + 1);
+    trees_.emplace_back(data, params);
+  }
+}
+
+void KdForest::SearchKnn(const float* query, uint32_t max_checks,
+                         DistanceOracle& oracle, CandidatePool& pool) const {
+  for (const auto& tree : trees_) {
+    tree.SearchKnn(query, max_checks, oracle, pool);
+  }
+}
+
+std::vector<uint32_t> KdForest::LeafIds(const float* query) const {
+  std::vector<uint32_t> merged;
+  std::unordered_set<uint32_t> seen;
+  for (const auto& tree : trees_) {
+    for (uint32_t id : tree.LeafIds(query)) {
+      if (seen.insert(id).second) merged.push_back(id);
+    }
+  }
+  return merged;
+}
+
+size_t KdForest::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& tree : trees_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace weavess

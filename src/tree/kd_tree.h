@@ -1,0 +1,87 @@
+// Randomized KD-tree and KD-forest: the auxiliary index used by EFANNA for
+// neighbor initialization (C1) and by EFANNA / SPTAG-KDT / HCNNG for seed
+// acquisition (C4/C6). Splits choose a random dimension among the highest-
+// variance dimensions of the node's points (FLANN-style randomization), so a
+// forest of trees gives diverse, complementary partitions.
+#ifndef WEAVESS_TREE_KD_TREE_H_
+#define WEAVESS_TREE_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+class KdTree {
+ public:
+  struct Params {
+    uint32_t leaf_size = 16;
+    /// Split dimension is sampled among this many top-variance dimensions.
+    uint32_t num_candidate_dims = 5;
+    uint64_t seed = 1;
+  };
+
+  /// Builds over all rows of `data`. The dataset must outlive the tree.
+  KdTree(const Dataset& data, const Params& params);
+
+  /// Best-bin-first approximate k-NN: descends to the query leaf, then
+  /// explores the closest unvisited branches until `max_checks` points have
+  /// been compared. Results are inserted into `pool`.
+  void SearchKnn(const float* query, uint32_t max_checks,
+                 DistanceOracle& oracle, CandidatePool& pool) const;
+
+  /// Ids stored in the leaf the query descends to. No distance evaluations:
+  /// only coordinate comparisons (this is how HCNNG obtains cheap seeds).
+  std::vector<uint32_t> LeafIds(const float* query) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    // Internal node when left != 0; leaf stores [begin, end) into ids_.
+    uint32_t split_dim = 0;
+    float split_value = 0.0f;
+    uint32_t left = 0;   // child index; 0 means leaf (node 0 is the root)
+    uint32_t right = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end, Rng& rng);
+  uint32_t ChooseSplitDim(uint32_t begin, uint32_t end, Rng& rng,
+                          float* split_value) const;
+
+  const Dataset* data_;
+  Params params_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> ids_;
+};
+
+/// A forest of independently randomized KD-trees searched jointly.
+class KdForest {
+ public:
+  KdForest(const Dataset& data, uint32_t num_trees, uint32_t leaf_size,
+           uint64_t seed);
+
+  /// Merges best-bin-first results from every tree into `pool`;
+  /// `max_checks` is the per-tree point-comparison budget.
+  void SearchKnn(const float* query, uint32_t max_checks,
+                 DistanceOracle& oracle, CandidatePool& pool) const;
+
+  /// Union of the query's leaf ids over all trees (de-duplicated).
+  std::vector<uint32_t> LeafIds(const float* query) const;
+
+  uint32_t num_trees() const { return static_cast<uint32_t>(trees_.size()); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<KdTree> trees_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_TREE_KD_TREE_H_

@@ -1,0 +1,178 @@
+#include "tree/kmeans_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace weavess {
+
+namespace {
+
+struct QueueEntry {
+  float distance;
+  uint32_t node;
+};
+struct QueueGreater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    return a.distance > b.distance;
+  }
+};
+
+}  // namespace
+
+KMeansTree::KMeansTree(const Dataset& data, const Params& params)
+    : data_(&data), params_(params) {
+  WEAVESS_CHECK(data.size() > 0);
+  WEAVESS_CHECK(params.branching >= 2);
+  ids_.resize(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) ids_[i] = i;
+  Rng rng(params.seed);
+  BuildNode(0, data.size(), rng);
+}
+
+uint32_t KMeansTree::BuildNode(uint32_t begin, uint32_t end, Rng& rng) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  const uint32_t dim = data_->dim();
+  const uint32_t count = end - begin;
+
+  // Subtree centroid (used as the routing point for this node).
+  {
+    std::vector<double> acc(dim, 0.0);
+    for (uint32_t i = begin; i < end; ++i) {
+      const float* row = data_->Row(ids_[i]);
+      for (uint32_t d = 0; d < dim; ++d) acc[d] += row[d];
+    }
+    nodes_[index].centroid.resize(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      nodes_[index].centroid[d] =
+          count > 0 ? static_cast<float>(acc[d] / count) : 0.0f;
+    }
+  }
+  nodes_[index].begin = begin;
+  nodes_[index].end = end;
+  if (count <= std::max(params_.leaf_size, params_.branching)) {
+    return index;  // leaf
+  }
+
+  const uint32_t k = params_.branching;
+  // Initialize centers from random distinct members.
+  std::vector<std::vector<float>> centers(k, std::vector<float>(dim));
+  {
+    std::vector<uint32_t> picks = rng.SampleDistinct(count, k);
+    for (uint32_t c = 0; c < k; ++c) {
+      const float* row = data_->Row(ids_[begin + picks[c]]);
+      std::copy(row, row + dim, centers[c].begin());
+    }
+  }
+  std::vector<uint32_t> assign(count, 0);
+  const uint32_t balance_cap = (count + k - 1) / k * 2;  // 2x average size
+  for (uint32_t iter = 0; iter < params_.lloyd_iterations; ++iter) {
+    // Assignment step with balance cap: a full cluster rejects new members
+    // beyond `balance_cap`, which keeps the tree depth bounded.
+    std::vector<uint32_t> sizes(k, 0);
+    for (uint32_t i = 0; i < count; ++i) {
+      const float* row = data_->Row(ids_[begin + i]);
+      float best = std::numeric_limits<float>::infinity();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        if (sizes[c] >= balance_cap) continue;
+        const float dist = L2Sqr(row, centers[c].data(), dim);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+      ++sizes[best_c];
+    }
+    // Update step.
+    std::vector<std::vector<double>> acc(k, std::vector<double>(dim, 0.0));
+    for (uint32_t i = 0; i < count; ++i) {
+      const float* row = data_->Row(ids_[begin + i]);
+      auto& a = acc[assign[i]];
+      for (uint32_t d = 0; d < dim; ++d) a[d] += row[d];
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        // Re-seed an empty cluster from a random point.
+        const float* row =
+            data_->Row(ids_[begin + rng.NextBounded(count)]);
+        std::copy(row, row + dim, centers[c].begin());
+        continue;
+      }
+      for (uint32_t d = 0; d < dim; ++d) {
+        centers[c][d] = static_cast<float>(acc[c][d] / sizes[c]);
+      }
+    }
+  }
+
+  // Stable bucket sort of ids by final assignment.
+  std::vector<std::vector<uint32_t>> buckets(k);
+  for (uint32_t i = 0; i < count; ++i) {
+    buckets[assign[i]].push_back(ids_[begin + i]);
+  }
+  // Guard against a degenerate single-bucket outcome (identical points):
+  // split evenly to guarantee progress.
+  uint32_t non_empty = 0;
+  for (const auto& bucket : buckets) non_empty += bucket.empty() ? 0 : 1;
+  if (non_empty <= 1) {
+    buckets.assign(k, {});
+    for (uint32_t i = 0; i < count; ++i) {
+      buckets[i % k].push_back(ids_[begin + i]);
+    }
+  }
+  uint32_t write = begin;
+  std::vector<std::pair<uint32_t, uint32_t>> child_ranges;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const uint32_t child_begin = write;
+    for (uint32_t id : bucket) ids_[write++] = id;
+    child_ranges.emplace_back(child_begin, write);
+  }
+  std::vector<uint32_t> children;
+  children.reserve(child_ranges.size());
+  for (const auto& [child_begin, child_end] : child_ranges) {
+    children.push_back(BuildNode(child_begin, child_end, rng));
+  }
+  nodes_[index].children = std::move(children);
+  return index;
+}
+
+void KMeansTree::SearchKnn(const float* query, uint32_t max_checks,
+                           DistanceOracle& oracle, CandidatePool& pool) const {
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueGreater>
+      frontier;
+  frontier.push({0.0f, 0});
+  uint32_t checks = 0;
+  while (!frontier.empty() && checks < max_checks) {
+    const uint32_t current = frontier.top().node;
+    frontier.pop();
+    const Node& node = nodes_[current];
+    if (node.children.empty()) {
+      for (uint32_t i = node.begin; i < node.end && checks < max_checks;
+           ++i) {
+        pool.Insert(Neighbor(ids_[i], oracle.ToQuery(query, ids_[i])));
+        ++checks;
+      }
+      continue;
+    }
+    for (uint32_t child : node.children) {
+      // Centroid comparisons cost one distance evaluation each.
+      const float dist = oracle.ToVector(query, nodes_[child].centroid.data());
+      ++checks;
+      frontier.push({dist, child});
+    }
+  }
+}
+
+size_t KMeansTree::MemoryBytes() const {
+  size_t bytes = ids_.size() * sizeof(uint32_t);
+  for (const auto& node : nodes_) {
+    bytes += sizeof(Node) + node.centroid.size() * sizeof(float) +
+             node.children.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace weavess

@@ -1,0 +1,55 @@
+// Balanced k-means tree: the seed-acquisition structure of SPTAG-BKT. Each
+// internal node partitions its points into `branching` clusters by Lloyd's
+// algorithm with balance regularization (oversized clusters shed their
+// farthest members), so leaves have near-uniform size.
+#ifndef WEAVESS_TREE_KMEANS_TREE_H_
+#define WEAVESS_TREE_KMEANS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+class KMeansTree {
+ public:
+  struct Params {
+    uint32_t branching = 8;
+    uint32_t leaf_size = 32;
+    uint32_t lloyd_iterations = 4;
+    uint64_t seed = 1;
+  };
+
+  KMeansTree(const Dataset& data, const Params& params);
+
+  /// Greedy best-first descent over centroids, collecting leaf points until
+  /// `max_checks` distance evaluations are spent. Centroid comparisons are
+  /// counted (they are real distance computations at query time).
+  void SearchKnn(const float* query, uint32_t max_checks,
+                 DistanceOracle& oracle, CandidatePool& pool) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    std::vector<float> centroid;  // mean of the subtree's points
+    std::vector<uint32_t> children;  // empty => leaf
+    uint32_t begin = 0;              // leaf payload range in ids_
+    uint32_t end = 0;
+  };
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end, Rng& rng);
+
+  const Dataset* data_;
+  Params params_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_TREE_KMEANS_TREE_H_

@@ -1,0 +1,66 @@
+#include "tree/tp_tree.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace weavess {
+
+namespace {
+
+void Divide(const Dataset& data, std::vector<uint32_t>& ids, uint32_t begin,
+            uint32_t end, const TpTreeParams& params, Rng& rng,
+            std::vector<std::vector<uint32_t>>& leaves) {
+  const uint32_t count = end - begin;
+  if (count <= params.max_leaf_size) {
+    leaves.emplace_back(ids.begin() + begin, ids.begin() + end);
+    return;
+  }
+  // Sparse ±1 projection over a few random axes (TP-tree hyperplane).
+  const uint32_t dim = data.dim();
+  const uint32_t num_axes = std::min(params.axes_per_split, dim);
+  std::vector<uint32_t> axes = rng.SampleDistinct(dim, num_axes);
+  std::vector<float> weights(num_axes);
+  for (auto& w : weights) w = rng.NextBounded(2) == 0 ? 1.0f : -1.0f;
+
+  std::vector<std::pair<float, uint32_t>> scored;
+  scored.reserve(count);
+  for (uint32_t i = begin; i < end; ++i) {
+    const float* row = data.Row(ids[i]);
+    float projection = 0.0f;
+    for (uint32_t a = 0; a < num_axes; ++a) {
+      projection += weights[a] * row[axes[a]];
+    }
+    scored.emplace_back(projection, ids[i]);
+  }
+  const uint32_t mid_offset = count / 2;
+  std::nth_element(scored.begin(), scored.begin() + mid_offset, scored.end());
+  uint32_t write = begin;
+  for (const auto& [projection, id] : scored) ids[write++] = id;
+
+  Divide(data, ids, begin, begin + mid_offset, params, rng, leaves);
+  Divide(data, ids, begin + mid_offset, end, params, rng, leaves);
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> TpTreePartition(const Dataset& data,
+                                                   const TpTreeParams& params,
+                                                   Rng& rng) {
+  std::vector<uint32_t> ids(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) ids[i] = i;
+  return TpTreePartitionSubset(data, std::move(ids), params, rng);
+}
+
+std::vector<std::vector<uint32_t>> TpTreePartitionSubset(
+    const Dataset& data, std::vector<uint32_t> ids, const TpTreeParams& params,
+    Rng& rng) {
+  WEAVESS_CHECK(params.max_leaf_size >= 2);
+  std::vector<std::vector<uint32_t>> leaves;
+  if (ids.empty()) return leaves;
+  Divide(data, ids, 0, static_cast<uint32_t>(ids.size()), params, rng,
+         leaves);
+  return leaves;
+}
+
+}  // namespace weavess

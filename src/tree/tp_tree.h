@@ -1,0 +1,39 @@
+// Trinary-projection-style partitioning: the dataset-division component
+// (C1, Definition 4.1) of SPTAG's divide-and-conquer construction. Each
+// split projects points onto a sparse axis combination with ±1 weights and
+// cuts at the median; recursing until subsets are small yields the leaves
+// over which exact sub-KNNGs are built and merged.
+#ifndef WEAVESS_TREE_TP_TREE_H_
+#define WEAVESS_TREE_TP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+struct TpTreeParams {
+  /// Recursion stops when a subset has at most this many points.
+  uint32_t max_leaf_size = 500;
+  /// Number of coordinate axes combined into each partition hyperplane.
+  uint32_t axes_per_split = 5;
+};
+
+/// Recursively divides row ids [0, data.size()) into subsets of at most
+/// `params.max_leaf_size` points. Every id appears in exactly one subset.
+/// Randomness (axis choice, ±1 weights) comes from `rng`, so repeated calls
+/// produce the diverse partitions SPTAG unions across iterations.
+std::vector<std::vector<uint32_t>> TpTreePartition(const Dataset& data,
+                                                   const TpTreeParams& params,
+                                                   Rng& rng);
+
+/// Same, but divides only the given subset of ids.
+std::vector<std::vector<uint32_t>> TpTreePartitionSubset(
+    const Dataset& data, std::vector<uint32_t> ids, const TpTreeParams& params,
+    Rng& rng);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_TREE_TP_TREE_H_

@@ -1,0 +1,105 @@
+#include "tree/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace weavess {
+
+VpTree::VpTree(const Dataset& data, const Params& params)
+    : data_(&data), params_(params) {
+  WEAVESS_CHECK(data.size() > 0);
+  ids_.resize(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) ids_[i] = i;
+  Rng rng(params.seed);
+  BuildNode(0, data.size(), rng);
+}
+
+uint32_t VpTree::BuildNode(uint32_t begin, uint32_t end, Rng& rng) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].begin = begin;
+  nodes_[index].end = end;
+  if (end - begin <= params_.leaf_size) {
+    return index;  // leaf
+  }
+  // Pick a random vantage point and move it to the front of the range.
+  const uint32_t pick =
+      begin + static_cast<uint32_t>(rng.NextBounded(end - begin));
+  std::swap(ids_[begin], ids_[pick]);
+  const uint32_t vantage = ids_[begin];
+  const float* vantage_row = data_->Row(vantage);
+
+  // Median split by distance to the vantage point (squared distances are
+  // order-equivalent). The vantage point itself goes to the inside child.
+  const uint32_t lo = begin + 1;
+  std::vector<std::pair<float, uint32_t>> scored;
+  scored.reserve(end - lo);
+  for (uint32_t i = lo; i < end; ++i) {
+    scored.emplace_back(
+        L2Sqr(vantage_row, data_->Row(ids_[i]), data_->dim()), ids_[i]);
+  }
+  const uint32_t mid_offset = static_cast<uint32_t>(scored.size() / 2);
+  std::nth_element(scored.begin(), scored.begin() + mid_offset, scored.end());
+  const float radius = scored[mid_offset].first;
+  // nth_element leaves scored partitioned around the median: entries before
+  // mid_offset are <= radius, entries from mid_offset on are >= radius.
+  uint32_t write = lo;
+  for (const auto& [dist, id] : scored) ids_[write++] = id;
+  uint32_t mid = lo + mid_offset;
+  if (mid == lo) mid = lo + 1;  // degenerate: keep both children non-empty
+
+  const uint32_t inside = BuildNode(begin + 1, mid, rng);
+  const uint32_t outside = BuildNode(mid, end, rng);
+  Node& node = nodes_[index];
+  node.vantage = vantage;
+  node.radius = radius;
+  node.inside = inside;
+  node.outside = outside;
+  return index;
+}
+
+void VpTree::SearchKnn(const float* query, uint32_t k, uint32_t max_checks,
+                       DistanceOracle& oracle, CandidatePool& pool) const {
+  uint32_t checks = 0;
+  // Explicit stack of node indices; tau-pruned depth-first traversal.
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty() && checks < max_checks) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.inside == 0) {  // leaf
+      for (uint32_t i = node.begin; i < node.end && checks < max_checks;
+           ++i) {
+        pool.Insert(Neighbor(ids_[i], oracle.ToQuery(query, ids_[i])));
+        ++checks;
+      }
+      continue;
+    }
+    const float dist = oracle.ToQuery(query, node.vantage);
+    ++checks;
+    pool.Insert(Neighbor(node.vantage, dist));
+    const float tau =
+        pool.size() >= k ? pool[std::min<size_t>(k, pool.size()) - 1].distance
+                         : std::numeric_limits<float>::infinity();
+    // With squared distances the triangle-inequality prune becomes
+    // (sqrt(dist) ± sqrt(tau))^2 vs radius; compare in the sqrt domain.
+    const float d = std::sqrt(dist);
+    const float t = std::sqrt(tau);
+    const float r = std::sqrt(node.radius);
+    const bool visit_inside = d - t <= r;
+    const bool visit_outside = d + t >= r;
+    // Push the far side first so the near side is explored first.
+    if (dist < node.radius) {
+      if (visit_outside) stack.push_back(node.outside);
+      if (visit_inside) stack.push_back(node.inside);
+    } else {
+      if (visit_inside) stack.push_back(node.inside);
+      if (visit_outside) stack.push_back(node.outside);
+    }
+  }
+}
+
+size_t VpTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(Node) + ids_.size() * sizeof(uint32_t);
+}
+
+}  // namespace weavess

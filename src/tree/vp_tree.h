@@ -1,0 +1,54 @@
+// Vantage-point tree: the metric tree NGT attaches for seed acquisition
+// (C4/C6). Each internal node stores a vantage point and the median distance
+// of its subtree's points to it; search prunes with the triangle inequality.
+#ifndef WEAVESS_TREE_VP_TREE_H_
+#define WEAVESS_TREE_VP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+
+namespace weavess {
+
+class VpTree {
+ public:
+  struct Params {
+    uint32_t leaf_size = 16;
+    uint64_t seed = 1;
+  };
+
+  VpTree(const Dataset& data, const Params& params);
+
+  /// Approximate k-NN with a point-comparison budget. Distances here are
+  /// *counted* against the oracle — the paper observes that tree-based seed
+  /// acquisition pays real distance evaluations (§5.4, C4_NGT).
+  void SearchKnn(const float* query, uint32_t k, uint32_t max_checks,
+                 DistanceOracle& oracle, CandidatePool& pool) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    uint32_t vantage = 0;  // dataset id of the vantage point
+    float radius = 0.0f;   // median distance (squared) to vantage
+    uint32_t inside = 0;   // child indices; 0 = absent (node 0 is root)
+    uint32_t outside = 0;
+    uint32_t begin = 0;    // leaf payload in ids_ (leaf iff inside == 0)
+    uint32_t end = 0;
+  };
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end, Rng& rng);
+
+  const Dataset* data_;
+  Params params_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_TREE_VP_TREE_H_

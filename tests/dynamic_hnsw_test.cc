@@ -1,0 +1,172 @@
+// Tests for the dynamic-update extension (insert / logical delete /
+// compact) — the paper's §6 real-time-update challenge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algorithms/dynamic_hnsw.h"
+#include "core/distance.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+
+namespace weavess {
+namespace {
+
+class DynamicHnswTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.num_base = 1200;
+    spec.dim = 12;
+    spec.num_queries = 30;
+    spec.num_clusters = 1;
+    spec.stddev = 15.0f;
+    spec.seed = 44;
+    workload_ = GenerateSynthetic(spec);
+  }
+
+  DynamicHnsw MakeBuilt(uint32_t count) {
+    DynamicHnsw index(workload_.base.dim(), {});
+    for (uint32_t i = 0; i < count; ++i) {
+      EXPECT_EQ(index.Add(workload_.base.Row(i)), i);
+    }
+    return index;
+  }
+
+  uint32_t BruteForceNn(const float* query, uint32_t limit,
+                        const std::set<uint32_t>& excluded = {}) {
+    uint32_t best = UINT32_MAX;
+    float best_dist = 1e30f;
+    for (uint32_t i = 0; i < limit; ++i) {
+      if (excluded.count(i)) continue;
+      const float dist =
+          L2Sqr(query, workload_.base.Row(i), workload_.base.dim());
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  Workload workload_;
+};
+
+TEST_F(DynamicHnswTest, EmptyIndexReturnsNothing) {
+  DynamicHnsw index(8, {});
+  SearchParams params;
+  EXPECT_TRUE(index.Search(workload_.queries.Row(0), params).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST_F(DynamicHnswTest, IncrementalInsertFindsNearestNeighbors) {
+  DynamicHnsw index = MakeBuilt(1200);
+  SearchParams params;
+  params.k = 1;
+  params.pool_size = 80;
+  int correct = 0;
+  for (uint32_t q = 0; q < workload_.queries.size(); ++q) {
+    const auto result = index.Search(workload_.queries.Row(q), params);
+    ASSERT_FALSE(result.empty());
+    if (result.front() == BruteForceNn(workload_.queries.Row(q), 1200)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 27);  // >= 90% top-1 accuracy
+}
+
+TEST_F(DynamicHnswTest, SearchWorksMidConstruction) {
+  DynamicHnsw index(workload_.base.dim(), {});
+  SearchParams params;
+  params.k = 1;
+  params.pool_size = 60;
+  for (uint32_t i = 0; i < 600; ++i) index.Add(workload_.base.Row(i));
+  const auto early = index.Search(workload_.queries.Row(0), params);
+  ASSERT_FALSE(early.empty());
+  EXPECT_LT(early.front(), 600u);
+  for (uint32_t i = 600; i < 1200; ++i) index.Add(workload_.base.Row(i));
+  const auto late = index.Search(workload_.queries.Row(0), params);
+  ASSERT_FALSE(late.empty());
+  // The later search considers the new points too.
+  EXPECT_EQ(late.front(), BruteForceNn(workload_.queries.Row(0), 1200));
+}
+
+TEST_F(DynamicHnswTest, RemovedIdsNeverReturned) {
+  DynamicHnsw index = MakeBuilt(800);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 80;
+  const auto before = index.Search(workload_.queries.Row(0), params);
+  ASSERT_FALSE(before.empty());
+  // Delete every returned id; none may come back.
+  std::set<uint32_t> removed;
+  for (uint32_t id : before) {
+    index.Remove(id);
+    removed.insert(id);
+  }
+  EXPECT_EQ(index.live_size(), 800u - removed.size());
+  const auto after = index.Search(workload_.queries.Row(0), params);
+  for (uint32_t id : after) {
+    EXPECT_FALSE(removed.count(id));
+  }
+  // The new top-1 equals brute force over the survivors.
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after.front(),
+            BruteForceNn(workload_.queries.Row(0), 800, removed));
+}
+
+TEST_F(DynamicHnswTest, RemoveIsIdempotent) {
+  DynamicHnsw index = MakeBuilt(100);
+  index.Remove(5);
+  index.Remove(5);
+  EXPECT_EQ(index.live_size(), 99u);
+  EXPECT_TRUE(index.IsDeleted(5));
+  EXPECT_FALSE(index.IsDeleted(6));
+}
+
+TEST_F(DynamicHnswTest, CompactReclaimsTombstones) {
+  DynamicHnsw index = MakeBuilt(500);
+  for (uint32_t id = 0; id < 500; id += 3) index.Remove(id);
+  const uint32_t live = index.live_size();
+  const auto mapping = index.Compact();
+  EXPECT_EQ(mapping.size(), live);
+  EXPECT_EQ(index.size(), live);
+  EXPECT_EQ(index.live_size(), live);
+  // Mapped vectors match the originals.
+  for (uint32_t new_id = 0; new_id < mapping.size(); new_id += 17) {
+    const float* stored = index.Vector(new_id);
+    const float* original = workload_.base.Row(mapping[new_id]);
+    for (uint32_t d = 0; d < workload_.base.dim(); ++d) {
+      ASSERT_FLOAT_EQ(stored[d], original[d]);
+    }
+  }
+  // Search still works after compaction.
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 60;
+  EXPECT_EQ(index.Search(workload_.queries.Row(0), params).size(), 5u);
+}
+
+TEST_F(DynamicHnswTest, AllDeletedReturnsEmpty) {
+  DynamicHnsw index = MakeBuilt(50);
+  for (uint32_t id = 0; id < 50; ++id) index.Remove(id);
+  SearchParams params;
+  EXPECT_TRUE(index.Search(workload_.queries.Row(0), params).empty());
+}
+
+TEST_F(DynamicHnswTest, StatsReported) {
+  DynamicHnsw index = MakeBuilt(300);
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 40;
+  QueryStats stats;
+  index.Search(workload_.queries.Row(0), params, &stats);
+  EXPECT_GT(stats.distance_evals, 0u);
+  EXPECT_GT(stats.hops, 0u);
+  EXPECT_GT(index.IndexMemoryBytes(),
+            300u * workload_.base.dim() * sizeof(float));
+}
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,216 @@
+// Tests for the evaluation harness: synthetic generators, LID estimation,
+// ground truth, recall, sweep drivers, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/nsg.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+#include "eval/table.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.dim = 24;
+  spec.num_base = 500;
+  spec.num_queries = 17;
+  const Workload workload = GenerateSynthetic(spec, "shape");
+  EXPECT_EQ(workload.name, "shape");
+  EXPECT_EQ(workload.base.size(), 500u);
+  EXPECT_EQ(workload.base.dim(), 24u);
+  EXPECT_EQ(workload.queries.size(), 17u);
+  EXPECT_EQ(workload.queries.dim(), 24u);
+}
+
+TEST(SyntheticTest, DeterministicUnderSeed) {
+  SyntheticSpec spec;
+  spec.num_base = 100;
+  const Workload a = GenerateSynthetic(spec);
+  const Workload b = GenerateSynthetic(spec);
+  EXPECT_EQ(a.base.raw(), b.base.raw());
+  EXPECT_EQ(a.queries.raw(), b.queries.raw());
+}
+
+TEST(SyntheticTest, ClusterStructureVisibleInVariance) {
+  // With SD=1 and spread-out centers, within-cluster spread is far below
+  // the global spread; with one cluster they coincide.
+  SyntheticSpec tight;
+  tight.num_base = 600;
+  tight.num_clusters = 10;
+  tight.stddev = 1.0f;
+  tight.dim = 8;
+  const Workload clustered = GenerateSynthetic(tight);
+  const Graph knng_like = Graph(0);
+  (void)knng_like;
+  // Proxy: mean nearest-neighbor distance is much smaller than the mean
+  // pairwise distance for clustered data.
+  const Dataset& base = clustered.base;
+  double nn_sum = 0.0, pair_sum = 0.0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    float best = 1e30f;
+    for (uint32_t j = 0; j < base.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, L2Sqr(base.Row(i), base.Row(j), base.dim()));
+    }
+    nn_sum += std::sqrt(best);
+    pair_sum += std::sqrt(
+        L2Sqr(base.Row(i), base.Row((i * 37 + 11) % base.size()),
+              base.dim()));
+  }
+  EXPECT_LT(nn_sum, pair_sum * 0.3);
+}
+
+TEST(SyntheticTest, LidIncreasesWithIntrinsicDimension) {
+  auto lid_of = [](uint32_t dim) {
+    SyntheticSpec spec;
+    spec.dim = dim;
+    spec.num_base = 1200;
+    spec.num_clusters = 1;
+    spec.stddev = 10.0f;
+    spec.seed = 5;
+    return EstimateLid(GenerateSynthetic(spec).base, 100, 15);
+  };
+  const double lid8 = lid_of(8);
+  const double lid32 = lid_of(32);
+  EXPECT_LT(lid8, lid32);
+  EXPECT_GT(lid8, 2.0);
+  EXPECT_LT(lid8, 14.0);
+}
+
+TEST(StandInTest, AllEightBuildWithCorrectDims) {
+  const std::vector<uint32_t> expected_dims = {256, 420, 192,  128,
+                                               960, 300, 100, 1369};
+  ASSERT_EQ(StandInNames().size(), 8u);
+  for (size_t i = 0; i < StandInNames().size(); ++i) {
+    const Workload w = MakeStandIn(StandInNames()[i], /*scale=*/0.05);
+    EXPECT_EQ(w.base.dim(), expected_dims[i]) << StandInNames()[i];
+    EXPECT_GT(w.base.size(), 60u);
+    EXPECT_EQ(w.queries.dim(), expected_dims[i]);
+  }
+}
+
+TEST(StandInTest, HardnessOrderingMatchesPaper) {
+  // The paper's LID ordering (Table 3): Audio < SIFT1M < GIST1M ~ GloVe.
+  const double audio =
+      EstimateLid(MakeStandIn("Audio", 0.2).base, 150, 15);
+  const double sift =
+      EstimateLid(MakeStandIn("SIFT1M", 0.2).base, 150, 15);
+  const double glove =
+      EstimateLid(MakeStandIn("GloVe", 0.2).base, 150, 15);
+  EXPECT_LT(audio, sift);
+  EXPECT_LT(sift, glove);
+}
+
+TEST(GroundTruthTest, MatchesBruteForce) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(200, 6, 5);
+  const GroundTruth truth =
+      ComputeGroundTruth(tw.workload.base, tw.workload.queries, 3);
+  ASSERT_EQ(truth.size(), tw.workload.queries.size());
+  for (const auto& row : truth) {
+    ASSERT_EQ(row.size(), 3u);
+  }
+  // Verify the first query by hand.
+  const Dataset& base = tw.workload.base;
+  const float* query = tw.workload.queries.Row(0);
+  float best = 1e30f;
+  uint32_t best_id = 0;
+  for (uint32_t i = 0; i < base.size(); ++i) {
+    const float dist = L2Sqr(query, base.Row(i), base.dim());
+    if (dist < best) {
+      best = dist;
+      best_id = i;
+    }
+  }
+  EXPECT_EQ(truth[0][0], best_id);
+}
+
+TEST(RecallTest, ExactAndPartialOverlap) {
+  EXPECT_DOUBLE_EQ(Recall({1, 2, 3}, {1, 2, 3}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({1, 9, 8}, {1, 2, 3}, 3), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(Recall({}, {1, 2, 3}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({3, 2, 1}, {1, 2, 3}, 3), 1.0);  // order-free
+}
+
+TEST(EvaluatorTest, SearchPointFieldsConsistent) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(800, 10, 20);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 80;
+  const SearchPoint point =
+      EvaluateSearch(*index, tw.workload.queries, tw.truth, params);
+  EXPECT_GT(point.recall, 0.7);
+  EXPECT_LE(point.recall, 1.0);
+  EXPECT_GT(point.qps, 0.0);
+  EXPECT_GT(point.mean_ndc, 0.0);
+  EXPECT_NEAR(point.speedup, tw.workload.base.size() / point.mean_ndc,
+              1e-6);
+  EXPECT_GT(point.mean_hops, 0.0);
+}
+
+TEST(EvaluatorTest, SweepRecallGrowsWithPool) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(800, 10, 20);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  const auto points =
+      SweepPoolSizes(*index, tw.workload.queries, tw.truth, 10,
+                     {10, 50, 250});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GE(points[2].recall + 0.02, points[0].recall);
+  EXPECT_GE(points[2].mean_ndc, points[0].mean_ndc);
+}
+
+TEST(EvaluatorTest, FindCandidateSizeStopsAtTarget) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(800, 10, 20);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  const auto result = FindCandidateSize(*index, tw.workload.queries,
+                                        tw.truth, 10, 0.9,
+                                        {10, 20, 40, 80, 160, 320});
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GE(result.point.recall, 0.9);
+}
+
+TEST(EvaluatorTest, MemoryEstimateIncludesDataAndIndex) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(400, 8, 5);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  SearchParams params;
+  const size_t memory =
+      EstimateSearchMemory(*index, tw.workload.base, params);
+  EXPECT_GT(memory, tw.workload.base.MemoryBytes());
+  EXPECT_GT(memory, index->IndexMemoryBytes());
+}
+
+TEST(TablePrinterTest, FormattersProduceExpectedStrings) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+  EXPECT_EQ(TablePrinter::Secs(1.5), "1.500s");
+  EXPECT_EQ(TablePrinter::Megabytes(3 * 1024 * 1024), "3.00MB");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter table({"Alg.", "CT", "IS"});
+  table.AddRow({"NSG", "1.2s", "0.5MB"});
+  table.AddRow({"HNSW", "10.0s", "2.1MB"});
+  table.Print();  // smoke: exercises width computation
+}
+
+TEST(DefaultPoolLadderTest, AscendingAndCoversPaperRange) {
+  const auto& ladder = DefaultPoolLadder();
+  ASSERT_GE(ladder.size(), 8u);
+  for (size_t i = 0; i + 1 < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i], ladder[i + 1]);
+  }
+  EXPECT_LE(ladder.front(), 16u);
+  EXPECT_GE(ladder.back(), 2000u);
+}
+
+}  // namespace
+}  // namespace weavess

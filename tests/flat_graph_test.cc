@@ -1,0 +1,64 @@
+// Tests for the flattened adjacency layouts (Appendix I substrate).
+#include <gtest/gtest.h>
+
+#include "core/flat_graph.h"
+#include "core/graph.h"
+
+namespace weavess {
+namespace {
+
+Graph MakeGraph() {
+  Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(2, 0);
+  // vertex 1 and 3 have empty lists
+  return graph;
+}
+
+TEST(CsrGraphTest, PreservesAdjacency) {
+  const Graph graph = MakeGraph();
+  const CsrGraph csr(graph);
+  ASSERT_EQ(csr.size(), graph.size());
+  for (uint32_t v = 0; v < graph.size(); ++v) {
+    const auto span = csr.Neighbors(v);
+    const auto& expected = graph.Neighbors(v);
+    ASSERT_EQ(span.size(), expected.size()) << v;
+    for (size_t i = 0; i < span.size(); ++i) EXPECT_EQ(span[i], expected[i]);
+  }
+}
+
+TEST(CsrGraphTest, MemoryIsCompact) {
+  const Graph graph = MakeGraph();
+  const CsrGraph csr(graph);
+  // 5 offsets * 8 bytes + 4 ids * 4 bytes.
+  EXPECT_EQ(csr.MemoryBytes(), 5 * sizeof(uint64_t) + 4 * sizeof(uint32_t));
+}
+
+TEST(AlignedGraphTest, StrideIsMaxDegreeAndPadded) {
+  const Graph graph = MakeGraph();
+  const AlignedGraph aligned(graph);
+  EXPECT_EQ(aligned.stride(), 3u);
+  const uint32_t* row0 = aligned.Slots(0);
+  EXPECT_EQ(row0[0], 1u);
+  EXPECT_EQ(row0[1], 2u);
+  EXPECT_EQ(row0[2], 3u);
+  const uint32_t* row1 = aligned.Slots(1);
+  EXPECT_EQ(row1[0], AlignedGraph::kInvalid);
+  const uint32_t* row2 = aligned.Slots(2);
+  EXPECT_EQ(row2[0], 0u);
+  EXPECT_EQ(row2[1], AlignedGraph::kInvalid);
+}
+
+TEST(AlignedGraphTest, MemoryPaysForPadding) {
+  const Graph graph = MakeGraph();
+  const AlignedGraph aligned(graph);
+  EXPECT_EQ(aligned.MemoryBytes(), 4u * 3u * sizeof(uint32_t));
+  // Hubby graphs pad more than CSR stores.
+  EXPECT_GT(aligned.MemoryBytes(),
+            CsrGraph(graph).MemoryBytes() - 5 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,102 @@
+// Tests for the fvecs / ivecs file format support.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/graph.h"
+#include "eval/io.h"
+#include "eval/synthetic.h"
+
+namespace weavess {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(IoTest, FvecsRoundTrip) {
+  SyntheticSpec spec;
+  spec.num_base = 123;
+  spec.dim = 17;
+  const Dataset original = GenerateSynthetic(spec).base;
+  const std::string path = TempPath("roundtrip.fvecs");
+  WriteFvecs(path, original);
+  const Dataset loaded = ReadFvecs(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  EXPECT_EQ(loaded.raw(), original.raw());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FvecsMaxVectorsLimitsRead) {
+  SyntheticSpec spec;
+  spec.num_base = 50;
+  spec.dim = 4;
+  const Dataset original = GenerateSynthetic(spec).base;
+  const std::string path = TempPath("limited.fvecs");
+  WriteFvecs(path, original);
+  const Dataset loaded = ReadFvecs(path, 7);
+  EXPECT_EQ(loaded.size(), 7u);
+  for (uint32_t d = 0; d < 4; ++d) {
+    EXPECT_FLOAT_EQ(loaded.Row(3)[d], original.Row(3)[d]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, IvecsRoundTrip) {
+  GroundTruth truth = {{1, 2, 3}, {9, 8, 7}, {0, 5, 6}};
+  const std::string path = TempPath("roundtrip.ivecs");
+  WriteIvecs(path, truth);
+  const GroundTruth loaded = ReadIvecs(path);
+  EXPECT_EQ(loaded, truth);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, IvecsMaxRowsLimitsRead) {
+  GroundTruth truth = {{1}, {2}, {3}, {4}};
+  const std::string path = TempPath("limited.ivecs");
+  WriteIvecs(path, truth);
+  const GroundTruth loaded = ReadIvecs(path, 2);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1], truth[1]);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GraphSaveLoadRoundTrip) {
+  Graph graph(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 4);
+  graph.AddEdge(3, 2);
+  // Vertex 1, 2, 4 have empty lists — exercised deliberately.
+  const std::string path = TempPath("graph.bin");
+  graph.Save(path);
+  const Graph loaded = Graph::Load(path);
+  ASSERT_EQ(loaded.size(), graph.size());
+  for (uint32_t v = 0; v < graph.size(); ++v) {
+    EXPECT_EQ(loaded.Neighbors(v), graph.Neighbors(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FvecsFileIsTexmexLayout) {
+  // Byte-level check: [int32 dim][dim float32] per record.
+  Dataset data(2, 3, {1.5f, 2.5f, 3.5f, -1.0f, 0.0f, 4.0f});
+  const std::string path = TempPath("layout.fvecs");
+  WriteFvecs(path, data);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  int32_t dim = 0;
+  ASSERT_EQ(std::fread(&dim, 4, 1, file), 1u);
+  EXPECT_EQ(dim, 3);
+  float first = 0.0f;
+  ASSERT_EQ(std::fread(&first, 4, 1, file), 1u);
+  EXPECT_FLOAT_EQ(first, 1.5f);
+  std::fseek(file, 0, SEEK_END);
+  EXPECT_EQ(std::ftell(file), 2 * (4 + 3 * 4));
+  std::fclose(file);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,148 @@
+// Cross-algorithm property sweeps (parameterized): determinism under fixed
+// seeds, recall monotonicity in the pool size, structural bounds, and
+// robustness on degenerate datasets (duplicates, tiny inputs, dimension 1).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "algorithms/registry.h"
+#include "core/metrics.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+using ::weavess::testing::MakeTestWorkload;
+using ::weavess::testing::TestWorkload;
+
+const TestWorkload& SmallWorkload() {
+  static const TestWorkload* const kWorkload =
+      new TestWorkload(MakeTestWorkload(600, 10, 20, 1, 15.0f, 3));
+  return *kWorkload;
+}
+
+AlgorithmOptions TinyOptions() {
+  AlgorithmOptions options;
+  options.knng_degree = 12;
+  options.max_degree = 12;
+  options.build_pool = 40;
+  options.nn_descent_iters = 4;
+  return options;
+}
+
+class PropertyFixture : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PropertyFixture, BuildIsDeterministicUnderSeed) {
+  const TestWorkload& tw = SmallWorkload();
+  auto a = CreateAlgorithm(GetParam(), TinyOptions());
+  auto b = CreateAlgorithm(GetParam(), TinyOptions());
+  a->Build(tw.workload.base);
+  b->Build(tw.workload.base);
+  ASSERT_EQ(a->graph().size(), b->graph().size());
+  for (uint32_t v = 0; v < a->graph().size(); ++v) {
+    ASSERT_EQ(a->graph().Neighbors(v), b->graph().Neighbors(v))
+        << GetParam() << " differs at vertex " << v;
+  }
+}
+
+TEST_P(PropertyFixture, RecallMonotoneInPoolSize) {
+  const TestWorkload& tw = SmallWorkload();
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(tw.workload.base);
+  double previous = -1.0;
+  for (uint32_t pool : {15u, 60u, 240u}) {
+    const double recall =
+        ::weavess::testing::MeanRecall(*index, tw, 10, pool);
+    // Allow small noise for per-query-random-seed algorithms.
+    EXPECT_GE(recall + 0.05, previous)
+        << GetParam() << " recall dropped at pool " << pool;
+    previous = recall;
+  }
+  EXPECT_GT(previous, 0.85) << GetParam();
+}
+
+TEST_P(PropertyFixture, DegreeBoundsAreSane) {
+  const TestWorkload& tw = SmallWorkload();
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(tw.workload.base);
+  const DegreeStats stats = ComputeDegreeStats(index->graph());
+  EXPECT_GT(stats.average, 1.0) << GetParam();
+  // No algorithm should produce a near-complete graph at these settings.
+  EXPECT_LT(stats.average, 100.0) << GetParam();
+  EXPECT_LT(stats.max, tw.workload.base.size()) << GetParam();
+}
+
+TEST_P(PropertyFixture, SurvivesDuplicatePoints) {
+  // 300 points, but only ~30 distinct locations: heavy duplication is the
+  // classic degenerate case for distance-based tie handling.
+  SyntheticSpec spec;
+  spec.num_base = 300;
+  spec.dim = 6;
+  spec.num_queries = 5;
+  spec.num_clusters = 1;
+  spec.stddev = 5.0f;
+  spec.seed = 8;
+  Workload workload = GenerateSynthetic(spec);
+  for (uint32_t i = 30; i < workload.base.size(); ++i) {
+    std::memcpy(workload.base.MutableRow(i), workload.base.Row(i % 30),
+                sizeof(float) * workload.base.dim());
+  }
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(workload.base);
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 40;
+  const auto result = index->Search(workload.queries.Row(0), params);
+  EXPECT_FALSE(result.empty()) << GetParam();
+}
+
+TEST_P(PropertyFixture, SurvivesTinyDataset) {
+  SyntheticSpec spec;
+  spec.num_base = 40;
+  spec.dim = 4;
+  spec.num_queries = 3;
+  spec.num_clusters = 1;
+  spec.seed = 5;
+  const Workload workload = GenerateSynthetic(spec);
+  AlgorithmOptions options;
+  options.knng_degree = 8;
+  options.max_degree = 8;
+  options.build_pool = 16;
+  auto index = CreateAlgorithm(GetParam(), options);
+  index->Build(workload.base);
+  SearchParams params;
+  params.k = 3;
+  params.pool_size = 20;
+  const auto result = index->Search(workload.queries.Row(0), params);
+  EXPECT_EQ(result.size(), 3u) << GetParam();
+}
+
+TEST_P(PropertyFixture, SurvivesOneDimensionalData) {
+  SyntheticSpec spec;
+  spec.num_base = 200;
+  spec.dim = 1;
+  spec.num_queries = 5;
+  spec.num_clusters = 2;
+  spec.seed = 6;
+  const Workload workload = GenerateSynthetic(spec);
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(workload.base);
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 30;
+  EXPECT_FALSE(index->Search(workload.queries.Row(0), params).empty())
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PropertyFixture,
+                         ::testing::ValuesIn(AlgorithmNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,193 @@
+// Property tests for the C3 neighbor-selection strategies, including the
+// occlusion invariant of the RNG heuristic, the α generalization, the NSSG
+// angle rule, DPG's 60° property (Lemma 7.1 of the paper), and NGT's path
+// adjustment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/distance.h"
+#include "eval/synthetic.h"
+#include "graph/neighbor_selection.h"
+
+namespace weavess {
+namespace {
+
+struct SelectionFixture : public ::testing::TestWithParam<uint64_t> {
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.num_base = 400;
+    spec.dim = 8;
+    spec.num_queries = 1;
+    spec.num_clusters = 3;
+    spec.seed = GetParam();
+    data_ = GenerateSynthetic(spec).base;
+  }
+
+  // Candidate list for `point`: its 60 exact nearest neighbors, ascending.
+  std::vector<Neighbor> MakeCandidates(uint32_t point) {
+    DistanceOracle oracle(data_, nullptr);
+    std::vector<Neighbor> all;
+    for (uint32_t j = 0; j < data_.size(); ++j) {
+      if (j != point) all.emplace_back(j, oracle.Between(point, j));
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(60);
+    return all;
+  }
+
+  Dataset data_;
+};
+
+TEST_P(SelectionFixture, DistanceSelectionTakesClosest) {
+  const auto candidates = MakeCandidates(7);
+  const auto selected = SelectByDistance(candidates, 10);
+  ASSERT_EQ(selected.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(selected[i].id, candidates[i].id);
+}
+
+TEST_P(SelectionFixture, RngSelectionSatisfiesOcclusionInvariant) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 11;
+  const auto candidates = MakeCandidates(point);
+  const auto selected = SelectRng(oracle, point, candidates, 20);
+  ASSERT_GT(selected.size(), 0u);
+  // Invariant: for every kept pair (x earlier-kept, y later-kept):
+  // δ(x, y) > δ(p, y) — no kept neighbor occludes a later kept one.
+  for (size_t later = 0; later < selected.size(); ++later) {
+    for (size_t earlier = 0; earlier < later; ++earlier) {
+      const float between =
+          oracle.Between(selected[earlier].id, selected[later].id);
+      EXPECT_GT(between, selected[later].distance)
+          << "kept neighbor occludes another kept neighbor";
+    }
+  }
+  // The closest candidate is always kept.
+  EXPECT_EQ(selected[0].id, candidates[0].id);
+}
+
+TEST_P(SelectionFixture, RngAlphaKeepsAtLeastAsManyAsAlphaOne) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 23;
+  const auto candidates = MakeCandidates(point);
+  const auto strict = SelectRng(oracle, point, candidates, 60, 1.0f);
+  const auto relaxed = SelectRng(oracle, point, candidates, 60, 2.0f);
+  // α > 1 weakens the occlusion condition, keeping a superset-or-equal
+  // count of neighbors (uncapped degree).
+  EXPECT_GE(relaxed.size(), strict.size());
+}
+
+TEST_P(SelectionFixture, RngRespectsDegreeBound) {
+  DistanceOracle oracle(data_, nullptr);
+  const auto candidates = MakeCandidates(3);
+  const auto selected = SelectRng(oracle, 3, candidates, 5);
+  EXPECT_LE(selected.size(), 5u);
+}
+
+TEST_P(SelectionFixture, AngleSelectionEnforcesMinimumAngle) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 31;
+  const auto candidates = MakeCandidates(point);
+  const float theta = 60.0f;
+  const auto selected =
+      SelectByAngle(oracle, point, candidates, 15, theta);
+  ASSERT_GT(selected.size(), 0u);
+  const float max_cos = std::cos(theta * static_cast<float>(M_PI) / 180.0f);
+  for (size_t a = 0; a < selected.size(); ++a) {
+    for (size_t b = a + 1; b < selected.size(); ++b) {
+      const float pa = selected[a].distance;
+      const float pb = selected[b].distance;
+      const float ab = oracle.Between(selected[a].id, selected[b].id);
+      const float cosine = (pa + pb - ab) /
+                           (2.0f * std::sqrt(pa) * std::sqrt(pb));
+      EXPECT_LE(cosine, max_cos + 1e-4f)
+          << "pair closer than the θ threshold";
+    }
+  }
+}
+
+TEST_P(SelectionFixture, DpgSelectionSpreadsAngles) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 5;
+  const auto candidates = MakeCandidates(point);
+  const uint32_t target = 10;
+  const auto diversified = SelectDpg(oracle, point, candidates, target);
+  const auto closest = SelectByDistance(candidates, target);
+  ASSERT_EQ(diversified.size(), target);
+
+  auto angle_sum = [&](const std::vector<Neighbor>& set) {
+    double total = 0.0;
+    for (size_t a = 0; a < set.size(); ++a) {
+      for (size_t b = a + 1; b < set.size(); ++b) {
+        const float pa = set[a].distance;
+        const float pb = set[b].distance;
+        const float ab = oracle.Between(set[a].id, set[b].id);
+        const float cosine = std::clamp(
+            (pa + pb - ab) / (2.0f * std::sqrt(pa) * std::sqrt(pb)), -1.0f,
+            1.0f);
+        total += std::acos(cosine);
+      }
+    }
+    return total;
+  };
+  // The diversification objective: angle sum at least that of the naive
+  // closest-k selection.
+  EXPECT_GE(angle_sum(diversified) + 1e-6, angle_sum(closest));
+}
+
+TEST_P(SelectionFixture, PathAdjustmentDropsBypassedEdges) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 17;
+  const auto candidates = MakeCandidates(point);
+  const auto kept = SelectPathAdjustment(oracle, point, candidates, 30);
+  ASSERT_GT(kept.size(), 0u);
+  // Invariant: no kept neighbor n has a kept 2-hop bypass p→x→n with both
+  // hops strictly shorter than δ(p, n).
+  for (size_t later = 0; later < kept.size(); ++later) {
+    for (size_t earlier = 0; earlier < later; ++earlier) {
+      const float hop = oracle.Between(kept[earlier].id, kept[later].id);
+      EXPECT_FALSE(std::max(kept[earlier].distance, hop) <
+                   kept[later].distance);
+    }
+  }
+}
+
+TEST_P(SelectionFixture, AllStrategiesExcludeSelfAndDuplicates) {
+  DistanceOracle oracle(data_, nullptr);
+  const uint32_t point = 2;
+  auto candidates = MakeCandidates(point);
+  candidates.insert(candidates.begin(), Neighbor(point, 0.0f));  // poison
+  for (int strategy = 0; strategy < 5; ++strategy) {
+    std::vector<Neighbor> selected;
+    switch (strategy) {
+      case 0:
+        // SelectByDistance is a pure prefix; skip the poison check there.
+        continue;
+      case 1:
+        selected = SelectRng(oracle, point, candidates, 10);
+        break;
+      case 2:
+        selected = SelectByAngle(oracle, point, candidates, 10, 50.0f);
+        break;
+      case 3:
+        selected = SelectDpg(oracle, point, candidates, 10);
+        break;
+      case 4:
+        selected = SelectPathAdjustment(oracle, point, candidates, 10);
+        break;
+    }
+    std::set<uint32_t> seen;
+    for (const Neighbor& nb : selected) {
+      EXPECT_NE(nb.id, point) << "strategy " << strategy;
+      EXPECT_TRUE(seen.insert(nb.id).second) << "strategy " << strategy;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionFixture,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,54 @@
+// Shared helpers for the test suites: small deterministic workloads with
+// precomputed ground truth.
+#ifndef WEAVESS_TESTS_TEST_UTIL_H_
+#define WEAVESS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "core/index.h"
+#include "eval/ground_truth.h"
+#include "eval/synthetic.h"
+
+namespace weavess::testing {
+
+struct TestWorkload {
+  Workload workload;
+  GroundTruth truth;  // top-20 exact neighbors per query
+};
+
+inline TestWorkload MakeTestWorkload(uint32_t num_base = 1200,
+                                     uint32_t dim = 16,
+                                     uint32_t num_queries = 40,
+                                     uint32_t clusters = 6,
+                                     float stddev = 6.0f,
+                                     uint64_t seed = 99) {
+  SyntheticSpec spec;
+  spec.num_base = num_base;
+  spec.dim = dim;
+  spec.num_queries = num_queries;
+  spec.num_clusters = clusters;
+  spec.stddev = stddev;
+  spec.seed = seed;
+  TestWorkload out{GenerateSynthetic(spec, "test"), {}};
+  out.truth =
+      ComputeGroundTruth(out.workload.base, out.workload.queries, 20);
+  return out;
+}
+
+/// Mean Recall@k of an index over a full workload.
+inline double MeanRecall(AnnIndex& index, const TestWorkload& tw, uint32_t k,
+                         uint32_t pool_size) {
+  SearchParams params;
+  params.k = k;
+  params.pool_size = pool_size;
+  double total = 0.0;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    const auto result = index.Search(tw.workload.queries.Row(q), params);
+    total += Recall(result, tw.truth[q], k);
+  }
+  return total / tw.workload.queries.size();
+}
+
+}  // namespace weavess::testing
+
+#endif  // WEAVESS_TESTS_TEST_UTIL_H_

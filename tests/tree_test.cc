@@ -1,0 +1,219 @@
+// Tests for the auxiliary tree indexes (KD-tree/forest, VP-tree, balanced
+// k-means tree, TP-tree partitioning), including exactness properties with
+// unbounded budgets and partition invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "eval/synthetic.h"
+#include "tree/kd_tree.h"
+#include "tree/kmeans_tree.h"
+#include "tree/tp_tree.h"
+#include "tree/vp_tree.h"
+
+namespace weavess {
+namespace {
+
+Dataset SmallData(uint32_t n = 500, uint32_t dim = 8, uint64_t seed = 3) {
+  SyntheticSpec spec;
+  spec.num_base = n;
+  spec.dim = dim;
+  spec.num_queries = 1;
+  spec.num_clusters = 5;
+  spec.seed = seed;
+  return GenerateSynthetic(spec).base;
+}
+
+uint32_t BruteForceNn(const Dataset& data, const float* query) {
+  uint32_t best = 0;
+  float best_dist = L2Sqr(query, data.Row(0), data.dim());
+  for (uint32_t i = 1; i < data.size(); ++i) {
+    const float dist = L2Sqr(query, data.Row(i), data.dim());
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// ---------- KD-tree ----------
+
+TEST(KdTreeTest, FullBudgetFindsExactNearestNeighbor) {
+  const Dataset data = SmallData();
+  KdTree::Params params;
+  KdTree tree(data, params);
+  DistanceOracle oracle(data, nullptr);
+  int correct = 0;
+  for (uint32_t q = 0; q < 20; ++q) {
+    const float* query = data.Row(q * 7);
+    CandidatePool pool(10);
+    tree.SearchKnn(query, data.size() * 2, oracle, pool);
+    if (pool.size() > 0 && pool[0].id == BruteForceNn(data, query)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 20);  // unbounded budget == exhaustive
+}
+
+TEST(KdTreeTest, BudgetLimitsChecks) {
+  const Dataset data = SmallData();
+  KdTree tree(data, {});
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  CandidatePool pool(10);
+  tree.SearchKnn(data.Row(0), 50, oracle, pool);
+  EXPECT_LE(counter.count, 50u);
+  EXPECT_GT(pool.size(), 0u);
+}
+
+TEST(KdTreeTest, LeafIdsNonEmptyAndValid) {
+  const Dataset data = SmallData();
+  KdTree tree(data, {});
+  const auto ids = tree.LeafIds(data.Row(123));
+  EXPECT_FALSE(ids.empty());
+  EXPECT_LE(ids.size(), 16u + 1);  // leaf_size default
+  for (uint32_t id : ids) EXPECT_LT(id, data.size());
+}
+
+TEST(KdTreeTest, ApproximateSearchBeatsRandomBaseline) {
+  const Dataset data = SmallData(2000, 12);
+  KdTree tree(data, {});
+  DistanceOracle oracle(data, nullptr);
+  int hits = 0;
+  for (uint32_t q = 0; q < 30; ++q) {
+    const float* query = data.Row(q * 13 + 1);
+    CandidatePool pool(5);
+    tree.SearchKnn(query, 300, oracle, pool);
+    if (pool.size() > 0 && pool[0].id == BruteForceNn(data, query)) ++hits;
+  }
+  EXPECT_GE(hits, 20);  // 300/2000 checks should find the NN most times
+}
+
+TEST(KdForestTest, ForestMergesTrees) {
+  const Dataset data = SmallData();
+  KdForest forest(data, 3, 16, 7);
+  EXPECT_EQ(forest.num_trees(), 3u);
+  const auto ids = forest.LeafIds(data.Row(5));
+  std::set<uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());  // de-duplicated
+  EXPECT_GT(forest.MemoryBytes(), 0u);
+}
+
+// ---------- VP-tree ----------
+
+TEST(VpTreeTest, FullBudgetFindsExactNearestNeighbor) {
+  const Dataset data = SmallData();
+  VpTree tree(data, {});
+  DistanceOracle oracle(data, nullptr);
+  int correct = 0;
+  for (uint32_t q = 0; q < 20; ++q) {
+    const float* query = data.Row(q * 11 + 3);
+    CandidatePool pool(10);
+    tree.SearchKnn(query, 5, data.size() * 4, oracle, pool);
+    if (pool.size() > 0 && pool[0].id == BruteForceNn(data, query)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 20);
+}
+
+TEST(VpTreeTest, CountsDistanceEvaluations) {
+  const Dataset data = SmallData();
+  VpTree tree(data, {});
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  CandidatePool pool(5);
+  tree.SearchKnn(data.Row(1), 5, 64, oracle, pool);
+  EXPECT_GT(counter.count, 0u);   // tree seeds pay distance evals (§5.4)
+  EXPECT_LE(counter.count, 80u);  // ... but bounded by budget + slack
+}
+
+// ---------- KMeans tree ----------
+
+TEST(KMeansTreeTest, SearchReturnsGoodCandidates) {
+  const Dataset data = SmallData(1500, 10);
+  KMeansTree::Params params;
+  params.seed = 5;
+  KMeansTree tree(data, params);
+  DistanceOracle oracle(data, nullptr);
+  int hits = 0;
+  for (uint32_t q = 0; q < 25; ++q) {
+    const float* query = data.Row(q * 17 + 2);
+    CandidatePool pool(10);
+    tree.SearchKnn(query, 400, oracle, pool);
+    if (pool.size() > 0 && pool[0].id == BruteForceNn(data, query)) ++hits;
+  }
+  EXPECT_GE(hits, 15);
+}
+
+TEST(KMeansTreeTest, HandlesTinyDataset) {
+  const Dataset data = SmallData(40, 4);
+  KMeansTree tree(data, {});
+  DistanceOracle oracle(data, nullptr);
+  CandidatePool pool(5);
+  tree.SearchKnn(data.Row(0), 100, oracle, pool);
+  EXPECT_GT(pool.size(), 0u);
+}
+
+// ---------- TP-tree partition ----------
+
+TEST(TpTreeTest, PartitionCoversEveryIdExactlyOnce) {
+  const Dataset data = SmallData(777, 9);
+  Rng rng(13);
+  TpTreeParams params;
+  params.max_leaf_size = 50;
+  const auto leaves = TpTreePartition(data, params, rng);
+  std::vector<uint32_t> all;
+  for (const auto& leaf : leaves) {
+    EXPECT_LE(leaf.size(), 50u);
+    all.insert(all.end(), leaf.begin(), leaf.end());
+  }
+  EXPECT_EQ(all.size(), data.size());
+  std::sort(all.begin(), all.end());
+  for (uint32_t i = 0; i < data.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(TpTreeTest, RepeatedPartitionsDiffer) {
+  const Dataset data = SmallData(600, 9);
+  Rng rng(13);
+  TpTreeParams params;
+  params.max_leaf_size = 64;
+  const auto first = TpTreePartition(data, params, rng);
+  const auto second = TpTreePartition(data, params, rng);
+  // The random hyperplanes should produce different leaf contents.
+  ASSERT_FALSE(first.empty());
+  bool any_difference = first.size() != second.size();
+  if (!any_difference) {
+    for (size_t i = 0; i < first.size(); ++i) {
+      if (first[i] != second[i]) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TpTreeTest, SubsetPartitionOnlyUsesSubset) {
+  const Dataset data = SmallData(300, 6);
+  Rng rng(4);
+  std::vector<uint32_t> subset = {5, 10, 20, 40, 80, 160, 200, 250};
+  TpTreeParams params;
+  params.max_leaf_size = 4;
+  const auto leaves =
+      TpTreePartitionSubset(data, subset, params, rng);
+  std::set<uint32_t> allowed(subset.begin(), subset.end());
+  size_t total = 0;
+  for (const auto& leaf : leaves) {
+    total += leaf.size();
+    for (uint32_t id : leaf) EXPECT_TRUE(allowed.count(id));
+  }
+  EXPECT_EQ(total, subset.size());
+}
+
+}  // namespace
+}  // namespace weavess

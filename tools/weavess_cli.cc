@@ -1,0 +1,219 @@
+// Command-line front end for the library. Subcommands:
+//
+//   weavess_cli generate --out PREFIX [--standin NAME | --dim D --n N
+//                         --clusters C --sd S] [--queries Q] [--gt K]
+//       Writes PREFIX.base.fvecs, PREFIX.query.fvecs and (with --gt)
+//       PREFIX.gt.ivecs.
+//
+//   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.bin]
+//       Builds the named index and prints construction stats (Fig. 5/6 and
+//       Table 4 metrics for a single run).
+//
+//   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
+//                    --algo NAME [--k K] [--pools 10,40,160]
+//       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
+//
+//   weavess_cli algorithms
+//       Lists the 17 registry names.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/metrics.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "eval/io.h"
+#include "eval/synthetic.h"
+#include "eval/table.h"
+#include "graph/exact_knng.h"
+
+namespace {
+
+using namespace weavess;
+
+// Tiny flag parser: --name value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
+      }
+    }
+  }
+
+  const char* Get(const char* name, const char* fallback = nullptr) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value.c_str();
+    }
+    return fallback;
+  }
+
+  uint32_t GetU32(const char* name, uint32_t fallback) const {
+    const char* value = Get(name);
+    return value != nullptr ? static_cast<uint32_t>(std::atoi(value))
+                            : fallback;
+  }
+
+  double GetDouble(const char* name, double fallback) const {
+    const char* value = Get(name);
+    return value != nullptr ? std::atof(value) : fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: weavess_cli <generate|build|eval|algorithms> "
+               "[--flag value ...]\n"
+               "see the header comment of tools/weavess_cli.cc\n");
+  return 2;
+}
+
+int CmdAlgorithms() {
+  for (const std::string& name : AlgorithmNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  const char* out = args.Get("out");
+  if (out == nullptr) {
+    std::fprintf(stderr, "generate: --out PREFIX is required\n");
+    return 2;
+  }
+  Workload workload;
+  if (const char* standin = args.Get("standin"); standin != nullptr) {
+    workload = MakeStandIn(standin, args.GetDouble("scale", 1.0));
+  } else {
+    SyntheticSpec spec;
+    spec.dim = args.GetU32("dim", 32);
+    spec.num_base = args.GetU32("n", 10000);
+    spec.num_queries = args.GetU32("queries", 200);
+    spec.num_clusters = args.GetU32("clusters", 10);
+    spec.stddev = static_cast<float>(args.GetDouble("sd", 5.0));
+    spec.seed = args.GetU32("seed", 42);
+    workload = GenerateSynthetic(spec, "cli");
+  }
+  const std::string prefix = out;
+  WriteFvecs(prefix + ".base.fvecs", workload.base);
+  WriteFvecs(prefix + ".query.fvecs", workload.queries);
+  std::printf("wrote %s.base.fvecs (%u x %u) and %s.query.fvecs (%u x %u)\n",
+              out, workload.base.size(), workload.base.dim(), out,
+              workload.queries.size(), workload.queries.dim());
+  if (const uint32_t gt_k = args.GetU32("gt", 0); gt_k > 0) {
+    const GroundTruth truth =
+        ComputeGroundTruth(workload.base, workload.queries, gt_k);
+    WriteIvecs(prefix + ".gt.ivecs", truth);
+    std::printf("wrote %s.gt.ivecs (top-%u)\n", out, gt_k);
+  }
+  return 0;
+}
+
+AlgorithmOptions OptionsFrom(const Args& args) {
+  AlgorithmOptions options;
+  options.knng_degree = args.GetU32("knng", options.knng_degree);
+  options.max_degree = args.GetU32("degree", options.max_degree);
+  options.build_pool = args.GetU32("build-pool", options.build_pool);
+  options.num_threads = args.GetU32("threads", 1);
+  options.seed = args.GetU32("seed", 2024);
+  return options;
+}
+
+int CmdBuild(const Args& args) {
+  const char* base_path = args.Get("base");
+  const char* algo = args.Get("algo");
+  if (base_path == nullptr || algo == nullptr || !IsKnownAlgorithm(algo)) {
+    std::fprintf(stderr,
+                 "build: --base FILE.fvecs and --algo NAME (one of "
+                 "`weavess_cli algorithms`) are required\n");
+    return 2;
+  }
+  const Dataset base = ReadFvecs(base_path);
+  std::printf("loaded %u x %u vectors\n", base.size(), base.dim());
+  auto index = CreateAlgorithm(algo, OptionsFrom(args));
+  index->Build(base);
+  const BuildStats stats = index->build_stats();
+  const DegreeStats degrees = ComputeDegreeStats(index->graph());
+  std::printf("built %s: %.2fs, %llu distance evals\n", algo, stats.seconds,
+              static_cast<unsigned long long>(stats.distance_evals));
+  std::printf("index: %s, AD %.1f (max %u / min %u), CC %u\n",
+              TablePrinter::Megabytes(index->IndexMemoryBytes()).c_str(),
+              degrees.average, degrees.max, degrees.min,
+              CountConnectedComponents(index->graph()));
+  if (const uint32_t gq_k = args.GetU32("gq", 0); gq_k > 0) {
+    const Graph exact = BuildExactKnng(base, gq_k);
+    std::printf("GQ@%u: %.3f\n", gq_k,
+                ComputeGraphQuality(index->graph(), exact));
+  }
+  if (const char* save = args.Get("save"); save != nullptr) {
+    index->graph().Save(save);
+    std::printf("graph saved to %s\n", save);
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  const char* base_path = args.Get("base");
+  const char* query_path = args.Get("query");
+  const char* gt_path = args.Get("gt");
+  const char* algo = args.Get("algo");
+  if (base_path == nullptr || query_path == nullptr || algo == nullptr ||
+      !IsKnownAlgorithm(algo)) {
+    std::fprintf(stderr,
+                 "eval: --base, --query, --algo are required (and --gt, "
+                 "else exact ground truth is computed on the fly)\n");
+    return 2;
+  }
+  const Dataset base = ReadFvecs(base_path);
+  const Dataset queries = ReadFvecs(query_path);
+  const uint32_t k = args.GetU32("k", 10);
+  const GroundTruth truth = gt_path != nullptr
+                                ? ReadIvecs(gt_path)
+                                : ComputeGroundTruth(base, queries, k);
+  auto index = CreateAlgorithm(algo, OptionsFrom(args));
+  index->Build(base);
+  std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
+
+  std::vector<uint32_t> pools;
+  if (const char* list = args.Get("pools"); list != nullptr) {
+    for (const char* p = list; *p != '\0';) {
+      pools.push_back(static_cast<uint32_t>(std::atoi(p)));
+      while (*p != '\0' && *p != ',') ++p;
+      if (*p == ',') ++p;
+    }
+  } else {
+    pools = {10, 20, 40, 80, 160, 320};
+  }
+  TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL"});
+  for (const SearchPoint& point :
+       SweepPoolSizes(*index, queries, truth, k, pools)) {
+    table.AddRow({TablePrinter::Int(point.params.pool_size),
+                  TablePrinter::Fixed(point.recall, 3),
+                  TablePrinter::Fixed(point.qps, 0),
+                  TablePrinter::Fixed(point.speedup, 1),
+                  TablePrinter::Fixed(point.mean_ndc, 0),
+                  TablePrinter::Fixed(point.mean_hops, 0)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "algorithms") return CmdAlgorithms();
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "eval") return CmdEval(args);
+  return Usage();
+}
