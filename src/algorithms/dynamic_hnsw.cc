@@ -50,9 +50,14 @@ uint32_t DynamicHnsw::GreedyStep(const float* query, uint32_t entry,
 
 void DynamicHnsw::SearchLevel(const float* query, uint32_t level,
                               CandidatePool& pool, uint64_t* ndc,
-                              uint64_t* hops) {
+                              uint64_t* hops, const SearchBudget* budget,
+                              bool* truncated) {
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (budget != nullptr && ndc != nullptr && budget->Exhausted(*ndc)) {
+      if (truncated != nullptr) *truncated = true;
+      return;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     if (hops != nullptr) ++*hops;
@@ -187,7 +192,12 @@ std::vector<uint32_t> DynamicHnsw::Search(const float* query,
   CandidatePool pool(std::max(params.pool_size, params.k) + slack);
   visited_->MarkVisited(entry);
   pool.Insert(Neighbor(entry, Distance(query, entry, &ndc)));
-  SearchLevel(query, 0, pool, &ndc, &hops);
+  const SearchBudget budget =
+      SearchBudget::FromLimits(params.max_distance_evals,
+                               params.time_budget_us);
+  bool truncated = false;
+  SearchLevel(query, 0, pool, &ndc, &hops,
+              budget.unlimited() ? nullptr : &budget, &truncated);
   for (const Neighbor& candidate : pool.entries()) {
     if (deleted_[candidate.id]) continue;
     result.push_back(candidate.id);
@@ -196,6 +206,7 @@ std::vector<uint32_t> DynamicHnsw::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = ndc;
     stats->hops = hops;
+    stats->truncated = truncated;
   }
   return result;
 }

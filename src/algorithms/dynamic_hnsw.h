@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/dataset.h"
 #include "core/graph.h"
 #include "core/index.h"
@@ -62,9 +63,12 @@ class DynamicHnsw {
   uint32_t GreedyStep(const float* query, uint32_t entry, uint32_t level,
                       uint64_t* ndc) const;
   // Best-first over one level; fills `pool`. Counts NDC/hops into the
-  // pointers when given.
+  // pointers when given. When `budget` is non-null and trips, the walk
+  // stops with best-so-far pool contents and sets `*truncated`.
   void SearchLevel(const float* query, uint32_t level, CandidatePool& pool,
-                   uint64_t* ndc, uint64_t* hops);
+                   uint64_t* ndc, uint64_t* hops,
+                   const SearchBudget* budget = nullptr,
+                   bool* truncated = nullptr);
   void Connect(uint32_t point, uint32_t level,
                const std::vector<Neighbor>& selected);
   uint32_t DegreeBound(uint32_t level) const {

@@ -119,12 +119,14 @@ std::vector<uint32_t> HcnngIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   CandidatePool pool(std::max(params.pool_size, params.k));
   seeds_->Seed(query, oracle, ctx, pool);
   GuidedSearch(graph_, *data_, query, oracle, ctx, pool);
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

@@ -23,6 +23,10 @@ uint32_t HnswIndex::GreedyStep(const float* query, uint32_t entry,
   float current_dist = oracle.ToQuery(query, current);
   bool improved = true;
   while (improved) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      break;
+    }
     improved = false;
     ++ctx.hops;
     for (uint32_t neighbor : links_[current][level]) {
@@ -42,6 +46,10 @@ void HnswIndex::SearchLevel(const float* query, uint32_t level,
                             CandidatePool& pool) const {
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
@@ -142,6 +150,7 @@ std::vector<uint32_t> HnswIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   uint32_t entry = entry_point_;
   for (uint32_t l = max_level_; l > 0; --l) {
     entry = GreedyStep(query, entry, l, oracle, ctx);
@@ -152,6 +161,7 @@ std::vector<uint32_t> HnswIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

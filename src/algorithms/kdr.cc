@@ -73,6 +73,7 @@ std::vector<uint32_t> KdrIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   CandidatePool pool(std::max(params.pool_size, params.k));
   // Pool-filling random seeds, like KGraph (cluster coverage scales with L).
   std::vector<uint32_t> seeds = rng_.SampleDistinct(
@@ -83,6 +84,7 @@ std::vector<uint32_t> KdrIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

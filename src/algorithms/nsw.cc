@@ -52,6 +52,7 @@ std::vector<uint32_t> NswIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   CandidatePool pool(std::max(params.pool_size, params.k));
   // KGraph-style seeding: fill the pool with random entries, which keeps
   // cluster coverage proportional to the search effort L.
@@ -63,6 +64,7 @@ std::vector<uint32_t> NswIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

@@ -106,6 +106,7 @@ std::vector<uint32_t> SptagIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   CandidatePool pool(std::max(params.pool_size, params.k));
 
   // Iterated search: on convergence, re-enter through the tree with a
@@ -122,6 +123,7 @@ std::vector<uint32_t> SptagIndex::Search(const float* query,
       ctx.visited.MarkVisited(entry.id);
     }
     BestFirstSearch(graph_, query, oracle, ctx, pool);
+    if (ctx.truncated) break;  // budget tripped: no further restarts
     const float best_after =
         pool.size() > 0 ? pool[0].distance
                         : std::numeric_limits<float>::infinity();
@@ -132,6 +134,7 @@ std::vector<uint32_t> SptagIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

@@ -1,0 +1,50 @@
+// Per-query search budgets. A budget does not change what a search visits —
+// it only caps how much work the walk may spend before returning its
+// best-so-far results, so a disconnected or adversarial graph cannot wedge
+// a query thread. When a budget trips, QueryStats::truncated is set.
+#ifndef WEAVESS_CORE_BUDGET_H_
+#define WEAVESS_CORE_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace weavess {
+
+struct SearchBudget {
+  /// Caps distance evaluations (0 = unlimited). Checked once per expanded
+  /// vertex, so the actual spend can overshoot by one adjacency list.
+  uint64_t max_distance_evals = 0;
+
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+
+  static SearchBudget Unlimited() { return {}; }
+
+  /// Builds a budget from SearchParams-style limits; 0 disables a limit.
+  static SearchBudget FromLimits(uint64_t max_evals, uint64_t time_budget_us) {
+    SearchBudget budget;
+    budget.max_distance_evals = max_evals;
+    if (time_budget_us > 0) {
+      budget.has_deadline = true;
+      budget.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(time_budget_us);
+    }
+    return budget;
+  }
+
+  bool unlimited() const { return max_distance_evals == 0 && !has_deadline; }
+
+  /// True once the walk must stop. The clock is only consulted when a
+  /// deadline is armed, keeping unbudgeted searches free of syscalls.
+  bool Exhausted(uint64_t distance_evals_so_far) const {
+    if (max_distance_evals > 0 &&
+        distance_evals_so_far >= max_distance_evals) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_BUDGET_H_

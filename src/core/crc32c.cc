@@ -1,0 +1,41 @@
+#include "core/crc32c.h"
+
+namespace weavess {
+
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable* const kTable = new Crc32cTable();
+  return *kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const uint32_t* table = Table().entries;
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace weavess

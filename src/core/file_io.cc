@@ -1,0 +1,95 @@
+#include "core/file_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace weavess {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& action, const std::string& path) {
+  return action + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+StdioWriter::~StdioWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status StdioWriter::Open(const std::string& path) {
+  WEAVESS_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open for writing", path));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status StdioWriter::Append(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::IOError("writer is not open");
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError(ErrnoMessage("write failed to", path_));
+  }
+  return Status::OK();
+}
+
+Status StdioWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (std::fclose(file) != 0) {
+    return Status::IOError(ErrnoMessage("close failed for", path_));
+  }
+  return Status::OK();
+}
+
+StdioReader::~StdioReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status StdioReader::Open(const std::string& path) {
+  WEAVESS_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open for reading", path));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+StatusOr<size_t> StdioReader::Read(void* buffer, size_t n) {
+  if (file_ == nullptr) return Status::IOError("reader is not open");
+  const size_t got = std::fread(buffer, 1, n, file_);
+  if (got < n && std::ferror(file_) != 0) {
+    return Status::IOError(ErrnoMessage("read failed from", path_));
+  }
+  return got;
+}
+
+Status ReadAll(Reader& reader, std::string* out) {
+  char chunk[1 << 16];
+  while (true) {
+    WEAVESS_ASSIGN_OR_RETURN(const size_t got,
+                             reader.Read(chunk, sizeof(chunk)));
+    if (got == 0) return Status::OK();
+    out->append(chunk, got);
+  }
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  StdioReader reader;
+  WEAVESS_RETURN_IF_ERROR(reader.Open(path));
+  return ReadAll(reader, out);
+}
+
+Status WriteStringToFile(const std::string& data, const std::string& path) {
+  StdioWriter writer;
+  WEAVESS_RETURN_IF_ERROR(writer.Open(path));
+  WEAVESS_RETURN_IF_ERROR(writer.Append(data.data(), data.size()));
+  return writer.Close();
+}
+
+}  // namespace weavess

@@ -1,0 +1,82 @@
+// Minimal byte-stream abstraction for index persistence. The graph
+// serializer writes through Writer and reads through Reader so that tests
+// can inject faults (short reads, failed writes, truncation) without
+// touching the real filesystem; production code uses the stdio-backed
+// implementations below.
+#ifndef WEAVESS_CORE_FILE_IO_H_
+#define WEAVESS_CORE_FILE_IO_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/status.h"
+
+namespace weavess {
+
+/// Append-only byte sink. Implementations return kIOError on failure
+/// (e.g., ENOSPC); partial progress is unspecified and callers must treat
+/// the destination as garbage after any error.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Flushes and releases the underlying resource. Must be called to
+  /// observe deferred write errors; destructors close silently.
+  virtual Status Close() { return Status::OK(); }
+};
+
+/// Sequential byte source. Read returns the number of bytes produced,
+/// which may be fewer than requested (short read) — 0 means end of stream.
+/// Callers must loop; fault-injection readers exercise exactly this.
+class Reader {
+ public:
+  virtual ~Reader() = default;
+
+  virtual StatusOr<size_t> Read(void* buffer, size_t n) = 0;
+};
+
+/// stdio-backed Writer.
+class StdioWriter : public Writer {
+ public:
+  StdioWriter() = default;
+  ~StdioWriter() override;
+  StdioWriter(const StdioWriter&) = delete;
+  StdioWriter& operator=(const StdioWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const void* data, size_t n) override;
+  Status Close() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// stdio-backed Reader.
+class StdioReader : public Reader {
+ public:
+  StdioReader() = default;
+  ~StdioReader() override;
+  StdioReader(const StdioReader&) = delete;
+  StdioReader& operator=(const StdioReader&) = delete;
+
+  Status Open(const std::string& path);
+  StatusOr<size_t> Read(void* buffer, size_t n) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Drains `reader` to EOF into `*out` (appending).
+Status ReadAll(Reader& reader, std::string* out);
+
+/// Whole-file convenience wrappers over the stdio classes.
+Status ReadFileToString(const std::string& path, std::string* out);
+Status WriteStringToFile(const std::string& data, const std::string& path);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_FILE_IO_H_

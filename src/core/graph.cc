@@ -1,7 +1,8 @@
 #include "core/graph.h"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "core/graph_io.h"
 
 namespace weavess {
 
@@ -41,42 +42,12 @@ void Graph::TruncateDegrees(uint32_t max_degree) {
   }
 }
 
-void Graph::Save(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  WEAVESS_CHECK(file != nullptr);
-  const uint32_t n = size();
-  WEAVESS_CHECK(std::fwrite(&n, sizeof(n), 1, file) == 1);
-  for (const auto& list : adjacency_) {
-    const auto degree = static_cast<uint32_t>(list.size());
-    WEAVESS_CHECK(std::fwrite(&degree, sizeof(degree), 1, file) == 1);
-    if (degree > 0) {
-      WEAVESS_CHECK(std::fwrite(list.data(), sizeof(uint32_t), degree,
-                                file) == degree);
-    }
-  }
-  WEAVESS_CHECK(std::fclose(file) == 0);
+Status Graph::Save(const std::string& path, std::string_view metadata) const {
+  return SaveGraph(*this, path, metadata);
 }
 
-Graph Graph::Load(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  WEAVESS_CHECK(file != nullptr);
-  uint32_t n = 0;
-  WEAVESS_CHECK(std::fread(&n, sizeof(n), 1, file) == 1);
-  Graph graph(n);
-  for (uint32_t v = 0; v < n; ++v) {
-    uint32_t degree = 0;
-    WEAVESS_CHECK(std::fread(&degree, sizeof(degree), 1, file) == 1);
-    WEAVESS_CHECK(degree <= n);
-    auto& list = graph.adjacency_[v];
-    list.resize(degree);
-    if (degree > 0) {
-      WEAVESS_CHECK(std::fread(list.data(), sizeof(uint32_t), degree,
-                               file) == degree);
-      for (uint32_t id : list) WEAVESS_CHECK(id < n);
-    }
-  }
-  std::fclose(file);
-  return graph;
+StatusOr<Graph> Graph::Load(const std::string& path, std::string* metadata) {
+  return LoadGraph(path, metadata);
 }
 
 }  // namespace weavess

@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/check.h"
+#include "core/status.h"
 
 namespace weavess {
 
@@ -59,10 +61,18 @@ class Graph {
   /// (callers order lists by distance before truncation).
   void TruncateDegrees(uint32_t max_degree);
 
-  /// Binary persistence: [u32 n] then per vertex [u32 degree][ids...],
-  /// little-endian. WEAVESS_CHECK-fails on I/O errors or malformed input.
-  void Save(const std::string& path) const;
-  static Graph Load(const std::string& path);
+  /// Persists the graph in the versioned, CRC32C-checksummed format of
+  /// docs/PERSISTENCE.md. `metadata` is an opaque section for algorithm
+  /// information (name, build parameters); it round-trips via Load.
+  /// Returns kIOError if the file cannot be written.
+  Status Save(const std::string& path, std::string_view metadata = {}) const;
+
+  /// Loads a saved graph, verifying magic, version and every section CRC.
+  /// Returns kCorruption with a byte-offset diagnostic on any mismatch
+  /// (including seed-era headerless files) — never aborts, never returns a
+  /// silently wrong graph. Fills `*metadata` when non-null.
+  static StatusOr<Graph> Load(const std::string& path,
+                              std::string* metadata = nullptr);
 
  private:
   std::vector<std::vector<uint32_t>> adjacency_;

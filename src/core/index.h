@@ -24,6 +24,13 @@ struct SearchParams {
   float epsilon = 0.10f;
   /// Extra post-convergence expansions (FANNG's backtracking).
   uint32_t backtrack = 100;
+  /// Graceful-degradation budgets (0 = unlimited). When a budget trips, the
+  /// search stops where it is, returns its best-so-far results, and sets
+  /// QueryStats::truncated — a disconnected or adversarial graph cannot
+  /// wedge a query thread. Checked per expanded vertex, so the actual spend
+  /// may overshoot max_distance_evals by one adjacency list.
+  uint64_t max_distance_evals = 0;
+  uint64_t time_budget_us = 0;
 };
 
 /// Per-query measurements backing Speedup (= |S| / distance_evals) and the
@@ -31,6 +38,9 @@ struct SearchParams {
 struct QueryStats {
   uint64_t distance_evals = 0;
   uint64_t hops = 0;
+  /// True when a SearchParams budget tripped and the results are the
+  /// best-so-far prefix of the walk rather than a converged search.
+  bool truncated = false;
 };
 
 /// Construction-side measurements.

@@ -1,0 +1,151 @@
+// Recoverable error handling in the RocksDB/Arrow style: operations whose
+// failure is caused by the outside world (missing files, corrupted bytes,
+// bad arguments) return a Status / StatusOr<T> instead of aborting. The
+// WEAVESS_CHECK macro remains reserved for true internal invariants whose
+// violation means the program itself is broken (see README, "Error
+// handling conventions").
+#ifndef WEAVESS_CORE_STATUS_H_
+#define WEAVESS_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace weavess {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kIOError = 1,          // the environment failed us (open/read/write)
+  kCorruption = 2,       // bytes exist but fail validation (CRC, bounds)
+  kInvalidArgument = 3,  // the caller asked for something nonsensical
+  kNotSupported = 4,     // recognized but unimplemented (future versions)
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotSupported(std::string message) {
+    return Status(StatusCode::kNotSupported, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining why there is none. Accessing the
+/// value of a failed StatusOr is an internal invariant violation (aborts);
+/// callers must test ok() or use the WEAVESS_ASSIGN_OR_RETURN macro.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    WEAVESS_CHECK(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    WEAVESS_CHECK(ok() && "value() on failed StatusOr");
+    return *value_;
+  }
+  const T& value() const& {
+    WEAVESS_CHECK(ok() && "value() on failed StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    WEAVESS_CHECK(ok() && "value() on failed StatusOr");
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace weavess
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define WEAVESS_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::weavess::Status _weavess_status = (expr);       \
+    if (!_weavess_status.ok()) return _weavess_status; \
+  } while (0)
+
+#define WEAVESS_STATUS_CONCAT_INNER(a, b) a##b
+#define WEAVESS_STATUS_CONCAT(a, b) WEAVESS_STATUS_CONCAT_INNER(a, b)
+
+/// WEAVESS_ASSIGN_OR_RETURN(auto x, Expr()) — unwraps a StatusOr, returning
+/// the error Status to the caller on failure.
+#define WEAVESS_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  auto WEAVESS_STATUS_CONCAT(_weavess_statusor_, __LINE__) = (rexpr);     \
+  if (!WEAVESS_STATUS_CONCAT(_weavess_statusor_, __LINE__).ok()) {        \
+    return WEAVESS_STATUS_CONCAT(_weavess_statusor_, __LINE__).status();  \
+  }                                                                       \
+  lhs = std::move(WEAVESS_STATUS_CONCAT(_weavess_statusor_, __LINE__)).value()
+
+#endif  // WEAVESS_CORE_STATUS_H_

@@ -23,6 +23,7 @@ SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
     recall_sum += Recall(result, truth[q], params.k);
     ndc_sum += stats.distance_evals;
     hop_sum += stats.hops;
+    if (stats.truncated) ++point.truncated_queries;
   }
   const double seconds = timer.Seconds();
   const double n = queries.size();
@@ -39,11 +40,12 @@ SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
 
 std::vector<SearchPoint> SweepPoolSizes(
     AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
-    uint32_t k, const std::vector<uint32_t>& pool_sizes) {
+    uint32_t k, const std::vector<uint32_t>& pool_sizes,
+    const SearchParams& base_params) {
   std::vector<SearchPoint> points;
   points.reserve(pool_sizes.size());
   for (uint32_t pool : pool_sizes) {
-    SearchParams params;
+    SearchParams params = base_params;
     params.k = k;
     params.pool_size = pool;
     points.push_back(EvaluateSearch(index, queries, truth, params));

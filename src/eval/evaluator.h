@@ -20,6 +20,7 @@ struct SearchPoint {
   double mean_ndc = 0.0;     // mean distance evaluations per query
   double speedup = 0.0;      // |S| / mean_ndc
   double mean_hops = 0.0;    // query path length PL
+  uint32_t truncated_queries = 0;  // queries stopped by a search budget
 };
 
 /// Runs every query once under `params`.
@@ -29,10 +30,12 @@ SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
 
 /// Sweeps the candidate-pool size L over `pool_sizes`, producing one curve
 /// point per value (k fixed). This is the paper's tradeoff-curve driver.
-std::vector<SearchPoint> SweepPoolSizes(AnnIndex& index,
-                                        const Dataset& queries,
-                                        const GroundTruth& truth, uint32_t k,
-                                        const std::vector<uint32_t>& pool_sizes);
+/// `base_params` carries the non-swept knobs (epsilon, search budgets) into
+/// every point.
+std::vector<SearchPoint> SweepPoolSizes(
+    AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
+    uint32_t k, const std::vector<uint32_t>& pool_sizes,
+    const SearchParams& base_params = {});
 
 /// Smallest pool size reaching `target_recall` (the CS metric of Table 5),
 /// found by sweeping `pool_sizes` in ascending order. Returns the point for

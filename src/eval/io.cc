@@ -1,10 +1,10 @@
 #include "eval/io.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
-
-#include "core/check.h"
 
 namespace weavess {
 
@@ -17,77 +17,184 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-FilePtr OpenOrDie(const std::string& path, const char* mode) {
+StatusOr<FilePtr> OpenFile(const std::string& path, const char* mode) {
   FilePtr file(std::fopen(path.c_str(), mode));
-  WEAVESS_CHECK(file != nullptr && "cannot open file");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
   return file;
+}
+
+/// Size of an open file via fseek/ftell, restoring the read position.
+StatusOr<uint64_t> FileSize(std::FILE* file, const std::string& path) {
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("cannot seek in '" + path + "'");
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || std::fseek(file, 0, SEEK_SET) != 0) {
+    return Status::IOError("cannot determine size of '" + path + "'");
+  }
+  return static_cast<uint64_t>(size);
+}
+
+Status TruncatedRecord(const std::string& path, uint64_t offset,
+                       uint64_t needed, uint64_t available) {
+  return Status::Corruption(
+      "truncated record in '" + path + "' at byte offset " +
+      std::to_string(offset) + ": header promises " + std::to_string(needed) +
+      " payload bytes but only " + std::to_string(available) + " remain");
+}
+
+/// Validates a per-record int32 dimension/length header against the
+/// overflow hazard: hostile values must never feed an allocation.
+Status CheckDimHeader(const std::string& path, uint64_t offset,
+                      int32_t value) {
+  if (value <= 0 || value > kMaxVectorDim) {
+    return Status::Corruption(
+        "invalid dimension header " + std::to_string(value) + " in '" + path +
+        "' at byte offset " + std::to_string(offset) + " (must be in [1, " +
+        std::to_string(kMaxVectorDim) + "])");
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
-Dataset ReadFvecs(const std::string& path, uint32_t max_vectors) {
-  FilePtr file = OpenOrDie(path, "rb");
+StatusOr<Dataset> ReadFvecs(const std::string& path, uint32_t max_vectors) {
+  WEAVESS_ASSIGN_OR_RETURN(FilePtr file, OpenFile(path, "rb"));
+  WEAVESS_ASSIGN_OR_RETURN(const uint64_t file_size,
+                           FileSize(file.get(), path));
   std::vector<float> payload;
   uint32_t dim = 0;
   uint32_t count = 0;
+  uint64_t offset = 0;
   while (max_vectors == 0 || count < max_vectors) {
     int32_t record_dim = 0;
     if (std::fread(&record_dim, sizeof(record_dim), 1, file.get()) != 1) {
+      if (std::ferror(file.get()) != 0) {
+        return Status::IOError("read failed in '" + path + "' at byte offset " +
+                               std::to_string(offset));
+      }
       break;  // clean EOF
     }
-    WEAVESS_CHECK(record_dim > 0);
+    WEAVESS_RETURN_IF_ERROR(CheckDimHeader(path, offset, record_dim));
     if (dim == 0) {
       dim = static_cast<uint32_t>(record_dim);
+      // Record count bound from the actual file size: reserve exactly what
+      // a well-formed file can hold, so a hostile header cannot force an
+      // oversized allocation.
+      const uint64_t record_bytes = 4 + static_cast<uint64_t>(dim) * 4;
+      uint64_t max_records = file_size / record_bytes;
+      if (max_vectors > 0 && max_vectors < max_records) {
+        max_records = max_vectors;
+      }
+      payload.reserve(static_cast<size_t>(max_records) * dim);
     }
-    WEAVESS_CHECK(static_cast<uint32_t>(record_dim) == dim);
-    const size_t offset = payload.size();
-    payload.resize(offset + dim);
-    WEAVESS_CHECK(std::fread(payload.data() + offset, sizeof(float), dim,
-                             file.get()) == dim);
+    if (static_cast<uint32_t>(record_dim) != dim) {
+      return Status::Corruption(
+          "inconsistent dimension in '" + path + "' at byte offset " +
+          std::to_string(offset) + ": record has " +
+          std::to_string(record_dim) + ", file started with " +
+          std::to_string(dim));
+    }
+    const uint64_t needed = static_cast<uint64_t>(dim) * 4;
+    if (offset + 4 + needed > file_size) {
+      return TruncatedRecord(path, offset, needed, file_size - offset - 4);
+    }
+    const size_t old_size = payload.size();
+    payload.resize(old_size + dim);
+    if (std::fread(payload.data() + old_size, sizeof(float), dim,
+                   file.get()) != dim) {
+      return Status::IOError("read failed in '" + path + "' at byte offset " +
+                             std::to_string(offset + 4));
+    }
+    offset += 4 + needed;
     ++count;
   }
-  WEAVESS_CHECK(count > 0 && "empty fvecs file");
+  if (count == 0) {
+    return Status::Corruption("empty fvecs file '" + path + "'");
+  }
   return Dataset(count, dim, std::move(payload));
 }
 
-void WriteFvecs(const std::string& path, const Dataset& data) {
-  FilePtr file = OpenOrDie(path, "wb");
+Status WriteFvecs(const std::string& path, const Dataset& data) {
+  WEAVESS_ASSIGN_OR_RETURN(FilePtr file, OpenFile(path, "wb"));
   const auto dim = static_cast<int32_t>(data.dim());
   for (uint32_t i = 0; i < data.size(); ++i) {
-    WEAVESS_CHECK(std::fwrite(&dim, sizeof(dim), 1, file.get()) == 1);
-    WEAVESS_CHECK(std::fwrite(data.Row(i), sizeof(float), data.dim(),
-                              file.get()) == data.dim());
+    if (std::fwrite(&dim, sizeof(dim), 1, file.get()) != 1 ||
+        std::fwrite(data.Row(i), sizeof(float), data.dim(), file.get()) !=
+            data.dim()) {
+      return Status::IOError("write failed to '" + path +
+                             "': " + std::strerror(errno));
+    }
   }
+  std::FILE* raw = file.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
-GroundTruth ReadIvecs(const std::string& path, uint32_t max_rows) {
-  FilePtr file = OpenOrDie(path, "rb");
+StatusOr<GroundTruth> ReadIvecs(const std::string& path, uint32_t max_rows) {
+  WEAVESS_ASSIGN_OR_RETURN(FilePtr file, OpenFile(path, "rb"));
+  WEAVESS_ASSIGN_OR_RETURN(const uint64_t file_size,
+                           FileSize(file.get(), path));
   GroundTruth truth;
+  uint64_t offset = 0;
   while (max_rows == 0 || truth.size() < max_rows) {
     int32_t row_len = 0;
-    if (std::fread(&row_len, sizeof(row_len), 1, file.get()) != 1) break;
-    WEAVESS_CHECK(row_len > 0);
-    std::vector<int32_t> row(row_len);
-    WEAVESS_CHECK(std::fread(row.data(), sizeof(int32_t),
-                             static_cast<size_t>(row_len),
-                             file.get()) == static_cast<size_t>(row_len));
+    if (std::fread(&row_len, sizeof(row_len), 1, file.get()) != 1) {
+      if (std::ferror(file.get()) != 0) {
+        return Status::IOError("read failed in '" + path + "' at byte offset " +
+                               std::to_string(offset));
+      }
+      break;  // clean EOF
+    }
+    WEAVESS_RETURN_IF_ERROR(CheckDimHeader(path, offset, row_len));
+    const uint64_t needed = static_cast<uint64_t>(row_len) * 4;
+    if (offset + 4 + needed > file_size) {
+      return TruncatedRecord(path, offset, needed, file_size - offset - 4);
+    }
+    std::vector<int32_t> row(static_cast<size_t>(row_len));
+    if (std::fread(row.data(), sizeof(int32_t), row.size(), file.get()) !=
+        row.size()) {
+      return Status::IOError("read failed in '" + path + "' at byte offset " +
+                             std::to_string(offset + 4));
+    }
     std::vector<uint32_t> ids(row.begin(), row.end());
     truth.push_back(std::move(ids));
+    offset += 4 + needed;
   }
-  WEAVESS_CHECK(!truth.empty() && "empty ivecs file");
+  if (truth.empty()) {
+    return Status::Corruption("empty ivecs file '" + path + "'");
+  }
   return truth;
 }
 
-void WriteIvecs(const std::string& path, const GroundTruth& truth) {
-  FilePtr file = OpenOrDie(path, "wb");
+Status WriteIvecs(const std::string& path, const GroundTruth& truth) {
+  WEAVESS_ASSIGN_OR_RETURN(FilePtr file, OpenFile(path, "wb"));
   for (const auto& row : truth) {
     const auto len = static_cast<int32_t>(row.size());
-    WEAVESS_CHECK(std::fwrite(&len, sizeof(len), 1, file.get()) == 1);
+    if (std::fwrite(&len, sizeof(len), 1, file.get()) != 1) {
+      return Status::IOError("write failed to '" + path +
+                             "': " + std::strerror(errno));
+    }
     for (uint32_t id : row) {
       const auto value = static_cast<int32_t>(id);
-      WEAVESS_CHECK(std::fwrite(&value, sizeof(value), 1, file.get()) == 1);
+      if (std::fwrite(&value, sizeof(value), 1, file.get()) != 1) {
+        return Status::IOError("write failed to '" + path +
+                               "': " + std::strerror(errno));
+      }
     }
   }
+  std::FILE* raw = file.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace weavess

@@ -3,6 +3,11 @@
 // dimension followed by that many float32 (fvecs) or int32 (ivecs) values.
 // With these readers the benchmarks can run on the original corpora when
 // available; the synthetic stand-ins remain the offline default.
+//
+// The readers are hardened against hostile or damaged files: every failure
+// (missing file, truncated record, inconsistent or absurd dimension
+// headers) is reported as a Status instead of aborting, and no allocation
+// is sized from an unvalidated header field.
 #ifndef WEAVESS_EVAL_IO_H_
 #define WEAVESS_EVAL_IO_H_
 
@@ -10,23 +15,35 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "eval/ground_truth.h"
 
 namespace weavess {
 
-/// Reads an .fvecs file into a Dataset. WEAVESS_CHECK-fails on malformed
-/// input (inconsistent dimensions, truncated records). `max_vectors`
-/// limits how many records are read (0 = all).
-Dataset ReadFvecs(const std::string& path, uint32_t max_vectors = 0);
+/// Upper bound on a per-record dimension / row-length header. A hostile
+/// int32 header beyond this is rejected as corruption before any
+/// allocation is attempted (2^16 floats = 256 KiB per row, far above any
+/// real embedding width).
+inline constexpr int32_t kMaxVectorDim = 1 << 16;
+
+/// Reads an .fvecs file into a Dataset. Returns kIOError if the file
+/// cannot be opened/read and kCorruption (with a byte-offset diagnostic)
+/// on malformed input: non-positive or oversized dimension headers,
+/// inconsistent dimensions, or truncated records whose header promises
+/// more bytes than the file holds. `max_vectors` limits how many records
+/// are read (0 = all).
+StatusOr<Dataset> ReadFvecs(const std::string& path, uint32_t max_vectors = 0);
 
 /// Writes a Dataset as .fvecs.
-void WriteFvecs(const std::string& path, const Dataset& data);
+Status WriteFvecs(const std::string& path, const Dataset& data);
 
-/// Reads an .ivecs ground-truth file (one int32 id row per query).
-GroundTruth ReadIvecs(const std::string& path, uint32_t max_rows = 0);
+/// Reads an .ivecs ground-truth file (one int32 id row per query), with
+/// the same validation as ReadFvecs.
+StatusOr<GroundTruth> ReadIvecs(const std::string& path,
+                                uint32_t max_rows = 0);
 
 /// Writes ground truth as .ivecs.
-void WriteIvecs(const std::string& path, const GroundTruth& truth);
+Status WriteIvecs(const std::string& path, const GroundTruth& truth);
 
 }  // namespace weavess
 

@@ -149,6 +149,7 @@ std::vector<uint32_t> EarlyTerminationIndex::Search(const float* query,
     stats->distance_evals =
         probe_stats.distance_evals + main_stats.distance_evals;
     stats->hops = probe_stats.hops + main_stats.hops;
+    stats->truncated = probe_stats.truncated || main_stats.truncated;
   }
   return result;
 }

@@ -74,6 +74,7 @@ std::vector<uint32_t> LearnedRoutingIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
 
   // Query embedding: m true distance evaluations, paid once per query.
   const uint32_t m = params_.num_landmarks;
@@ -92,6 +93,10 @@ std::vector<uint32_t> LearnedRoutingIndex::Search(const float* query,
   std::vector<std::pair<float, uint32_t>> ranked;
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      break;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
@@ -119,6 +124,7 @@ std::vector<uint32_t> LearnedRoutingIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

@@ -393,6 +393,7 @@ std::vector<uint32_t> PipelineIndex::Search(const float* query,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   CandidatePool pool(std::max(params.pool_size, params.k));
   seed_provider_->Seed(query, oracle, ctx, pool);
   switch (config_.routing) {
@@ -415,6 +416,7 @@ std::vector<uint32_t> PipelineIndex::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
   }
   return ExtractTopK(pool, params.k);
 }

@@ -59,6 +59,7 @@ std::vector<uint32_t> FilteredSearcher::Search(const float* query,
   DistanceOracle oracle(*data_, &counter);
   SearchContext ctx(data_->size());
   ctx.BeginQuery();
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
   const Graph& graph = index_->graph();
   CandidatePool routing(std::max(params.pool_size, params.k));
   CandidatePool results(std::max(params.k, 1u));
@@ -73,6 +74,10 @@ std::vector<uint32_t> FilteredSearcher::Search(const float* query,
   }
   size_t next;
   while ((next = routing.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      break;
+    }
     const uint32_t current = routing[next].id;
     routing.MarkChecked(next);
     ++ctx.hops;
@@ -84,6 +89,7 @@ std::vector<uint32_t> FilteredSearcher::Search(const float* query,
   if (stats != nullptr) {
     stats->distance_evals = probe_stats.distance_evals + counter.count;
     stats->hops = probe_stats.hops + ctx.hops;
+    stats->truncated = probe_stats.truncated || ctx.truncated;
   }
   return results.TopIds(params.k);
 }

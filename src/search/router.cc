@@ -20,6 +20,10 @@ void BestFirstSearch(const Graph& graph, const float* query,
                      CandidatePool& pool) {
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
@@ -51,6 +55,10 @@ void BacktrackSearch(const Graph& graph, const float* query,
   };
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     expand(current);
@@ -58,12 +66,20 @@ void BacktrackSearch(const Graph& graph, const float* query,
   // Converged: backtrack to the closest unexplored vertices seen so far.
   uint32_t spent = 0;
   while (spent < backtrack_budget && !overflow.empty()) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const Neighbor candidate = overflow.top();
     overflow.pop();
     ++spent;
     expand(candidate.id);
     // Expansion may have refilled the pool with unchecked improvements.
     while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+      if (ctx.BudgetExhausted()) {
+        ctx.truncated = true;
+        return;
+      }
       const uint32_t current = pool[next].id;
       pool.MarkChecked(next);
       expand(current);
@@ -80,6 +96,10 @@ void RangeSearch(const Graph& graph, const float* query,
       frontier;
   for (const Neighbor& seed : pool.entries()) frontier.push(seed);
   while (!frontier.empty()) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const Neighbor current = frontier.top();
     frontier.pop();
     const float radius = pool.WorstDistance();
@@ -122,6 +142,10 @@ void GuidedSearch(const Graph& graph, const Dataset& data, const float* query,
   const uint32_t dim = data.dim();
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
+    if (ctx.BudgetExhausted()) {
+      ctx.truncated = true;
+      return;
+    }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
@@ -149,6 +173,7 @@ void TwoStageSearch(const Graph& graph, const Dataset& data,
                     SearchContext& ctx, CandidatePool& pool) {
   // Stage 1: guided search homes in cheaply on the query region.
   GuidedSearch(graph, data, query, oracle, ctx, pool);
+  if (ctx.truncated) return;  // budget tripped: keep stage-1 best-so-far
   // Stage 2: re-open the pool entries for full best-first expansion. The
   // visited set persists, so stage 2 only pays for vertices the direction
   // filter skipped.

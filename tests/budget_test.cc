@@ -1,0 +1,156 @@
+// Graceful-degradation tests for the SearchParams budgets: a tripped
+// budget must return best-so-far results with QueryStats::truncated set,
+// terminate promptly even on pathological graphs, and leave no residue in
+// the per-query scratch state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/graph.h"
+#include "core/index.h"
+#include "search/router.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+using ::weavess::testing::MakeTestWorkload;
+using ::weavess::testing::TestWorkload;
+
+const TestWorkload& SharedWorkload() {
+  static const TestWorkload* const kWorkload =
+      new TestWorkload(MakeTestWorkload(400, 8, 8, 3));
+  return *kWorkload;
+}
+
+TEST(BudgetTest, DefaultsAreUnlimited) {
+  const TestWorkload& tw = SharedWorkload();
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(tw.workload.base);
+  SearchParams params;  // max_distance_evals = 0, time_budget_us = 0
+  params.k = 10;
+  QueryStats stats;
+  const auto result =
+      index->Search(tw.workload.queries.Row(0), params, &stats);
+  EXPECT_EQ(result.size(), 10u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(BudgetTest, EveryAlgorithmHonorsEvalBudget) {
+  // A budget of 1 distance evaluation trips on (or right after) the seed
+  // step for every algorithm: truncated must be set, the spend must stay
+  // within one adjacency list of the cap, and the call must return.
+  const TestWorkload& tw = SharedWorkload();
+  AlgorithmOptions options;
+  options.knng_degree = 10;
+  options.max_degree = 10;
+  options.build_pool = 30;
+  options.nn_descent_iters = 3;
+  for (const std::string& name : AlgorithmNames()) {
+    SCOPED_TRACE(name);
+    auto index = CreateAlgorithm(name, options);
+    index->Build(tw.workload.base);
+
+    SearchParams unlimited;
+    unlimited.k = 10;
+    QueryStats full_stats;
+    index->Search(tw.workload.queries.Row(0), unlimited, &full_stats);
+    EXPECT_FALSE(full_stats.truncated);
+
+    SearchParams budgeted = unlimited;
+    budgeted.max_distance_evals = 1;
+    QueryStats stats;
+    const auto result =
+        index->Search(tw.workload.queries.Row(0), budgeted, &stats);
+    EXPECT_TRUE(stats.truncated);
+    EXPECT_LE(result.size(), 10u);
+    // The budgeted walk stops at (or right after) seeding, so it must
+    // spend no more than the converged search did.
+    EXPECT_LE(stats.distance_evals, full_stats.distance_evals)
+        << "budgeted search did not spend less than the converged search";
+  }
+}
+
+TEST(BudgetTest, DisconnectedGraphPartialResults) {
+  // A deliberately disconnected graph: vertices {0,1,2} form a cycle that
+  // never reaches the rest of the dataset. With a tiny eval budget the
+  // walk must return its (partial, < k) best-so-far with truncated set —
+  // and terminate rather than spin looking for an exit.
+  const TestWorkload& tw = SharedWorkload();
+  const Dataset& base = tw.workload.base;
+  Graph graph(base.size());
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  // Every other vertex is isolated: unreachable from the seed component.
+
+  DistanceCounter counter;
+  DistanceOracle oracle(base, &counter);
+  SearchContext ctx(base.size());
+  ctx.BeginQuery();
+  ctx.ArmBudget(/*max_distance_evals=*/2, /*time_budget_us=*/0, &counter);
+  CandidatePool pool(100);
+  SeedPool({0}, tw.workload.queries.Row(1), oracle, ctx, pool);
+  BestFirstSearch(graph, tw.workload.queries.Row(1), oracle, ctx, pool);
+  const std::vector<uint32_t> result = ExtractTopK(pool, 10);
+  EXPECT_TRUE(ctx.truncated);
+  EXPECT_LT(result.size(), 10u) << "only 3 vertices are reachable";
+  EXPECT_FALSE(result.empty()) << "budget must not discard the best-so-far";
+}
+
+TEST(BudgetTest, TimeBudgetTrips) {
+  // time_budget_us = 1 expires before the first expansion completes on any
+  // realistic machine; the search must come back truncated, not hang.
+  const TestWorkload& tw = SharedWorkload();
+  auto index = CreateAlgorithm("NSG");
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.time_budget_us = 1;
+  QueryStats stats;
+  const auto result = index->Search(tw.workload.queries.Row(2), params, &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LE(result.size(), 10u);
+}
+
+TEST(BudgetTest, TruncationFlagResetsBetweenQueries) {
+  const TestWorkload& tw = SharedWorkload();
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(tw.workload.base);
+
+  SearchParams tight;
+  tight.k = 10;
+  tight.max_distance_evals = 1;
+  QueryStats stats;
+  index->Search(tw.workload.queries.Row(0), tight, &stats);
+  EXPECT_TRUE(stats.truncated);
+
+  SearchParams unlimited;
+  unlimited.k = 10;
+  QueryStats clean_stats;
+  const auto result =
+      index->Search(tw.workload.queries.Row(0), unlimited, &clean_stats);
+  EXPECT_FALSE(clean_stats.truncated)
+      << "truncated flag leaked from the previous budgeted query";
+  EXPECT_EQ(result.size(), 10u);
+}
+
+TEST(BudgetTest, GenerousBudgetDoesNotTruncate) {
+  const TestWorkload& tw = SharedWorkload();
+  auto index = CreateAlgorithm("Vamana");
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.max_distance_evals = 1'000'000;
+  params.time_budget_us = 60'000'000;
+  QueryStats stats;
+  const auto result = index->Search(tw.workload.queries.Row(3), params, &stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(result.size(), 10u);
+}
+
+}  // namespace
+}  // namespace weavess

@@ -1,0 +1,106 @@
+// Fault-injection doubles for the persistence layer. These plug into the
+// Writer/Reader seams of core/file_io.h so the corruption-matrix tests can
+// simulate disks that lie: truncated files, flipped bits, short reads, and
+// writes that fail mid-stream (ENOSPC).
+#ifndef WEAVESS_TESTS_FAULT_INJECTION_H_
+#define WEAVESS_TESTS_FAULT_INJECTION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "core/file_io.h"
+#include "core/status.h"
+
+namespace weavess::testing {
+
+/// Writer that captures bytes in memory but fails with kIOError once the
+/// cumulative size would exceed `capacity` — a deterministic ENOSPC.
+class FaultyWriter : public Writer {
+ public:
+  explicit FaultyWriter(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  Status Append(const void* data, size_t n) override {
+    if (failed_ || bytes_.size() + n > capacity_) {
+      failed_ = true;
+      return Status::IOError("injected write failure (no space left)");
+    }
+    bytes_.append(static_cast<const char*>(data), n);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (failed_) return Status::IOError("injected write failure at close");
+    return Status::OK();
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  size_t capacity_;
+  bool failed_ = false;
+  std::string bytes_;
+};
+
+/// Reader over an in-memory buffer that never produces more than
+/// `max_chunk` bytes per call, forcing callers to handle short reads.
+class ShortReadReader : public Reader {
+ public:
+  ShortReadReader(std::string bytes, size_t max_chunk)
+      : bytes_(std::move(bytes)), max_chunk_(max_chunk) {}
+
+  StatusOr<size_t> Read(void* buffer, size_t n) override {
+    const size_t available = bytes_.size() - pos_;
+    const size_t take = std::min({n, available, max_chunk_});
+    std::memcpy(buffer, bytes_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  std::string bytes_;
+  size_t max_chunk_;
+  size_t pos_ = 0;
+};
+
+/// Reader that serves bytes normally until `fail_after` bytes have been
+/// produced, then returns kIOError — a disk that dies mid-read.
+class FailingReader : public Reader {
+ public:
+  FailingReader(std::string bytes, size_t fail_after)
+      : bytes_(std::move(bytes)), fail_after_(fail_after) {}
+
+  StatusOr<size_t> Read(void* buffer, size_t n) override {
+    if (pos_ >= fail_after_) {
+      return Status::IOError("injected read failure");
+    }
+    const size_t limit = std::min(bytes_.size(), fail_after_);
+    const size_t take = std::min(n, limit - pos_);
+    std::memcpy(buffer, bytes_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  std::string bytes_;
+  size_t fail_after_;
+  size_t pos_ = 0;
+};
+
+/// First `length` bytes of `bytes` — a file whose tail was lost.
+inline std::string TruncateAt(const std::string& bytes, size_t length) {
+  return bytes.substr(0, std::min(length, bytes.size()));
+}
+
+/// Copy of `bytes` with one bit inverted.
+inline std::string FlipBit(const std::string& bytes, size_t bit_index) {
+  std::string out = bytes;
+  out[bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
+  return out;
+}
+
+}  // namespace weavess::testing
+
+#endif  // WEAVESS_TESTS_FAULT_INJECTION_H_

@@ -5,16 +5,28 @@
 //       Writes PREFIX.base.fvecs, PREFIX.query.fvecs and (with --gt)
 //       PREFIX.gt.ivecs.
 //
-//   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.bin]
+//   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.wvs]
 //       Builds the named index and prints construction stats (Fig. 5/6 and
-//       Table 4 metrics for a single run).
+//       Table 4 metrics for a single run). --save persists the graph in the
+//       checksummed format of docs/PERSISTENCE.md.
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160]
+//                    [--max-evals N] [--budget-us U]
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
+//       The optional search budgets demonstrate graceful degradation; the
+//       Trunc column counts budget-truncated queries per sweep point.
+//
+//   weavess_cli verify --graph FILE
+//       Checks magic, format version, and every section CRC of a saved
+//       graph and prints a per-section report.
 //
 //   weavess_cli algorithms
 //       Lists the 17 registry names.
+//
+// Process exit codes: 0 success, 1 usage error, 2 I/O error, 3 corruption
+// (or unsupported format version).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +34,9 @@
 #include <vector>
 
 #include "algorithms/registry.h"
+#include "core/graph_io.h"
 #include "core/metrics.h"
+#include "core/status.h"
 #include "eval/evaluator.h"
 #include "eval/ground_truth.h"
 #include "eval/io.h"
@@ -33,6 +47,33 @@
 namespace {
 
 using namespace weavess;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitIOError = 2;
+constexpr int kExitCorruption = 3;
+
+/// Maps a Status onto the documented process exit codes.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+      return kExitUsage;
+    case StatusCode::kIOError:
+      return kExitIOError;
+    case StatusCode::kCorruption:
+    case StatusCode::kNotSupported:
+      return kExitCorruption;
+  }
+  return kExitUsage;
+}
+
+/// Prints a non-OK status and converts it to an exit code.
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
 
 // Tiny flag parser: --name value pairs after the subcommand.
 class Args {
@@ -53,44 +94,79 @@ class Args {
   }
 
   uint32_t GetU32(const char* name, uint32_t fallback) const {
+    return static_cast<uint32_t>(GetU64(name, fallback));
+  }
+
+  uint64_t GetU64(const char* name, uint64_t fallback) const {
     const char* value = Get(name);
-    return value != nullptr ? static_cast<uint32_t>(std::atoi(value))
-                            : fallback;
+    if (value == nullptr) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    // strtoull silently wraps negative input, so reject it up front.
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (value[0] == '-' || end == value || *end != '\0' || errno == ERANGE) {
+      RecordBadValue(name, value);
+      return fallback;
+    }
+    return parsed;
   }
 
   double GetDouble(const char* name, double fallback) const {
     const char* value = Get(name);
-    return value != nullptr ? std::atof(value) : fallback;
+    if (value == nullptr) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') {
+      RecordBadValue(name, value);
+      return fallback;
+    }
+    return parsed;
   }
 
+  /// OK unless some numeric flag held an unparsable value. Commands check
+  /// this once, after reading all their flags.
+  const Status& status() const { return status_; }
+
  private:
+  void RecordBadValue(const char* name, const char* value) const {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(std::string("--") + name +
+                                        " expects a number, got '" + value +
+                                        "'");
+    }
+  }
+
   std::vector<std::pair<std::string, std::string>> values_;
+  mutable Status status_;
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: weavess_cli <generate|build|eval|algorithms> "
+               "usage: weavess_cli <generate|build|eval|verify|algorithms> "
                "[--flag value ...]\n"
                "see the header comment of tools/weavess_cli.cc\n");
-  return 2;
+  return kExitUsage;
 }
 
 int CmdAlgorithms() {
   for (const std::string& name : AlgorithmNames()) {
     std::printf("%s\n", name.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdGenerate(const Args& args) {
   const char* out = args.Get("out");
   if (out == nullptr) {
     std::fprintf(stderr, "generate: --out PREFIX is required\n");
-    return 2;
+    return kExitUsage;
   }
+  const uint32_t gt_k = args.GetU32("gt", 0);
   Workload workload;
   if (const char* standin = args.Get("standin"); standin != nullptr) {
-    workload = MakeStandIn(standin, args.GetDouble("scale", 1.0));
+    const double scale = args.GetDouble("scale", 1.0);
+    if (!args.status().ok()) return Fail(args.status());
+    workload = MakeStandIn(standin, scale);
   } else {
     SyntheticSpec spec;
     spec.dim = args.GetU32("dim", 32);
@@ -99,21 +175,29 @@ int CmdGenerate(const Args& args) {
     spec.num_clusters = args.GetU32("clusters", 10);
     spec.stddev = static_cast<float>(args.GetDouble("sd", 5.0));
     spec.seed = args.GetU32("seed", 42);
+    if (!args.status().ok()) return Fail(args.status());
     workload = GenerateSynthetic(spec, "cli");
   }
   const std::string prefix = out;
-  WriteFvecs(prefix + ".base.fvecs", workload.base);
-  WriteFvecs(prefix + ".query.fvecs", workload.queries);
+  if (Status s = WriteFvecs(prefix + ".base.fvecs", workload.base); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = WriteFvecs(prefix + ".query.fvecs", workload.queries);
+      !s.ok()) {
+    return Fail(s);
+  }
   std::printf("wrote %s.base.fvecs (%u x %u) and %s.query.fvecs (%u x %u)\n",
               out, workload.base.size(), workload.base.dim(), out,
               workload.queries.size(), workload.queries.dim());
-  if (const uint32_t gt_k = args.GetU32("gt", 0); gt_k > 0) {
+  if (gt_k > 0) {
     const GroundTruth truth =
         ComputeGroundTruth(workload.base, workload.queries, gt_k);
-    WriteIvecs(prefix + ".gt.ivecs", truth);
+    if (Status s = WriteIvecs(prefix + ".gt.ivecs", truth); !s.ok()) {
+      return Fail(s);
+    }
     std::printf("wrote %s.gt.ivecs (top-%u)\n", out, gt_k);
   }
-  return 0;
+  return kExitOk;
 }
 
 AlgorithmOptions OptionsFrom(const Args& args) {
@@ -133,11 +217,16 @@ int CmdBuild(const Args& args) {
     std::fprintf(stderr,
                  "build: --base FILE.fvecs and --algo NAME (one of "
                  "`weavess_cli algorithms`) are required\n");
-    return 2;
+    return kExitUsage;
   }
-  const Dataset base = ReadFvecs(base_path);
+  const AlgorithmOptions options = OptionsFrom(args);
+  const uint32_t gq_k = args.GetU32("gq", 0);
+  if (!args.status().ok()) return Fail(args.status());
+  StatusOr<Dataset> base_or = ReadFvecs(base_path);
+  if (!base_or.ok()) return Fail(base_or.status());
+  const Dataset& base = *base_or;
   std::printf("loaded %u x %u vectors\n", base.size(), base.dim());
-  auto index = CreateAlgorithm(algo, OptionsFrom(args));
+  auto index = CreateAlgorithm(algo, options);
   index->Build(base);
   const BuildStats stats = index->build_stats();
   const DegreeStats degrees = ComputeDegreeStats(index->graph());
@@ -147,16 +236,16 @@ int CmdBuild(const Args& args) {
               TablePrinter::Megabytes(index->IndexMemoryBytes()).c_str(),
               degrees.average, degrees.max, degrees.min,
               CountConnectedComponents(index->graph()));
-  if (const uint32_t gq_k = args.GetU32("gq", 0); gq_k > 0) {
+  if (gq_k > 0) {
     const Graph exact = BuildExactKnng(base, gq_k);
     std::printf("GQ@%u: %.3f\n", gq_k,
                 ComputeGraphQuality(index->graph(), exact));
   }
   if (const char* save = args.Get("save"); save != nullptr) {
-    index->graph().Save(save);
-    std::printf("graph saved to %s\n", save);
+    if (Status s = index->graph().Save(save, algo); !s.ok()) return Fail(s);
+    std::printf("graph saved to %s (algorithm metadata: %s)\n", save, algo);
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdEval(const Args& args) {
@@ -169,40 +258,99 @@ int CmdEval(const Args& args) {
     std::fprintf(stderr,
                  "eval: --base, --query, --algo are required (and --gt, "
                  "else exact ground truth is computed on the fly)\n");
-    return 2;
+    return kExitUsage;
   }
-  const Dataset base = ReadFvecs(base_path);
-  const Dataset queries = ReadFvecs(query_path);
   const uint32_t k = args.GetU32("k", 10);
-  const GroundTruth truth = gt_path != nullptr
-                                ? ReadIvecs(gt_path)
-                                : ComputeGroundTruth(base, queries, k);
-  auto index = CreateAlgorithm(algo, OptionsFrom(args));
-  index->Build(base);
-  std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
-
+  const AlgorithmOptions options = OptionsFrom(args);
+  SearchParams base_params;
+  base_params.max_distance_evals = args.GetU64("max-evals", 0);
+  base_params.time_budget_us = args.GetU64("budget-us", 0);
   std::vector<uint32_t> pools;
   if (const char* list = args.Get("pools"); list != nullptr) {
     for (const char* p = list; *p != '\0';) {
-      pools.push_back(static_cast<uint32_t>(std::atoi(p)));
-      while (*p != '\0' && *p != ',') ++p;
-      if (*p == ',') ++p;
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(p, &end, 10);
+      if (end == p || (*end != '\0' && *end != ',') || value == 0) {
+        return Fail(Status::InvalidArgument(
+            std::string("--pools expects positive numbers, got '") + list +
+            "'"));
+      }
+      pools.push_back(static_cast<uint32_t>(value));
+      p = (*end == ',') ? end + 1 : end;
     }
   } else {
     pools = {10, 20, 40, 80, 160, 320};
   }
-  TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL"});
+  if (pools.empty() || !args.status().ok()) {
+    return Fail(args.status().ok()
+                    ? Status::InvalidArgument("--pools list is empty")
+                    : args.status());
+  }
+  StatusOr<Dataset> base_or = ReadFvecs(base_path);
+  if (!base_or.ok()) return Fail(base_or.status());
+  StatusOr<Dataset> queries_or = ReadFvecs(query_path);
+  if (!queries_or.ok()) return Fail(queries_or.status());
+  const Dataset& base = *base_or;
+  const Dataset& queries = *queries_or;
+  GroundTruth truth;
+  if (gt_path != nullptr) {
+    StatusOr<GroundTruth> truth_or = ReadIvecs(gt_path);
+    if (!truth_or.ok()) return Fail(truth_or.status());
+    truth = *std::move(truth_or);
+  } else {
+    truth = ComputeGroundTruth(base, queries, k);
+  }
+  auto index = CreateAlgorithm(algo, options);
+  index->Build(base);
+  std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
+
+  TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL",
+                      "Trunc"});
   for (const SearchPoint& point :
-       SweepPoolSizes(*index, queries, truth, k, pools)) {
+       SweepPoolSizes(*index, queries, truth, k, pools, base_params)) {
     table.AddRow({TablePrinter::Int(point.params.pool_size),
                   TablePrinter::Fixed(point.recall, 3),
                   TablePrinter::Fixed(point.qps, 0),
                   TablePrinter::Fixed(point.speedup, 1),
                   TablePrinter::Fixed(point.mean_ndc, 0),
-                  TablePrinter::Fixed(point.mean_hops, 0)});
+                  TablePrinter::Fixed(point.mean_hops, 0),
+                  TablePrinter::Int(point.truncated_queries)});
   }
   table.Print();
-  return 0;
+  return kExitOk;
+}
+
+int CmdVerify(const Args& args) {
+  const char* graph_path = args.Get("graph");
+  if (graph_path == nullptr) {
+    std::fprintf(stderr, "verify: --graph FILE is required\n");
+    return kExitUsage;
+  }
+  const GraphFileReport report = VerifyGraphFile(graph_path);
+  std::printf("verify %s\n", graph_path);
+  if (!report.sections.empty()) {
+    std::printf("  %-10s %10s %12s %12s %12s  %s\n", "section", "offset",
+                "bytes", "stored", "computed", "status");
+    for (const GraphSectionReport& section : report.sections) {
+      std::printf("  %-10s %10llu %12llu   0x%08x   0x%08x  %s\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.offset),
+                  static_cast<unsigned long long>(section.length),
+                  section.stored_crc, section.computed_crc,
+                  section.ok ? "OK" : "CRC MISMATCH");
+    }
+  }
+  if (report.status.ok()) {
+    std::printf("  format v%u, %u vertices, %llu edges", report.version,
+                report.num_vertices,
+                static_cast<unsigned long long>(report.num_edges));
+    if (!report.metadata.empty()) {
+      std::printf(", metadata \"%s\"", report.metadata.c_str());
+    }
+    std::printf("\n  all sections OK\n");
+    return kExitOk;
+  }
+  return Fail(report.status);
 }
 
 }  // namespace
@@ -215,5 +363,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "build") return CmdBuild(args);
   if (command == "eval") return CmdEval(args);
+  if (command == "verify") return CmdVerify(args);
   return Usage();
 }
