@@ -106,21 +106,22 @@ void HcnngIndex::Build(const Dataset& data) {
                                            params_.seed ^ 0x8c99ULL);
   seeds_ = std::make_unique<KdLeafSeedProvider>(std::move(forest),
                                                 params_.max_seeds);
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> HcnngIndex::Search(const float* query,
-                                         const SearchParams& params,
-                                         QueryStats* stats) {
+std::vector<uint32_t> HcnngIndex::SearchWith(SearchScratch& scratch,
+                                             const float* query,
+                                             const SearchParams& params,
+                                             QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   seeds_->Seed(query, oracle, ctx, pool);
   GuidedSearch(graph_, *data_, query, oracle, ctx, pool);
   if (stats != nullptr) {

@@ -34,8 +34,9 @@ class HcnngIndex : public AnnIndex {
   explicit HcnngIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -50,7 +51,6 @@ class HcnngIndex : public AnnIndex {
   const Dataset* data_ = nullptr;
   Graph graph_;
   std::unique_ptr<KdLeafSeedProvider> seeds_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

@@ -137,16 +137,16 @@ void HnswIndex::Build(const Dataset& data) {
   for (uint32_t v = 0; v < data.size(); ++v) {
     base_layer_.MutableNeighbors(v) = links_[v][0];
   }
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> HnswIndex::Search(const float* query,
-                                        const SearchParams& params,
-                                        QueryStats* stats) {
+std::vector<uint32_t> HnswIndex::SearchWith(SearchScratch& scratch,
+                                            const float* query,
+                                            const SearchParams& params,
+                                            QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
@@ -155,7 +155,8 @@ std::vector<uint32_t> HnswIndex::Search(const float* query,
   for (uint32_t l = max_level_; l > 0; --l) {
     entry = GreedyStep(query, entry, l, oracle, ctx);
   }
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   SeedPool({entry}, query, oracle, ctx, pool);
   SearchLevel(query, 0, oracle, ctx, pool);
   if (stats != nullptr) {

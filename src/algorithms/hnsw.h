@@ -26,8 +26,9 @@ class HnswIndex : public AnnIndex {
   explicit HnswIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   /// The bottom layer (layer 0), which carries the RNG-pruned base graph.
   const Graph& graph() const override { return base_layer_; }
   /// Counts every layer: the hierarchy is what makes HNSW's index large.
@@ -65,7 +66,6 @@ class HnswIndex : public AnnIndex {
   uint32_t entry_point_ = 0;
   uint32_t max_level_ = 0;
   Rng rng_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

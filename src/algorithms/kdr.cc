@@ -11,13 +11,11 @@ KdrIndex::KdrIndex(const Params& params)
     : params_(params), rng_(params.seed) {}
 
 bool KdrIndex::Reachable(uint32_t start, uint32_t target, float limit,
-                         DistanceOracle& oracle) const {
+                         DistanceOracle& oracle, SearchContext& ctx) const {
   // Bounded breadth-first reachability over kept edges; only edges shorter
   // than the direct edge can justify dropping it.
   std::vector<uint32_t> frontier = {start};
   std::vector<uint32_t> next;
-  // Small searches: a flat visited vector would be overkill; reuse scratch.
-  SearchContext& ctx = *scratch_;
   ctx.BeginQuery();
   ctx.visited.MarkVisited(start);
   for (uint32_t hop = 0; hop < params_.reach_hops; ++hop) {
@@ -44,7 +42,7 @@ void KdrIndex::Build(const Dataset& data) {
   Timer timer;
   DistanceCounter counter;
   DistanceOracle oracle(data, &counter);
-  scratch_ = std::make_unique<SearchContext>(data.size());
+  SearchContext ctx(data.size());
 
   const Graph knng = BuildExactKnng(data, params_.knng_degree, &counter);
   graph_ = Graph(data.size());
@@ -56,7 +54,7 @@ void KdrIndex::Build(const Dataset& data) {
     for (uint32_t y : knng.Neighbors(x)) {
       if (kept >= params_.max_degree) break;
       const float direct = oracle.Between(x, y);
-      if (Reachable(y, x, direct, oracle)) continue;
+      if (Reachable(y, x, direct, oracle, ctx)) continue;
       graph_.AddUndirectedEdge(x, y);
       ++kept;
     }
@@ -65,18 +63,23 @@ void KdrIndex::Build(const Dataset& data) {
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> KdrIndex::Search(const float* query,
-                                       const SearchParams& params,
-                                       QueryStats* stats) {
+std::vector<uint32_t> KdrIndex::SearchWith(SearchScratch& scratch,
+                                           const float* query,
+                                           const SearchParams& params,
+                                           QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   // Pool-filling random seeds, like KGraph (cluster coverage scales with L).
-  std::vector<uint32_t> seeds = rng_.SampleDistinct(
+  // Derived from the query bytes so results are a pure function of
+  // (index, query, params) regardless of call order or thread count.
+  Rng rng(HashBytes(query, data_->dim() * sizeof(float), params_.seed));
+  std::vector<uint32_t> seeds = rng.SampleDistinct(
       data_->size(),
       std::min(static_cast<uint32_t>(pool.capacity()), data_->size()));
   SeedPool(seeds, query, oracle, ctx, pool);

@@ -31,8 +31,9 @@ class KdrIndex : public AnnIndex {
   explicit KdrIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override { return graph_.MemoryBytes(); }
   BuildStats build_stats() const override { return build_stats_; }
@@ -42,13 +43,12 @@ class KdrIndex : public AnnIndex {
   // True when `target` is reachable from `start` within reach_hops hops
   // using only kept edges of weight < `limit`.
   bool Reachable(uint32_t start, uint32_t target, float limit,
-                 DistanceOracle& oracle) const;
+                 DistanceOracle& oracle, SearchContext& ctx) const;
 
   Params params_;
   const Dataset* data_ = nullptr;
   Graph graph_;
   Rng rng_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

@@ -101,21 +101,22 @@ void NgtIndex::Build(const Dataset& data) {
   seeds_ = std::make_unique<VpTreeSeedProvider>(
       std::move(tree), params_.num_search_seeds, params_.seed_tree_checks);
 
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> NgtIndex::Search(const float* query,
-                                       const SearchParams& params,
-                                       QueryStats* stats) {
+std::vector<uint32_t> NgtIndex::SearchWith(SearchScratch& scratch,
+                                           const float* query,
+                                           const SearchParams& params,
+                                           QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   seeds_->Seed(query, oracle, ctx, pool);
   RangeSearch(graph_, query, oracle, ctx, pool, params.epsilon);
   if (stats != nullptr) {

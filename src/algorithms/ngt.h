@@ -41,8 +41,9 @@ class NgtIndex : public AnnIndex {
   explicit NgtIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -56,7 +57,6 @@ class NgtIndex : public AnnIndex {
   Graph graph_;
   std::unique_ptr<VpTreeSeedProvider> seeds_;
   Rng rng_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

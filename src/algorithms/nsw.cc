@@ -39,24 +39,27 @@ void NswIndex::Build(const Dataset& data) {
       graph_.AddUndirectedEdge(point, pool[i].id);
     }
   }
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> NswIndex::Search(const float* query,
-                                       const SearchParams& params,
-                                       QueryStats* stats) {
+std::vector<uint32_t> NswIndex::SearchWith(SearchScratch& scratch,
+                                           const float* query,
+                                           const SearchParams& params,
+                                           QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   // KGraph-style seeding: fill the pool with random entries, which keeps
-  // cluster coverage proportional to the search effort L.
-  std::vector<uint32_t> seeds = rng_.SampleDistinct(
+  // cluster coverage proportional to the search effort L. The stream is a
+  // pure function of the query bytes (see RandomSeedProvider).
+  Rng rng(HashBytes(query, data_->dim() * sizeof(float), params_.seed));
+  std::vector<uint32_t> seeds = rng.SampleDistinct(
       data_->size(),
       std::min(static_cast<uint32_t>(pool.capacity()), data_->size()));
   SeedPool(seeds, query, oracle, ctx, pool);

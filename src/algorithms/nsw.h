@@ -28,8 +28,9 @@ class NswIndex : public AnnIndex {
   explicit NswIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override { return graph_.MemoryBytes(); }
   BuildStats build_stats() const override { return build_stats_; }
@@ -40,7 +41,6 @@ class NswIndex : public AnnIndex {
   const Dataset* data_ = nullptr;
   Graph graph_;
   Rng rng_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

@@ -93,21 +93,22 @@ void SptagIndex::Build(const Dataset& data) {
     kmeans_tree_ = std::make_shared<KMeansTree>(data, tree_params);
   }
 
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> SptagIndex::Search(const float* query,
-                                         const SearchParams& params,
-                                         QueryStats* stats) {
+std::vector<uint32_t> SptagIndex::SearchWith(SearchScratch& scratch,
+                                             const float* query,
+                                             const SearchParams& params,
+                                             QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
 
   // Iterated search: on convergence, re-enter through the tree with a
   // doubled budget — fresh leaves escape the local optimum (§4.2, C7).

@@ -41,8 +41,9 @@ class SptagIndex : public AnnIndex {
   explicit SptagIndex(const Params& params);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -58,7 +59,6 @@ class SptagIndex : public AnnIndex {
   // iterated search grows the tree budget across restarts.
   std::shared_ptr<KdForest> kd_forest_;
   std::shared_ptr<KMeansTree> kmeans_tree_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

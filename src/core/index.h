@@ -5,11 +5,13 @@
 #define WEAVESS_CORE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/graph.h"
+#include "core/search_context.h"
 
 namespace weavess {
 
@@ -50,8 +52,13 @@ struct BuildStats {
 };
 
 /// Abstract graph-based ANNS index. Implementations keep a pointer to the
-/// dataset passed to Build (the caller keeps it alive). Search is not
-/// thread-safe: each index owns per-query scratch (visited stamps, RNG).
+/// dataset passed to Build (the caller keeps it alive). A built index is
+/// immutable: SearchWith is const and touches no index state beyond reads,
+/// so any number of threads may search concurrently as long as each brings
+/// its own SearchScratch. Results are a pure function of (index, query,
+/// params) — search-time randomness is derived from the query bytes, never
+/// from mutable RNG state — which is what lets the concurrent engine
+/// guarantee bit-for-bit identical results at any thread count.
 class AnnIndex {
  public:
   virtual ~AnnIndex() = default;
@@ -59,11 +66,28 @@ class AnnIndex {
   /// Builds the index over `data`; may be called once per instance.
   virtual void Build(const Dataset& data) = 0;
 
-  /// Returns the ids of the approximate k nearest neighbors of `query`,
-  /// closest first. `stats`, when given, receives this query's counters.
-  virtual std::vector<uint32_t> Search(const float* query,
-                                       const SearchParams& params,
-                                       QueryStats* stats = nullptr) = 0;
+  /// Thread-compatible search: returns the ids of the approximate k
+  /// nearest neighbors of `query`, closest first, using caller-owned
+  /// scratch (sized to at least graph().size() vertices). `stats`, when
+  /// given, receives this query's counters. Concurrent calls on distinct
+  /// scratch objects are safe.
+  virtual std::vector<uint32_t> SearchWith(SearchScratch& scratch,
+                                           const float* query,
+                                           const SearchParams& params,
+                                           QueryStats* stats = nullptr)
+      const = 0;
+
+  /// Single-threaded convenience wrapper over SearchWith using scratch
+  /// owned by the index. Not safe to call concurrently on one index; the
+  /// concurrent engine (search/engine.h) uses SearchWith directly.
+  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
+                               QueryStats* stats = nullptr) {
+    const uint32_t num_vertices = graph().size();
+    if (scratch_ == nullptr || scratch_->ctx.visited.size() < num_vertices) {
+      scratch_ = std::make_unique<SearchScratch>(num_vertices);
+    }
+    return SearchWith(*scratch_, query, params, stats);
+  }
 
   /// The (bottom-layer) graph index, for GQ/AD/CC metrics.
   virtual const Graph& graph() const = 0;
@@ -76,6 +100,10 @@ class AnnIndex {
   virtual BuildStats build_stats() const = 0;
 
   virtual std::string name() const = 0;
+
+ private:
+  // Lazily sized scratch backing the Search convenience wrapper.
+  std::unique_ptr<SearchScratch> scratch_;
 };
 
 }  // namespace weavess

@@ -44,6 +44,17 @@ class CandidatePool {
     pool_.reserve(capacity + 1);
   }
 
+  /// Empties the pool and re-targets it at a new capacity, reusing the
+  /// backing storage. Lets per-worker scratch carry one pool across many
+  /// queries instead of allocating per search.
+  void Reset(size_t capacity) {
+    WEAVESS_CHECK(capacity > 0);
+    capacity_ = capacity;
+    scan_hint_ = 0;
+    pool_.clear();
+    pool_.reserve(capacity + 1);
+  }
+
   size_t size() const { return pool_.size(); }
   size_t capacity() const { return capacity_; }
   bool full() const { return pool_.size() == capacity_; }

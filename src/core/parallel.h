@@ -1,22 +1,30 @@
-// Minimal blocked parallel-for. The paper parallelizes the vector-heavy
-// parts of index construction (§5.1, 32 threads); this header provides the
-// same capability behind a `num_threads` knob that defaults to 1, keeping
-// single-threaded runs bit-for-bit deterministic.
+// Blocked parallel-for over the shared persistent thread pool. The paper
+// parallelizes the vector-heavy parts of index construction (§5.1, 32
+// threads); this header provides the same capability behind a `num_threads`
+// knob that defaults to 1, keeping single-threaded runs bit-for-bit
+// deterministic. Unlike the original spawn-per-call implementation, work
+// now runs on the process-wide condition-variable pool (core/thread_pool.h)
+// and an exception thrown by any iteration is captured and rethrown on the
+// caller instead of terminating the process.
 #ifndef WEAVESS_CORE_PARALLEL_H_
 #define WEAVESS_CORE_PARALLEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "core/thread_pool.h"
 
 namespace weavess {
 
 /// Runs fn(i, worker) for every i in [begin, end). With num_threads <= 1
 /// the loop runs inline; otherwise indices are split into contiguous
-/// blocks, one per thread. `fn` must be safe to call concurrently for
+/// blocks, one per worker slot. `fn` must be safe to call concurrently for
 /// distinct i. The worker index (0-based, < num_threads) lets callers keep
-/// per-thread scratch (e.g., distance counters).
+/// per-thread scratch (e.g., distance counters): slot t is processed by
+/// exactly one thread at a time, so scratch[t] never sees concurrent use.
+/// The first exception thrown from any block is rethrown after all blocks
+/// finish (remaining iterations of other blocks still run).
 inline void ParallelForWithWorker(
     uint32_t begin, uint32_t end, uint32_t num_threads,
     const std::function<void(uint32_t index, uint32_t worker)>& fn) {
@@ -27,18 +35,12 @@ inline void ParallelForWithWorker(
     return;
   }
   const uint32_t workers = std::min(num_threads, count);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
   const uint32_t block = (count + workers - 1) / workers;
-  for (uint32_t t = 0; t < workers; ++t) {
+  SharedThreadPool().RunTasks(workers, [&](uint32_t t) {
     const uint32_t lo = begin + t * block;
     const uint32_t hi = std::min(end, lo + block);
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, t, &fn] {
-      for (uint32_t i = lo; i < hi; ++i) fn(i, t);
-    });
-  }
-  for (auto& thread : threads) thread.join();
+    for (uint32_t i = lo; i < hi; ++i) fn(i, t);
+  });
 }
 
 inline void ParallelFor(uint32_t begin, uint32_t end, uint32_t num_threads,

@@ -93,4 +93,18 @@ std::vector<uint32_t> Rng::SampleDistinct(uint32_t population, uint32_t count) {
   return result;
 }
 
+uint64_t HashBytes(const void* bytes, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche (SplitMix64 finalizer) so nearby queries do not get
+  // correlated RNG streams.
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 }  // namespace weavess

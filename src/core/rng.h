@@ -53,6 +53,14 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+/// Deterministic 64-bit FNV-1a hash of a byte buffer folded with `seed`.
+/// Search-time randomness (e.g. random entry vertices) is derived from
+/// HashBytes(query, ...) so that a query's seeds are a pure function of
+/// (seed, query vector): re-running a query — on any thread, in any batch
+/// order — sees identical entries, which is what makes concurrent search
+/// bit-for-bit reproducible.
+uint64_t HashBytes(const void* bytes, size_t len, uint64_t seed);
+
 }  // namespace weavess
 
 #endif  // WEAVESS_CORE_RNG_H_

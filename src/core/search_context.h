@@ -1,0 +1,76 @@
+// Per-query search state. Lives in core (not search/) because the index
+// facade exposes a thread-compatible search entry point that takes this
+// scratch explicitly: the concurrent query engine owns one SearchScratch
+// per in-flight query and hands it to AnnIndex::SearchWith, so an immutable
+// index can serve many queries in parallel with zero shared mutable state.
+#ifndef WEAVESS_CORE_SEARCH_CONTEXT_H_
+#define WEAVESS_CORE_SEARCH_CONTEXT_H_
+
+#include <cstdint>
+
+#include "core/budget.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/visited_list.h"
+
+namespace weavess {
+
+/// Per-query scratch state: visited stamps, the NDC counter behind the
+/// Speedup metric, the hop counter behind the query-path-length metric
+/// (PL in Table 5 counts expanded vertices along the search), and the
+/// optional search budget that lets routing stop early with best-so-far
+/// results instead of walking to convergence.
+struct SearchContext {
+  explicit SearchContext(uint32_t num_vertices) : visited(num_vertices) {}
+
+  /// Call once per query before seeding. Resets the budget to unlimited;
+  /// arm it afterwards with ArmBudget when the caller set one.
+  void BeginQuery() {
+    visited.Reset();
+    hops = 0;
+    truncated = false;
+    budget = SearchBudget::Unlimited();
+    budget_counter = nullptr;
+  }
+
+  /// Arms the per-query budget. `counter` is the DistanceCounter the
+  /// query's oracle writes into (routing charges its spend there).
+  void ArmBudget(uint64_t max_distance_evals, uint64_t time_budget_us,
+                 const DistanceCounter* counter) {
+    budget = SearchBudget::FromLimits(max_distance_evals, time_budget_us);
+    budget_counter = counter;
+  }
+
+  /// True once routing must stop. Routers call this before each vertex
+  /// expansion and set `truncated` when it trips with work remaining.
+  bool BudgetExhausted() const {
+    if (budget.unlimited()) return false;
+    const uint64_t evals =
+        budget_counter != nullptr ? budget_counter->count : 0;
+    return budget.Exhausted(evals);
+  }
+
+  VisitedList visited;
+  DistanceCounter counter;
+  uint64_t hops = 0;
+  /// Set by routers when the budget stopped the walk before convergence.
+  bool truncated = false;
+  SearchBudget budget;
+  const DistanceCounter* budget_counter = nullptr;
+};
+
+/// Everything one in-flight query needs: visited stamps plus a reusable
+/// candidate pool. The engine keeps a free list of these sized to its
+/// concurrency, so steady-state batched search allocates nothing per query
+/// beyond the result vector.
+struct SearchScratch {
+  explicit SearchScratch(uint32_t num_vertices)
+      : ctx(num_vertices), pool(1) {}
+
+  SearchContext ctx;
+  CandidatePool pool;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_SEARCH_CONTEXT_H_

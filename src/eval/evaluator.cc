@@ -5,42 +5,44 @@
 
 namespace weavess {
 
-SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
+SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
                            const GroundTruth& truth,
                            const SearchParams& params) {
   WEAVESS_CHECK(queries.size() == truth.size());
   WEAVESS_CHECK(queries.size() > 0);
   SearchPoint point;
   point.params = params;
+  const BatchResult batch = engine.SearchBatch(queries, params);
   double recall_sum = 0.0;
-  uint64_t ndc_sum = 0;
-  uint64_t hop_sum = 0;
-  Timer timer;
   for (uint32_t q = 0; q < queries.size(); ++q) {
-    QueryStats stats;
-    const std::vector<uint32_t> result =
-        index.Search(queries.Row(q), params, &stats);
-    recall_sum += Recall(result, truth[q], params.k);
-    ndc_sum += stats.distance_evals;
-    hop_sum += stats.hops;
-    if (stats.truncated) ++point.truncated_queries;
+    recall_sum += Recall(batch.ids[q], truth[q], params.k);
   }
-  const double seconds = timer.Seconds();
   const double n = queries.size();
   point.recall = recall_sum / n;
-  point.qps = seconds > 0.0 ? n / seconds : 0.0;
-  point.mean_ndc = static_cast<double>(ndc_sum) / n;
+  point.qps = batch.totals.wall_seconds > 0.0
+                  ? n / batch.totals.wall_seconds
+                  : 0.0;
+  point.mean_ndc = static_cast<double>(batch.totals.distance_evals) / n;
   point.speedup = point.mean_ndc > 0.0
-                      ? static_cast<double>(index.graph().size()) /
+                      ? static_cast<double>(engine.index().graph().size()) /
                             point.mean_ndc
                       : 0.0;
-  point.mean_hops = static_cast<double>(hop_sum) / n;
+  point.mean_hops = static_cast<double>(batch.totals.hops) / n;
+  point.truncated_queries = batch.totals.truncated_queries;
   return point;
 }
 
+SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
+                           const GroundTruth& truth,
+                           const SearchParams& params) {
+  const SearchEngine engine(index, /*num_threads=*/1);
+  return EvaluateSearch(engine, queries, truth, params);
+}
+
 std::vector<SearchPoint> SweepPoolSizes(
-    AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
-    uint32_t k, const std::vector<uint32_t>& pool_sizes,
+    const SearchEngine& engine, const Dataset& queries,
+    const GroundTruth& truth, uint32_t k,
+    const std::vector<uint32_t>& pool_sizes,
     const SearchParams& base_params) {
   std::vector<SearchPoint> points;
   points.reserve(pool_sizes.size());
@@ -48,9 +50,17 @@ std::vector<SearchPoint> SweepPoolSizes(
     SearchParams params = base_params;
     params.k = k;
     params.pool_size = pool;
-    points.push_back(EvaluateSearch(index, queries, truth, params));
+    points.push_back(EvaluateSearch(engine, queries, truth, params));
   }
   return points;
+}
+
+std::vector<SearchPoint> SweepPoolSizes(
+    AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
+    uint32_t k, const std::vector<uint32_t>& pool_sizes,
+    const SearchParams& base_params) {
+  const SearchEngine engine(index, /*num_threads=*/1);
+  return SweepPoolSizes(engine, queries, truth, k, pool_sizes, base_params);
 }
 
 CandidateSizeResult FindCandidateSize(

@@ -10,6 +10,7 @@
 
 #include "core/index.h"
 #include "eval/ground_truth.h"
+#include "search/engine.h"
 
 namespace weavess {
 
@@ -23,7 +24,13 @@ struct SearchPoint {
   uint32_t truncated_queries = 0;  // queries stopped by a search budget
 };
 
-/// Runs every query once under `params`.
+/// Runs every query once under `params` through `engine` (QPS reflects the
+/// engine's thread count; recall/NDC/PL are thread-count invariant).
+SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
+                           const GroundTruth& truth,
+                           const SearchParams& params);
+
+/// Single-threaded convenience overload (a 1-thread engine per call).
 SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
                            const GroundTruth& truth,
                            const SearchParams& params);
@@ -32,6 +39,12 @@ SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
 /// point per value (k fixed). This is the paper's tradeoff-curve driver.
 /// `base_params` carries the non-swept knobs (epsilon, search budgets) into
 /// every point.
+std::vector<SearchPoint> SweepPoolSizes(
+    const SearchEngine& engine, const Dataset& queries,
+    const GroundTruth& truth, uint32_t k,
+    const std::vector<uint32_t>& pool_sizes,
+    const SearchParams& base_params = {});
+
 std::vector<SearchPoint> SweepPoolSizes(
     AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
     uint32_t k, const std::vector<uint32_t>& pool_sizes,

@@ -35,11 +35,13 @@ EarlyTerminationIndex::EarlyTerminationIndex(std::unique_ptr<AnnIndex> base,
 EarlyTerminationIndex::~EarlyTerminationIndex() = default;
 
 EarlyTerminationIndex::Features EarlyTerminationIndex::ProbeFeatures(
-    const float* query, uint32_t k, QueryStats* stats) {
+    SearchScratch& scratch, const float* query, uint32_t k,
+    QueryStats* stats) const {
   SearchParams probe;
   probe.k = std::min(k, params_.probe_pool);
   probe.pool_size = params_.probe_pool;
-  const std::vector<uint32_t> result = base_->Search(query, probe, stats);
+  const std::vector<uint32_t> result =
+      base_->SearchWith(scratch, query, probe, stats);
   Features f{1.0, 1.0};
   if (!result.empty()) {
     const float best =
@@ -74,11 +76,12 @@ void EarlyTerminationIndex::Build(const Dataset& data) {
       Ladder(params_.probe_pool, params_.max_pool);
 
   // Normal equations for 3 weights.
+  SearchScratch scratch(data.size());
   double xtx[3][3] = {{0}};
   double xty[3] = {0};
   for (uint32_t pick : picks) {
     const float* query = data.Row(pick);
-    const Features f = ProbeFeatures(query, /*k=*/1, nullptr);
+    const Features f = ProbeFeatures(scratch, query, /*k=*/1, nullptr);
     SearchParams full;
     full.k = 1;
     full.pool_size = params_.max_pool;
@@ -129,11 +132,11 @@ void EarlyTerminationIndex::Build(const Dataset& data) {
   build_stats_.seconds += training_seconds_;
 }
 
-std::vector<uint32_t> EarlyTerminationIndex::Search(const float* query,
-                                                    const SearchParams& params,
-                                                    QueryStats* stats) {
+std::vector<uint32_t> EarlyTerminationIndex::SearchWith(
+    SearchScratch& scratch, const float* query, const SearchParams& params,
+    QueryStats* stats) const {
   QueryStats probe_stats;
-  const Features f = ProbeFeatures(query, params.k, &probe_stats);
+  const Features f = ProbeFeatures(scratch, query, params.k, &probe_stats);
   // The caller's pool_size acts as a *multiplier knob* on the predicted
   // budget, preserving the sweepable tradeoff: scale = pool / 100.
   const double scale = static_cast<double>(params.pool_size) / 100.0;
@@ -144,7 +147,8 @@ std::vector<uint32_t> EarlyTerminationIndex::Search(const float* query,
                  static_cast<double>(params_.max_pool)));
   adaptive.pool_size = std::max(adaptive.pool_size, params.k);
   QueryStats main_stats;
-  std::vector<uint32_t> result = base_->Search(query, adaptive, &main_stats);
+  std::vector<uint32_t> result =
+      base_->SearchWith(scratch, query, adaptive, &main_stats);
   if (stats != nullptr) {
     stats->distance_evals =
         probe_stats.distance_evals + main_stats.distance_evals;

@@ -32,8 +32,9 @@ class EarlyTerminationIndex : public AnnIndex {
   ~EarlyTerminationIndex() override;
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return base_->graph(); }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -47,7 +48,8 @@ class EarlyTerminationIndex : public AnnIndex {
     double probe_best;   // best (squared) distance after the probe
     double probe_spread; // worst/best ratio within the probe pool
   };
-  Features ProbeFeatures(const float* query, uint32_t k, QueryStats* stats);
+  Features ProbeFeatures(SearchScratch& scratch, const float* query,
+                         uint32_t k, QueryStats* stats) const;
   double PredictPool(const Features& f) const;
 
   std::unique_ptr<AnnIndex> base_;

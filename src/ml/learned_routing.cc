@@ -59,18 +59,17 @@ void LearnedRoutingIndex::Build(const Dataset& data) {
     }
   }
 
-  scratch_ = std::make_unique<SearchContext>(data.size());
   preprocessing_seconds_ = timer.Seconds();
   build_stats_ = base_->build_stats();
   build_stats_.seconds += preprocessing_seconds_;
 }
 
-std::vector<uint32_t> LearnedRoutingIndex::Search(const float* query,
-                                                  const SearchParams& params,
-                                                  QueryStats* stats) {
+std::vector<uint32_t> LearnedRoutingIndex::SearchWith(
+    SearchScratch& scratch, const float* query, const SearchParams& params,
+    QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
   const Graph& graph = base_->graph();
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
@@ -84,7 +83,8 @@ std::vector<uint32_t> LearnedRoutingIndex::Search(const float* query,
         std::sqrt(oracle.ToQuery(query, landmarks_[l]));
   }
 
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   SeedPool({entry_point_}, query, oracle, ctx, pool);
 
   // Best-first search with surrogate-guided neighbor filtering: only the

@@ -35,8 +35,9 @@ class LearnedRoutingIndex : public AnnIndex {
   ~LearnedRoutingIndex() override;
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return base_->graph(); }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -54,7 +55,6 @@ class LearnedRoutingIndex : public AnnIndex {
   std::vector<uint32_t> landmarks_;
   std::vector<float> embeddings_;  // n x m, row-major
   uint32_t entry_point_ = 0;       // medoid
-  std::unique_ptr<SearchContext> scratch_;
   double preprocessing_seconds_ = 0.0;
   BuildStats build_stats_;
 };

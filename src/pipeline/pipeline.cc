@@ -380,21 +380,22 @@ void PipelineIndex::Build(const Dataset& data) {
                         config_.connect_pool_size, &counter);
   }
 
-  scratch_ = std::make_unique<SearchContext>(data.size());
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
 
-std::vector<uint32_t> PipelineIndex::Search(const float* query,
-                                            const SearchParams& params,
-                                            QueryStats* stats) {
+std::vector<uint32_t> PipelineIndex::SearchWith(SearchScratch& scratch,
+                                                const float* query,
+                                                const SearchParams& params,
+                                                QueryStats* stats) const {
   WEAVESS_CHECK(data_ != nullptr);
-  SearchContext& ctx = *scratch_;
+  SearchContext& ctx = scratch.ctx;
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
   ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
-  CandidatePool pool(std::max(params.pool_size, params.k));
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max(params.pool_size, params.k));
   seed_provider_->Seed(query, oracle, ctx, pool);
   switch (config_.routing) {
     case RoutingKind::kBestFirst:

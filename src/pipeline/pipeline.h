@@ -127,8 +127,9 @@ class PipelineIndex : public AnnIndex {
   PipelineIndex(std::string name, const PipelineConfig& config);
 
   void Build(const Dataset& data) override;
-  std::vector<uint32_t> Search(const float* query, const SearchParams& params,
-                               QueryStats* stats = nullptr) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
   const Graph& graph() const override { return graph_; }
   size_t IndexMemoryBytes() const override;
   BuildStats build_stats() const override { return build_stats_; }
@@ -155,7 +156,6 @@ class PipelineIndex : public AnnIndex {
   /// reachability-from-root implies reachability-from-seeds.
   uint32_t connect_root_ = 0;
   std::unique_ptr<SeedProvider> seed_provider_;
-  std::unique_ptr<SearchContext> scratch_;
   BuildStats build_stats_;
 };
 

@@ -1,0 +1,78 @@
+#include "search/engine.h"
+
+#include "core/check.h"
+#include "core/timer.h"
+
+namespace weavess {
+
+SearchEngine::ScratchLease::ScratchLease(const SearchEngine& engine)
+    : engine_(engine) {
+  {
+    std::lock_guard<std::mutex> lock(engine_.scratch_mu_);
+    if (!engine_.free_scratch_.empty()) {
+      scratch_ = std::move(engine_.free_scratch_.back());
+      engine_.free_scratch_.pop_back();
+    }
+  }
+  if (scratch_ == nullptr) {
+    scratch_ = std::make_unique<SearchScratch>(engine_.index_.graph().size());
+  }
+}
+
+SearchEngine::ScratchLease::~ScratchLease() {
+  std::lock_guard<std::mutex> lock(engine_.scratch_mu_);
+  engine_.free_scratch_.push_back(std::move(scratch_));
+}
+
+SearchEngine::SearchEngine(const AnnIndex& index, uint32_t num_threads)
+    : index_(index), num_threads_(num_threads), pool_(num_threads - 1) {
+  WEAVESS_CHECK(num_threads >= 1);
+  WEAVESS_CHECK(index.graph().size() > 0);  // must be built
+  // Pre-populate the free list so steady-state batches allocate nothing.
+  free_scratch_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    free_scratch_.push_back(
+        std::make_unique<SearchScratch>(index.graph().size()));
+  }
+}
+
+SearchEngine::~SearchEngine() = default;
+
+BatchResult SearchEngine::SearchBatch(const Dataset& queries,
+                                      const SearchParams& params) const {
+  std::vector<const float*> rows(queries.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) rows[q] = queries.Row(q);
+  return SearchBatch(rows, params);
+}
+
+BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
+                                      const SearchParams& params) const {
+  const auto n = static_cast<uint32_t>(queries.size());
+  BatchResult out;
+  out.ids.resize(n);
+  out.stats.resize(n);
+  Timer timer;
+  // One task per query; tasks are claimed dynamically (load balance) but
+  // task q only ever writes slot q, so the output is claim-order invariant.
+  pool_.RunTasks(n, [&](uint32_t q) {
+    ScratchLease lease(*this);
+    out.ids[q] = index_.SearchWith(lease.get(), queries[q], params,
+                                   &out.stats[q]);
+  });
+  out.totals.wall_seconds = timer.Seconds();
+  for (uint32_t q = 0; q < n; ++q) {
+    out.totals.distance_evals += out.stats[q].distance_evals;
+    out.totals.hops += out.stats[q].hops;
+    if (out.stats[q].truncated) ++out.totals.truncated_queries;
+  }
+  return out;
+}
+
+std::vector<uint32_t> SearchEngine::SearchOne(const float* query,
+                                              const SearchParams& params,
+                                              QueryStats* stats) const {
+  ScratchLease lease(*this);
+  return index_.SearchWith(lease.get(), query, params, stats);
+}
+
+}  // namespace weavess

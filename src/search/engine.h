@@ -1,0 +1,104 @@
+// Concurrent batched query engine. A SearchEngine owns a persistent worker
+// pool and a free list of per-query scratch (visited stamps + candidate
+// pool) and fans a batch of queries across the pool, one task per query.
+//
+// Determinism guarantee: every index's SearchWith is a pure function of
+// (index, query bytes, params) — no mutable index state, no thread-local
+// randomness. Queries are claimed dynamically, but each task writes only
+// its own result/stats slot, and the batch totals are reduced in query
+// order after the barrier. Results are therefore bit-for-bit identical for
+// any thread count, including num_threads == 1. (The one caveat is
+// SearchParams::time_budget_us: a wall-clock budget can trip at different
+// points under scheduler noise. max_distance_evals is deterministic.)
+//
+// Thread safety: SearchBatch/SearchOne are const and safe to call from many
+// producer threads concurrently — scratch is checked out from a mutex-
+// protected free list per query, never keyed by worker identity.
+#ifndef WEAVESS_SEARCH_ENGINE_H_
+#define WEAVESS_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/index.h"
+#include "core/thread_pool.h"
+
+namespace weavess {
+
+/// Batch-level reduction of the per-query stats, accumulated in query order
+/// (so the totals are as deterministic as the per-query values).
+struct BatchStats {
+  uint64_t distance_evals = 0;
+  uint64_t hops = 0;
+  uint32_t truncated_queries = 0;
+  /// Wall time of the whole batch (the only intentionally nondeterministic
+  /// field; everything else is thread-count invariant).
+  double wall_seconds = 0.0;
+};
+
+struct BatchResult {
+  /// ids[q] = top-k neighbor ids of query q, ascending by distance.
+  std::vector<std::vector<uint32_t>> ids;
+  /// stats[q] = per-query counters, indexed like `ids`.
+  std::vector<QueryStats> stats;
+  BatchStats totals;
+};
+
+class SearchEngine {
+ public:
+  /// `index` must be built and must outlive the engine; the engine treats
+  /// it as immutable. `num_threads` >= 1 counts the calling thread: the
+  /// engine spawns num_threads - 1 workers and the SearchBatch caller
+  /// participates as the last execution stream.
+  SearchEngine(const AnnIndex& index, uint32_t num_threads);
+  ~SearchEngine();
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+  const AnnIndex& index() const { return index_; }
+
+  /// Searches every row of `queries` under the same params. Budgets in
+  /// `params` (max_distance_evals / time_budget_us) apply per query, never
+  /// to the batch as a whole.
+  BatchResult SearchBatch(const Dataset& queries,
+                          const SearchParams& params) const;
+
+  /// Pointer-batch variant (rows need not come from one Dataset).
+  BatchResult SearchBatch(const std::vector<const float*>& queries,
+                          const SearchParams& params) const;
+
+  /// Single query on the calling thread, using pooled scratch. Equivalent
+  /// to a one-element batch.
+  std::vector<uint32_t> SearchOne(const float* query,
+                                  const SearchParams& params,
+                                  QueryStats* stats = nullptr) const;
+
+ private:
+  // Checks a scratch out of the free list (allocating if the list is dry)
+  // and returns it on destruction — exception-safe under throwing searches.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(const SearchEngine& engine);
+    ~ScratchLease();
+    SearchScratch& get() { return *scratch_; }
+
+   private:
+    const SearchEngine& engine_;
+    std::unique_ptr<SearchScratch> scratch_;
+  };
+
+  const AnnIndex& index_;
+  uint32_t num_threads_;
+  mutable ThreadPool pool_;
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> free_scratch_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_ENGINE_H_

@@ -12,53 +12,10 @@
 #include "core/distance.h"
 #include "core/graph.h"
 #include "core/neighbor.h"
+#include "core/search_context.h"
 #include "core/visited_list.h"
 
 namespace weavess {
-
-/// Per-query scratch state: visited stamps, the NDC counter behind the
-/// Speedup metric, the hop counter behind the query-path-length metric
-/// (PL in Table 5 counts expanded vertices along the search), and the
-/// optional search budget that lets routing stop early with best-so-far
-/// results instead of walking to convergence.
-struct SearchContext {
-  explicit SearchContext(uint32_t num_vertices) : visited(num_vertices) {}
-
-  /// Call once per query before seeding. Resets the budget to unlimited;
-  /// arm it afterwards with ArmBudget when the caller set one.
-  void BeginQuery() {
-    visited.Reset();
-    hops = 0;
-    truncated = false;
-    budget = SearchBudget::Unlimited();
-    budget_counter = nullptr;
-  }
-
-  /// Arms the per-query budget. `counter` is the DistanceCounter the
-  /// query's oracle writes into (routing charges its spend there).
-  void ArmBudget(uint64_t max_distance_evals, uint64_t time_budget_us,
-                 const DistanceCounter* counter) {
-    budget = SearchBudget::FromLimits(max_distance_evals, time_budget_us);
-    budget_counter = counter;
-  }
-
-  /// True once routing must stop. Routers call this before each vertex
-  /// expansion and set `truncated` when it trips with work remaining.
-  bool BudgetExhausted() const {
-    if (budget.unlimited()) return false;
-    const uint64_t evals =
-        budget_counter != nullptr ? budget_counter->count : 0;
-    return budget.Exhausted(evals);
-  }
-
-  VisitedList visited;
-  DistanceCounter counter;
-  uint64_t hops = 0;
-  /// Set by routers when the budget stopped the walk before convergence.
-  bool truncated = false;
-  SearchBudget budget;
-  const DistanceCounter* budget_counter = nullptr;
-};
 
 /// Evaluates `ids` against the query and inserts them into the pool,
 /// marking them visited. The common entry step for all routers.

@@ -21,16 +21,19 @@ void MarkPoolVisited(const CandidatePool& pool, SearchContext& ctx) {
 
 RandomSeedProvider::RandomSeedProvider(uint32_t num_vertices,
                                        uint32_t num_seeds, uint64_t seed)
-    : num_vertices_(num_vertices), num_seeds_(num_seeds), rng_(seed) {
+    : num_vertices_(num_vertices), num_seeds_(num_seeds), seed_(seed) {
   WEAVESS_CHECK(num_vertices > 0);
 }
 
 void RandomSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                              SearchContext& ctx, CandidatePool& pool) {
+                              SearchContext& ctx, CandidatePool& pool) const {
   const uint32_t requested =
       num_seeds_ > 0 ? num_seeds_ : static_cast<uint32_t>(pool.capacity());
   const uint32_t want = std::min(requested, num_vertices_);
-  std::vector<uint32_t> ids = rng_.SampleDistinct(num_vertices_, want);
+  // Derive the stream from the query bytes: a pure function, so repeated
+  // and concurrent searches of the same query are bit-for-bit identical.
+  Rng rng(HashBytes(query, oracle.dim() * sizeof(float), seed_));
+  std::vector<uint32_t> ids = rng.SampleDistinct(num_vertices_, want);
   SeedPool(ids, query, oracle, ctx, pool);
 }
 
@@ -40,7 +43,7 @@ FixedSeedProvider::FixedSeedProvider(std::vector<uint32_t> seeds)
 }
 
 void FixedSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                             SearchContext& ctx, CandidatePool& pool) {
+                             SearchContext& ctx, CandidatePool& pool) const {
   SeedPool(seeds_, query, oracle, ctx, pool);
 }
 
@@ -51,7 +54,7 @@ KdForestSeedProvider::KdForestSeedProvider(
 }
 
 void KdForestSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                                SearchContext& ctx, CandidatePool& pool) {
+                                SearchContext& ctx, CandidatePool& pool) const {
   forest_->SearchKnn(query, max_checks_, oracle, pool);
   MarkPoolVisited(pool, ctx);
 }
@@ -67,7 +70,7 @@ KdLeafSeedProvider::KdLeafSeedProvider(std::shared_ptr<const KdForest> forest,
 }
 
 void KdLeafSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                              SearchContext& ctx, CandidatePool& pool) {
+                              SearchContext& ctx, CandidatePool& pool) const {
   std::vector<uint32_t> ids = forest_->LeafIds(query);
   if (ids.size() > max_seeds_) ids.resize(max_seeds_);
   SeedPool(ids, query, oracle, ctx, pool);
@@ -84,7 +87,7 @@ VpTreeSeedProvider::VpTreeSeedProvider(std::shared_ptr<const VpTree> tree,
 }
 
 void VpTreeSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                              SearchContext& ctx, CandidatePool& pool) {
+                              SearchContext& ctx, CandidatePool& pool) const {
   tree_->SearchKnn(query, k_, max_checks_, oracle, pool);
   MarkPoolVisited(pool, ctx);
 }
@@ -100,7 +103,7 @@ KMeansTreeSeedProvider::KMeansTreeSeedProvider(
 }
 
 void KMeansTreeSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                                  SearchContext& ctx, CandidatePool& pool) {
+                                  SearchContext& ctx, CandidatePool& pool) const {
   tree_->SearchKnn(query, max_checks_, oracle, pool);
   MarkPoolVisited(pool, ctx);
 }
@@ -116,7 +119,7 @@ LshSeedProvider::LshSeedProvider(std::shared_ptr<const LshTable> table,
 }
 
 void LshSeedProvider::Seed(const float* query, DistanceOracle& oracle,
-                           SearchContext& ctx, CandidatePool& pool) {
+                           SearchContext& ctx, CandidatePool& pool) const {
   std::vector<uint32_t> ids = table_->Probe(query, max_seeds_);
   if (ids.size() > max_seeds_) ids.resize(max_seeds_);
   SeedPool(ids, query, oracle, ctx, pool);

@@ -25,31 +25,36 @@ namespace weavess {
 /// `ctx`). Implementations own whatever auxiliary index they need; any
 /// distance evaluation they spend is charged to the oracle's counter, which
 /// is how the paper attributes tree/hash seed costs to the query.
+/// Seed is const and stateless across calls: concurrent queries may share
+/// one provider, and a given query always receives the same entries.
 class SeedProvider {
  public:
   virtual ~SeedProvider() = default;
 
   virtual void Seed(const float* query, DistanceOracle& oracle,
-                    SearchContext& ctx, CandidatePool& pool) = 0;
+                    SearchContext& ctx, CandidatePool& pool) const = 0;
 
   /// Bytes of any auxiliary structure (counted into the MO metric).
   virtual size_t MemoryBytes() const { return 0; }
 };
 
-/// Fresh uniform-random seeds each query (KGraph, FANNG, NSW, DPG).
-/// `num_seeds == 0` fills the candidate pool to capacity with random
-/// vertices — the classic KGraph/EFANNA initialization, which is what
-/// gives random-seeded algorithms their cluster coverage at large L.
+/// Per-query uniform-random seeds (KGraph, FANNG, NSW, DPG). The RNG
+/// stream is derived from HashBytes(query), not from provider state, so
+/// distinct queries still get independent entries but a repeated query —
+/// on any thread — sees identical ones. `num_seeds == 0` fills the
+/// candidate pool to capacity with random vertices — the classic
+/// KGraph/EFANNA initialization, which is what gives random-seeded
+/// algorithms their cluster coverage at large L.
 class RandomSeedProvider : public SeedProvider {
  public:
   RandomSeedProvider(uint32_t num_vertices, uint32_t num_seeds, uint64_t seed);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
 
  private:
   uint32_t num_vertices_;
   uint32_t num_seeds_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 /// A fixed entry set chosen at build time: NSG/Vamana's medoid, NSSG's
@@ -58,7 +63,7 @@ class FixedSeedProvider : public SeedProvider {
  public:
   explicit FixedSeedProvider(std::vector<uint32_t> seeds);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
 
  private:
   std::vector<uint32_t> seeds_;
@@ -70,7 +75,7 @@ class KdForestSeedProvider : public SeedProvider {
   KdForestSeedProvider(std::shared_ptr<const KdForest> forest,
                        uint32_t max_checks);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
   size_t MemoryBytes() const override;
 
  private:
@@ -86,7 +91,7 @@ class KdLeafSeedProvider : public SeedProvider {
   KdLeafSeedProvider(std::shared_ptr<const KdForest> forest,
                      uint32_t max_seeds);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
   size_t MemoryBytes() const override;
 
  private:
@@ -100,7 +105,7 @@ class VpTreeSeedProvider : public SeedProvider {
   VpTreeSeedProvider(std::shared_ptr<const VpTree> tree, uint32_t k,
                      uint32_t max_checks);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
   size_t MemoryBytes() const override;
 
  private:
@@ -115,7 +120,7 @@ class KMeansTreeSeedProvider : public SeedProvider {
   KMeansTreeSeedProvider(std::shared_ptr<const KMeansTree> tree,
                          uint32_t max_checks);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
   size_t MemoryBytes() const override;
 
  private:
@@ -128,7 +133,7 @@ class LshSeedProvider : public SeedProvider {
  public:
   LshSeedProvider(std::shared_ptr<const LshTable> table, uint32_t max_seeds);
   void Seed(const float* query, DistanceOracle& oracle, SearchContext& ctx,
-            CandidatePool& pool) override;
+            CandidatePool& pool) const override;
   size_t MemoryBytes() const override;
 
  private:

@@ -1,0 +1,63 @@
+# Exercises weavess_cli's documented process exit-code contract end to end:
+#   0 success, 1 usage error, 2 I/O error, 3 corruption.
+# Run as a CTest script test:
+#   cmake -DCLI=<weavess_cli> -DWORKDIR=<scratch dir> -P cli_exit_codes.cmake
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DCLI=<weavess_cli path> and -DWORKDIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_cli expected)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL expected)
+    message(FATAL_ERROR
+      "expected exit ${expected}, got '${code}' for: weavess_cli ${ARGN}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+set(prefix "${WORKDIR}/data")
+
+# --- exit 0: generate a small workload, then a threaded eval sweep.
+run_cli(0 generate --out ${prefix} --n 500 --dim 8 --queries 10 --gt 10)
+run_cli(0 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --gt ${prefix}.gt.ivecs --algo KGraph --pools 10,20 --threads 2)
+
+# --- exit 1 (usage): bad or missing flag values.
+run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --algo KGraph --pools 10 --threads banana)
+run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --algo KGraph --pools 10 --threads 0)
+run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --algo KGraph --pools ten --threads 2)
+run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --algo NoSuchAlgorithm)
+run_cli(1 nosuchcommand)
+
+# --- exit 2 (I/O): nonexistent inputs.
+run_cli(2 eval --base ${WORKDIR}/missing.fvecs
+        --query ${prefix}.query.fvecs --algo KGraph --threads 2)
+run_cli(2 verify --graph ${WORKDIR}/missing.wvs)
+
+# --- exit 3 (corruption): a real round-trip first, then a corrupt file.
+set(graph "${WORKDIR}/graph.wvs")
+run_cli(0 build --base ${prefix}.base.fvecs --algo KGraph --save ${graph})
+run_cli(0 verify --graph ${graph})
+# A header-sized file without the format magic must be reported as
+# corruption (exit 3), not as an I/O or usage error. (Byte-flip CRC cases
+# are covered in C++ by persistence_test; CMake strings cannot hold the
+# NUL bytes a binary rewrite would need.)
+set(bad "${WORKDIR}/bad_magic.wvs")
+file(WRITE "${bad}" "this is not a weavess graph file, padded well past ")
+file(APPEND "${bad}" "the 32-byte header so only the magic check can fail")
+run_cli(3 verify --graph ${bad})
+
+message(STATUS "cli_exit_codes: all exit-code checks passed")

@@ -1,0 +1,60 @@
+// Golden quality pins: recall@10 and NDC for four flagship algorithms on a
+// fixed-seed synthetic workload. These are regression tripwires for the
+// search substrate — a routing, seeding, or scratch-reuse change that
+// shifts quality shows up here before it shows up in a paper table. The
+// tolerances absorb platform FP-reduction differences, not behavior
+// changes: on one platform results are exactly reproducible.
+//
+// To re-baseline after an *intentional* quality change, run the binary and
+// copy the "actual" values from the failure messages.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "eval/evaluator.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+struct GoldenCase {
+  const char* algo;
+  uint32_t pool_size;
+  double recall;    // mean recall@10, pinned +/- kRecallTol
+  double mean_ndc;  // mean distance evaluations, pinned +/- kNdcRelTol
+};
+
+constexpr double kRecallTol = 0.02;
+constexpr double kNdcRelTol = 0.05;  // 5% relative
+
+class GoldenRecallTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenRecallTest, PinnedRecallAndNdc) {
+  const GoldenCase golden = GetParam();
+  const auto tw = ::weavess::testing::MakeTestWorkload();
+  auto index = CreateAlgorithm(golden.algo, AlgorithmOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = golden.pool_size;
+  const SearchPoint point =
+      EvaluateSearch(*index, tw.workload.queries, tw.truth, params);
+  EXPECT_NEAR(point.recall, golden.recall, kRecallTol)
+      << golden.algo << ": actual recall@10 = " << point.recall;
+  EXPECT_NEAR(point.mean_ndc, golden.mean_ndc,
+              golden.mean_ndc * kNdcRelTol)
+      << golden.algo << ": actual mean NDC = " << point.mean_ndc;
+  EXPECT_EQ(point.truncated_queries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flagships, GoldenRecallTest,
+    ::testing::Values(GoldenCase{"HNSW", 60, 1.000, 234.175},
+                      GoldenCase{"NSG", 60, 1.000, 213.675},
+                      GoldenCase{"KGraph", 60, 1.000, 228.500},
+                      GoldenCase{"OA", 60, 0.920, 185.325}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.algo);
+    });
+
+}  // namespace
+}  // namespace weavess

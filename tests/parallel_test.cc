@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "algorithms/nsg.h"
 #include "core/parallel.h"
@@ -40,6 +41,36 @@ TEST(ParallelForTest, WorkerIndicesWithinBounds) {
     if (worker >= 3) ok = false;
   });
   EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelForTest, RethrowsFirstWorkerException) {
+  // Regression: the spawn-per-call ParallelFor let a worker exception
+  // escape into std::terminate. The pool-backed version must capture it
+  // and rethrow on the calling thread after the loop drains.
+  EXPECT_THROW(
+      ParallelFor(0, 64, 4,
+                  [](uint32_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  try {
+    ParallelFor(0, 64, 4, [](uint32_t i) {
+      if (i == 13) throw std::runtime_error("expected message");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "expected message");
+  }
+}
+
+TEST(ParallelForTest, UsableAfterException) {
+  // The shared pool must stay healthy after a throwing loop.
+  EXPECT_THROW(ParallelFor(0, 16, 4,
+                           [](uint32_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 100, 4, [&calls](uint32_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
 }
 
 TEST(ParallelTest, ExactKnngThreadCountInvariant) {

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 
 #include "algorithms/registry.h"
+#include "core/distance.h"
 #include "core/metrics.h"
+#include "search/engine.h"
 #include "test_util.h"
 
 namespace weavess {
@@ -132,6 +135,55 @@ TEST_P(PropertyFixture, SurvivesOneDimensionalData) {
   params.pool_size = 30;
   EXPECT_FALSE(index->Search(workload.queries.Row(0), params).empty())
       << GetParam();
+}
+
+TEST_P(PropertyFixture, BatchResultsSortedAndDuplicateFree) {
+  const TestWorkload& tw = SmallWorkload();
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 40;
+  const SearchEngine engine(*index, 4);
+  const BatchResult batch = engine.SearchBatch(tw.workload.queries, params);
+  ASSERT_EQ(batch.ids.size(), tw.workload.queries.size());
+  for (uint32_t q = 0; q < batch.ids.size(); ++q) {
+    const std::vector<uint32_t>& ids = batch.ids[q];
+    const float* query = tw.workload.queries.Row(q);
+    const std::set<uint32_t> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), ids.size())
+        << GetParam() << " returned duplicates for query " << q;
+    for (size_t i = 1; i < ids.size(); ++i) {
+      const float prev = L2Sqr(query, tw.workload.base.Row(ids[i - 1]),
+                               tw.workload.base.dim());
+      const float curr = L2Sqr(query, tw.workload.base.Row(ids[i]),
+                               tw.workload.base.dim());
+      EXPECT_LE(prev, curr)
+          << GetParam() << " result list not ascending for query " << q
+          << " at position " << i;
+    }
+  }
+}
+
+TEST_P(PropertyFixture, BatchMatchesLoopedSingleQuerySearch) {
+  const TestWorkload& tw = SmallWorkload();
+  auto index = CreateAlgorithm(GetParam(), TinyOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 40;
+  const SearchEngine engine(*index, 4);
+  const BatchResult batch = engine.SearchBatch(tw.workload.queries, params);
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    QueryStats stats;
+    const auto single =
+        index->Search(tw.workload.queries.Row(q), params, &stats);
+    EXPECT_EQ(batch.ids[q], single)
+        << GetParam() << " batch result diverges from looped Search for "
+        << "query " << q;
+    EXPECT_EQ(batch.stats[q].distance_evals, stats.distance_evals)
+        << GetParam() << " query " << q;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PropertyFixture,

@@ -11,10 +11,13 @@
 //       checksummed format of docs/PERSISTENCE.md.
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
-//                    --algo NAME [--k K] [--pools 10,40,160]
+//                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
 //                    [--max-evals N] [--budget-us U]
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
-//       The optional search budgets demonstrate graceful degradation; the
+//       --threads T (default 1) runs each sweep point through a T-stream
+//       SearchEngine batch; recall/NDC/PL are identical at any T (see
+//       docs/CONCURRENCY.md), only QPS changes. The optional search
+//       budgets demonstrate graceful degradation and apply per query; the
 //       Trunc column counts budget-truncated queries per sweep point.
 //
 //   weavess_cli verify --graph FILE
@@ -43,6 +46,7 @@
 #include "eval/synthetic.h"
 #include "eval/table.h"
 #include "graph/exact_knng.h"
+#include "search/engine.h"
 
 namespace {
 
@@ -262,6 +266,10 @@ int CmdEval(const Args& args) {
   }
   const uint32_t k = args.GetU32("k", 10);
   const AlgorithmOptions options = OptionsFrom(args);
+  if (args.Get("threads") != nullptr && args.status().ok() &&
+      options.num_threads == 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 1"));
+  }
   SearchParams base_params;
   base_params.max_distance_evals = args.GetU64("max-evals", 0);
   base_params.time_budget_us = args.GetU64("budget-us", 0);
@@ -303,11 +311,13 @@ int CmdEval(const Args& args) {
   auto index = CreateAlgorithm(algo, options);
   index->Build(base);
   std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
+  const SearchEngine engine(*index, options.num_threads);
+  std::printf("searching with %u thread(s)\n", engine.num_threads());
 
   TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL",
                       "Trunc"});
   for (const SearchPoint& point :
-       SweepPoolSizes(*index, queries, truth, k, pools, base_params)) {
+       SweepPoolSizes(engine, queries, truth, k, pools, base_params)) {
     table.AddRow({TablePrinter::Int(point.params.pool_size),
                   TablePrinter::Fixed(point.recall, 3),
                   TablePrinter::Fixed(point.qps, 0),
