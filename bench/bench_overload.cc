@@ -1,0 +1,217 @@
+// Overload behavior under an open-loop arrival process: a fixed offered-QPS
+// schedule is submitted regardless of completion rate (unlike a closed loop,
+// which self-throttles and hides overload — the "coordinated omission"
+// trap). As offered load crosses the engine's capacity the serving layer
+// must shed the excess fast (admission control), keep completed-query
+// latency bounded (deadlines), and trade recall for throughput (the
+// degradation ladder) — the contract of docs/SERVING.md.
+//
+// Each sweep point prints a table row and emits one machine-readable JSON
+// line:
+//   {"bench":"overload","offered_qps":...,"completed_qps":...,
+//    "shed_rate":...,"p50_us":...,"p99_us":...,"degraded_fraction":...}
+//
+// Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
+//   WEAVESS_OFFERED_QPS  comma-separated offered-QPS ladder
+//                        (default 2000,8000,32000,128000)
+//   WEAVESS_SUBMITTERS   open-loop submitter threads (default 32)
+//   WEAVESS_CAPACITY     admission capacity (default 8)
+//   WEAVESS_DEADLINE_US  per-request deadline (default 5000, 0 = none)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "search/serving.h"
+
+namespace weavess::bench {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const unsigned long long parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+std::vector<uint64_t> OfferedQpsLadder() {
+  const char* value = std::getenv("WEAVESS_OFFERED_QPS");
+  std::vector<uint64_t> ladder;
+  if (value != nullptr) {
+    for (const std::string& token : SplitCsv(value)) {
+      const unsigned long long parsed =
+          std::strtoull(token.c_str(), nullptr, 10);
+      if (parsed > 0) ladder.push_back(parsed);
+    }
+  }
+  if (ladder.empty()) ladder = {2000, 8000, 32000, 128000};
+  return ladder;
+}
+
+double Percentile(std::vector<uint64_t>& sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const size_t rank = static_cast<size_t>(p * (sample.size() - 1) + 0.5);
+  return static_cast<double>(sample[std::min(rank, sample.size() - 1)]);
+}
+
+struct LoadPoint {
+  uint64_t offered_qps = 0;
+  double completed_qps = 0.0;
+  double shed_rate = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double degraded_fraction = 0.0;
+  uint32_t max_tier = 0;
+};
+
+// Submits `total` requests on an open-loop schedule: request i is due at
+// start + i/qps whether or not earlier requests have finished. Submitter
+// threads sleep until each arrival is due; when the engine cannot keep up
+// the due times slip into the past and arrivals hit admission back to back,
+// which is exactly the pressure the shed/degrade machinery exists for.
+LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
+                      uint64_t offered_qps, uint32_t submitters,
+                      uint64_t deadline_us) {
+  const uint64_t total = std::clamp<uint64_t>(offered_qps / 2, 500, 20000);
+  const double period_us = 1e6 / static_cast<double>(offered_qps);
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> completed{0}, shed{0}, degraded{0};
+  std::vector<std::vector<uint64_t>> latencies(submitters);
+  const auto start = std::chrono::steady_clock::now();
+
+  const auto submit_loop = [&](uint32_t worker) {
+    SearchParams params;
+    params.k = 10;
+    params.pool_size = 80;
+    for (;;) {
+      const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      const auto due =
+          start + std::chrono::microseconds(
+                      static_cast<uint64_t>(static_cast<double>(i) *
+                                            period_us));
+      std::this_thread::sleep_until(due);  // no-op once the schedule slips
+      RequestOptions request;
+      request.params = params;
+      if (deadline_us > 0) {
+        request.deadline_us = serving.clock().NowMicros() + deadline_us;
+      }
+      const ServeOutcome out = serving.Serve(
+          queries.Row(static_cast<uint32_t>(i % queries.size())), request);
+      if (out.status.ok()) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (out.stats.degraded) {
+          degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        latencies[worker].push_back(out.latency_us);
+      } else {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (uint32_t w = 0; w < submitters; ++w) {
+    threads.emplace_back(submit_loop, w);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<uint64_t> all;
+  for (const std::vector<uint64_t>& part : latencies) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  LoadPoint point;
+  point.offered_qps = offered_qps;
+  point.completed_qps =
+      wall_seconds > 0.0 ? static_cast<double>(completed.load()) / wall_seconds
+                         : 0.0;
+  point.shed_rate = static_cast<double>(shed.load()) / static_cast<double>(total);
+  point.p50_us = Percentile(all, 0.5);
+  point.p99_us = Percentile(all, 0.99);
+  point.degraded_fraction =
+      completed.load() > 0 ? static_cast<double>(degraded.load()) /
+                                 static_cast<double>(completed.load())
+                           : 0.0;
+  point.max_tier = serving.lifetime_report().max_tier;
+  return point;
+}
+
+void Run() {
+  Banner("Overload: open-loop offered QPS vs shed/degrade/latency",
+         "Admission capacity is fixed; offered load sweeps past it. Shed "
+         "rate and the degradation ladder absorb the excess "
+         "(docs/SERVING.md).");
+  const uint32_t submitters =
+      static_cast<uint32_t>(EnvU64("WEAVESS_SUBMITTERS", 32));
+  const uint32_t capacity =
+      static_cast<uint32_t>(EnvU64("WEAVESS_CAPACITY", 8));
+  const uint64_t deadline_us = EnvU64("WEAVESS_DEADLINE_US", 5000);
+  std::printf("submitters=%u capacity=%u deadline_us=%llu\n", submitters,
+              capacity, static_cast<unsigned long long>(deadline_us));
+
+  const std::vector<std::string> datasets = SelectedDatasets();
+  // One dataset/algorithm by default: the sweep is about load, not recall.
+  Workload workload = MakeStandIn(datasets.front(), EnvScale());
+  for (const std::string& algo : SelectedAlgorithms({"HNSW"})) {
+    auto index = CreateAlgorithm(algo, DefaultOptions());
+    index->Build(workload.base);
+
+    ServingConfig config;
+    config.num_threads = 1;  // Serve() runs on the submitter's thread
+    config.admission.capacity = capacity;
+    config.admission.retry_after_us = 500;
+    SearchParams tier1;
+    tier1.pool_size = 40;
+    SearchParams tier2;
+    tier2.pool_size = 20;
+    config.degradation.tiers = {tier1, tier2};
+    config.degradation.enter_depth = std::max(1u, capacity * 3 / 4);
+    config.degradation.exit_depth = capacity / 4;
+    config.degradation.step_down_after = 2;
+    config.degradation.step_up_after = 8;
+
+    std::printf("\n%s / %s (n=%u)\n", datasets.front().c_str(), algo.c_str(),
+                workload.base.size());
+    TablePrinter table({"OfferedQPS", "DoneQPS", "ShedRate", "p50us", "p99us",
+                        "DegrFrac", "MaxTier"});
+    for (uint64_t offered : OfferedQpsLadder()) {
+      // A fresh engine per point: each row starts from a calm ladder and
+      // zeroed lifetime counters.
+      ServingEngine serving(*index, config);
+      const LoadPoint point = RunOpenLoop(serving, workload.queries, offered,
+                                          submitters, deadline_us);
+      table.AddRow({TablePrinter::Int(point.offered_qps),
+                    TablePrinter::Fixed(point.completed_qps, 0),
+                    TablePrinter::Fixed(point.shed_rate, 3),
+                    TablePrinter::Fixed(point.p50_us, 0),
+                    TablePrinter::Fixed(point.p99_us, 0),
+                    TablePrinter::Fixed(point.degraded_fraction, 3),
+                    TablePrinter::Int(point.max_tier)});
+      std::printf(
+          "{\"bench\":\"overload\",\"algo\":\"%s\",\"offered_qps\":%llu,"
+          "\"completed_qps\":%.1f,\"shed_rate\":%.4f,\"p50_us\":%.1f,"
+          "\"p99_us\":%.1f,\"degraded_fraction\":%.4f,\"max_tier\":%u}\n",
+          algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
+          point.completed_qps, point.shed_rate, point.p50_us, point.p99_us,
+          point.degraded_fraction, point.max_tier);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

@@ -150,7 +150,8 @@ std::vector<uint32_t> HnswIndex::SearchWith(SearchScratch& scratch,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
-  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                params.clock);
   uint32_t entry = entry_point_;
   for (uint32_t l = max_level_; l > 0; --l) {
     entry = GreedyStep(query, entry, l, oracle, ctx);

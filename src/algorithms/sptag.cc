@@ -106,7 +106,8 @@ std::vector<uint32_t> SptagIndex::SearchWith(SearchScratch& scratch,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
-  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                params.clock);
   CandidatePool& pool = scratch.pool;
   pool.Reset(std::max(params.pool_size, params.k));
 

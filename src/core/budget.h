@@ -2,11 +2,16 @@
 // it only caps how much work the walk may spend before returning its
 // best-so-far results, so a disconnected or adversarial graph cannot wedge
 // a query thread. When a budget trips, QueryStats::truncated is set.
+//
+// Wall-clock deadlines are read through the Clock abstraction (core/clock.h):
+// the default SteadyClock gives production behavior, while tests arm budgets
+// against a VirtualClock so time-budget truncation is deterministic.
 #ifndef WEAVESS_CORE_BUDGET_H_
 #define WEAVESS_CORE_BUDGET_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "core/clock.h"
 
 namespace weavess {
 
@@ -16,18 +21,23 @@ struct SearchBudget {
   uint64_t max_distance_evals = 0;
 
   bool has_deadline = false;
-  std::chrono::steady_clock::time_point deadline;
+  /// Absolute deadline, in `clock` microseconds.
+  uint64_t deadline_us = 0;
+  /// Clock the deadline is measured against; never null when has_deadline.
+  const Clock* clock = nullptr;
 
   static SearchBudget Unlimited() { return {}; }
 
   /// Builds a budget from SearchParams-style limits; 0 disables a limit.
-  static SearchBudget FromLimits(uint64_t max_evals, uint64_t time_budget_us) {
+  /// A null `clock` selects the process SteadyClock.
+  static SearchBudget FromLimits(uint64_t max_evals, uint64_t time_budget_us,
+                                 const Clock* clock = nullptr) {
     SearchBudget budget;
     budget.max_distance_evals = max_evals;
     if (time_budget_us > 0) {
+      budget.clock = clock != nullptr ? clock : &SteadyClock();
       budget.has_deadline = true;
-      budget.deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(time_budget_us);
+      budget.deadline_us = budget.clock->NowMicros() + time_budget_us;
     }
     return budget;
   }
@@ -41,7 +51,7 @@ struct SearchBudget {
         distance_evals_so_far >= max_distance_evals) {
       return true;
     }
-    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+    return has_deadline && clock->NowMicros() >= deadline_us;
   }
 };
 

@@ -1,0 +1,26 @@
+#include "core/clock.h"
+
+#include <chrono>
+
+namespace weavess {
+
+namespace {
+
+class SteadyClockImpl final : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+const Clock& SteadyClock() {
+  static const SteadyClockImpl clock;
+  return clock;
+}
+
+}  // namespace weavess

@@ -1,0 +1,79 @@
+// Time source abstraction behind every wall-clock budget and deadline
+// check. Production code reads the process-wide monotonic SteadyClock();
+// tests inject a VirtualClock that only moves when explicitly advanced, so
+// time-budget truncation and overload shedding become deterministic,
+// reproducible decisions instead of scheduler noise (docs/SERVING.md).
+#ifndef WEAVESS_CORE_CLOCK_H_
+#define WEAVESS_CORE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace weavess {
+
+/// Monotonic microsecond clock. Implementations must be safe to read from
+/// any number of threads concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed origin; never decreases.
+  virtual uint64_t NowMicros() const = 0;
+};
+
+/// The process-wide std::chrono::steady_clock. This is what a null Clock*
+/// resolves to everywhere a clock is optional.
+const Clock& SteadyClock();
+
+/// Manually driven clock for deterministic tests: NowMicros returns exactly
+/// what the test has set, regardless of real elapsed time. Thread-safe —
+/// chaos doubles advance it from worker threads while budget checks read it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(uint64_t start_us = 0) : now_us_(start_us) {}
+
+  uint64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceMicros(uint64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
+  }
+
+  /// Jumps to an absolute reading. Only moves forward (a monotonic clock
+  /// must never run backwards; a smaller value is ignored).
+  void SetMicros(uint64_t now_us) {
+    uint64_t current = now_us_.load(std::memory_order_acquire);
+    while (now_us > current &&
+           !now_us_.compare_exchange_weak(current, now_us,
+                                          std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> now_us_;
+};
+
+/// Chaos double: a clock that runs at `rate` times its base, plus a fixed
+/// offset — a machine whose TSC drifts or jumped across a VM migration.
+/// Deterministic whenever the base clock is.
+class SkewedClock final : public Clock {
+ public:
+  SkewedClock(const Clock& base, double rate, uint64_t offset_us = 0)
+      : base_(base), rate_(rate), offset_us_(offset_us) {}
+
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+               static_cast<double>(base_.NowMicros()) * rate_) +
+           offset_us_;
+  }
+
+ private:
+  const Clock& base_;
+  double rate_;
+  uint64_t offset_us_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_CLOCK_H_

@@ -33,6 +33,10 @@ struct SearchParams {
   /// may overshoot max_distance_evals by one adjacency list.
   uint64_t max_distance_evals = 0;
   uint64_t time_budget_us = 0;
+  /// Clock that time_budget_us deadlines are measured against. nullptr
+  /// selects the process SteadyClock; tests and the serving layer inject a
+  /// VirtualClock so wall-clock truncation is deterministic (core/clock.h).
+  const Clock* clock = nullptr;
 };
 
 /// Per-query measurements backing Speedup (= |S| / distance_evals) and the
@@ -43,6 +47,11 @@ struct QueryStats {
   /// True when a SearchParams budget tripped and the results are the
   /// best-so-far prefix of the walk rather than a converged search.
   bool truncated = false;
+  /// True when the result was produced in a degraded serving mode: a
+  /// quality tier below full (degradation ladder) or the brute-force
+  /// fallback after an index-load failure (search/serving.h). Algorithms
+  /// never set this themselves; the serving layer owns it.
+  bool degraded = false;
 };
 
 /// Construction-side measurements.

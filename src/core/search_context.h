@@ -34,10 +34,14 @@ struct SearchContext {
   }
 
   /// Arms the per-query budget. `counter` is the DistanceCounter the
-  /// query's oracle writes into (routing charges its spend there).
+  /// query's oracle writes into (routing charges its spend there). A null
+  /// `clock` measures time_budget_us against the process SteadyClock;
+  /// tests pass a VirtualClock for deterministic wall-clock truncation.
   void ArmBudget(uint64_t max_distance_evals, uint64_t time_budget_us,
-                 const DistanceCounter* counter) {
-    budget = SearchBudget::FromLimits(max_distance_evals, time_budget_us);
+                 const DistanceCounter* counter,
+                 const Clock* clock = nullptr) {
+    budget = SearchBudget::FromLimits(max_distance_evals, time_budget_us,
+                                      clock);
     budget_counter = counter;
   }
 

@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kCorruption = 2,       // bytes exist but fail validation (CRC, bounds)
   kInvalidArgument = 3,  // the caller asked for something nonsensical
   kNotSupported = 4,     // recognized but unimplemented (future versions)
+  kUnavailable = 5,      // transient overload — back off and retry
+  kDeadlineExceeded = 6, // the request's deadline passed before completion
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -35,6 +37,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "InvalidArgument";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -57,6 +63,12 @@ class Status {
   static Status NotSupported(std::string message) {
     return Status(StatusCode::kNotSupported, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
@@ -65,6 +77,10 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,9 +1,48 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 #include "core/timer.h"
 
 namespace weavess {
+
+namespace {
+
+// Nearest-rank percentile over a sorted sample (0 for an empty one).
+double Percentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
+}
+
+}  // namespace
+
+ServingPoint EvaluateServing(ServingEngine& serving, const Dataset& queries,
+                             const GroundTruth& truth,
+                             const RequestOptions& request) {
+  WEAVESS_CHECK(queries.size() == truth.size());
+  ServingPoint point;
+  point.params = request.params;
+  const ServeBatchResult batch = serving.ServeBatch(queries, request);
+  point.report = batch.report;
+  double recall_sum = 0.0;
+  std::vector<uint64_t> latencies;
+  latencies.reserve(batch.outcomes.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    const ServeOutcome& out = batch.outcomes[q];
+    if (!out.status.ok()) continue;
+    recall_sum += Recall(out.ids, truth[q], request.params.k);
+    latencies.push_back(out.latency_us);
+  }
+  if (!latencies.empty()) {
+    point.recall_completed = recall_sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    point.p50_latency_us = Percentile(latencies, 0.5);
+    point.p99_latency_us = Percentile(latencies, 0.99);
+  }
+  return point;
+}
 
 SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
                            const GroundTruth& truth,

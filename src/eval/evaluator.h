@@ -11,6 +11,7 @@
 #include "core/index.h"
 #include "eval/ground_truth.h"
 #include "search/engine.h"
+#include "search/serving.h"
 
 namespace weavess {
 
@@ -49,6 +50,25 @@ std::vector<SearchPoint> SweepPoolSizes(
     AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
     uint32_t k, const std::vector<uint32_t>& pool_sizes,
     const SearchParams& base_params = {});
+
+/// One overload-aware sweep point: the recall contract is evaluated over
+/// completed queries only, next to the shed/degraded accounting that shows
+/// what defending it cost (docs/SERVING.md).
+struct ServingPoint {
+  SearchParams params;
+  ServingReport report;
+  double recall_completed = 0.0;  // mean Recall@k over completed queries
+  double p50_latency_us = 0.0;    // completed-query latency percentiles
+  double p99_latency_us = 0.0;
+};
+
+/// Serves every query once through `serving` as one burst (ServeBatch) with
+/// `request` carrying the deadline and full-quality params. Queries shed by
+/// admission or deadline score zero recall nowhere — they are excluded from
+/// recall_completed and counted in the report instead.
+ServingPoint EvaluateServing(ServingEngine& serving, const Dataset& queries,
+                             const GroundTruth& truth,
+                             const RequestOptions& request);
 
 /// Smallest pool size reaching `target_recall` (the CS metric of Table 5),
 /// found by sweeping `pool_sizes` in ascending order. Returns the point for

@@ -73,7 +73,8 @@ std::vector<uint32_t> LearnedRoutingIndex::SearchWith(
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
-  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                params.clock);
 
   // Query embedding: m true distance evaluations, paid once per query.
   const uint32_t m = params_.num_landmarks;

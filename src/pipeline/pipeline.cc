@@ -393,7 +393,8 @@ std::vector<uint32_t> PipelineIndex::SearchWith(SearchScratch& scratch,
   ctx.BeginQuery();
   DistanceCounter counter;
   DistanceOracle oracle(*data_, &counter);
-  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                params.clock);
   CandidatePool& pool = scratch.pool;
   pool.Reset(std::max(params.pool_size, params.k));
   seed_provider_->Seed(query, oracle, ctx, pool);

@@ -1,0 +1,43 @@
+#include "search/admission.h"
+
+#include "core/check.h"
+
+namespace weavess {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+Status AdmissionController::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.in_flight >= config_.capacity) {
+    ++stats_.rejected;
+    return Status::Unavailable(
+        "overloaded: " + std::to_string(stats_.in_flight) + "/" +
+        std::to_string(config_.capacity) + " requests in flight, retry in " +
+        std::to_string(config_.retry_after_us) + "us");
+  }
+  ++stats_.in_flight;
+  ++stats_.admitted;
+  if (stats_.in_flight > stats_.peak_in_flight) {
+    stats_.peak_in_flight = stats_.in_flight;
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEAVESS_CHECK(stats_.in_flight > 0 && "Release without matching TryAcquire");
+  --stats_.in_flight;
+}
+
+uint32_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.in_flight;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace weavess

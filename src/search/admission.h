@@ -1,0 +1,61 @@
+// Admission control for the serving layer: a bounded in-flight budget that
+// rejects excess load fast instead of queuing it unboundedly. A rejected
+// request costs one mutex acquisition and returns kUnavailable with a
+// retry-after hint — the overload contract of docs/SERVING.md.
+//
+// Decisions are a pure function of the acquire/release sequence: given the
+// same order of calls, the same requests are admitted, regardless of how
+// many threads eventually execute the admitted work. That is what makes the
+// chaos suite's shed decisions bit-for-bit reproducible.
+#ifndef WEAVESS_SEARCH_ADMISSION_H_
+#define WEAVESS_SEARCH_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/status.h"
+
+namespace weavess {
+
+struct AdmissionConfig {
+  /// Maximum admitted-but-unreleased requests. 0 is drain (lame-duck) mode:
+  /// every request is rejected, which lets an operator bleed a replica dry
+  /// without tearing down the engine.
+  uint32_t capacity = 64;
+  /// Back-off hint attached to every rejection (message and
+  /// ServeOutcome::retry_after_us).
+  uint64_t retry_after_us = 1000;
+};
+
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint32_t in_flight = 0;
+  uint32_t peak_in_flight = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Takes one in-flight slot. On overload returns kUnavailable whose
+  /// message starts with "overloaded:" and names the retry-after hint.
+  Status TryAcquire();
+
+  /// Returns a slot taken by a successful TryAcquire.
+  void Release();
+
+  uint32_t capacity() const { return config_.capacity; }
+  uint64_t retry_after_us() const { return config_.retry_after_us; }
+  uint32_t in_flight() const;
+  AdmissionStats stats() const;
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  AdmissionStats stats_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_ADMISSION_H_

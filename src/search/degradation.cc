@@ -1,0 +1,80 @@
+#include "search/degradation.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace weavess {
+
+DegradationLadder::DegradationLadder(DegradationConfig config)
+    : config_(std::move(config)) {
+  WEAVESS_CHECK(config_.step_down_after > 0);
+  WEAVESS_CHECK(config_.step_up_after > 0);
+  WEAVESS_CHECK(config_.exit_depth <= config_.enter_depth);
+}
+
+void DegradationLadder::RecordPressure(bool overloaded, bool calm) {
+  if (overloaded) {
+    calm_streak_ = 0;
+    if (++overloaded_streak_ >= config_.step_down_after) {
+      overloaded_streak_ = 0;
+      tier_ = std::min(tier_ + 1, num_tiers() - 1);
+    }
+  } else if (calm) {
+    overloaded_streak_ = 0;
+    if (++calm_streak_ >= config_.step_up_after) {
+      calm_streak_ = 0;
+      if (tier_ > 0) --tier_;
+    }
+  } else {
+    // The hysteresis band between exit_depth and enter_depth: hold the
+    // current tier and let both streaks decay, so load hovering at the
+    // boundary neither thrashes down nor springs back up.
+    overloaded_streak_ = 0;
+    calm_streak_ = 0;
+  }
+}
+
+uint32_t DegradationLadder::OnSample(uint32_t depth) {
+  if (config_.tiers.empty()) return 0;
+  RecordPressure(depth >= config_.enter_depth, depth <= config_.exit_depth);
+  return tier_;
+}
+
+void DegradationLadder::OnLatency(uint64_t latency_us) {
+  if (config_.tiers.empty() || config_.latency_enter_us == 0) return;
+  if (latency_us >= config_.latency_enter_us) {
+    RecordPressure(/*overloaded=*/true, /*calm=*/false);
+  }
+}
+
+namespace {
+
+// Tightest-wins merge for a "0 = unlimited" knob.
+uint64_t MinLimit(uint64_t request, uint64_t cap) {
+  if (cap == 0) return request;
+  if (request == 0) return cap;
+  return std::min(request, cap);
+}
+
+}  // namespace
+
+SearchParams DegradationLadder::Apply(uint32_t tier,
+                                      const SearchParams& request) const {
+  if (tier == 0) return request;
+  WEAVESS_CHECK(tier < num_tiers());
+  const SearchParams& cap = config_.tiers[tier - 1];
+  SearchParams merged = request;
+  if (cap.pool_size > 0) {
+    // Never degrade the pool below k: a pool smaller than k cannot hold a
+    // full result list.
+    merged.pool_size = std::max(std::min(request.pool_size, cap.pool_size),
+                                request.k);
+  }
+  merged.max_distance_evals =
+      MinLimit(request.max_distance_evals, cap.max_distance_evals);
+  merged.time_budget_us = MinLimit(request.time_budget_us, cap.time_budget_us);
+  return merged;
+}
+
+}  // namespace weavess

@@ -1,0 +1,83 @@
+// Graceful-degradation ladder: under sustained overload the serving layer
+// steps down through configured SearchParams tiers (smaller candidate pool,
+// tighter budgets), defending latency at the cost of recall, and climbs
+// back up once pressure subsides. The recall/QPS operating point is the
+// contract a serving system defends under load (ANN-Benchmarks); the ladder
+// makes the trade explicit and observable instead of letting queues grow.
+//
+// Determinism: the ladder is a state machine over the sample sequence it is
+// fed — (queue depth, optional completion latency) — with no clocks or
+// randomness of its own. The serving engine samples it under its admission
+// lock in request-submission order, so tier decisions are bit-for-bit
+// reproducible at any worker-thread count (chaos_test.cc asserts this).
+#ifndef WEAVESS_SEARCH_DEGRADATION_H_
+#define WEAVESS_SEARCH_DEGRADATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+
+namespace weavess {
+
+struct DegradationConfig {
+  /// Quality tiers, best first: tiers[0] is full quality and is implicit —
+  /// entries here describe the *degraded* steps (tier 1, tier 2, ...). Each
+  /// entry's pool_size / max_distance_evals / time_budget_us cap the
+  /// request's own values (tightest wins; 0 fields leave the request
+  /// untouched). An empty list disables degradation.
+  std::vector<SearchParams> tiers;
+  /// Queue depth (admission in-flight count) at or above which a sample
+  /// counts as overload pressure.
+  uint32_t enter_depth = 48;
+  /// Depth at or below which a sample counts as calm.
+  uint32_t exit_depth = 8;
+  /// Consecutive overload samples required per step down.
+  uint32_t step_down_after = 4;
+  /// Consecutive calm samples required per step up.
+  uint32_t step_up_after = 16;
+  /// Optional latency trigger: a completion latency at or above this also
+  /// counts as one overload sample (0 disables). Under the steady clock
+  /// this reacts to real p99 excursions; under a virtual clock it stays
+  /// deterministic.
+  uint64_t latency_enter_us = 0;
+};
+
+/// Not thread-safe by itself: the serving engine feeds it under its
+/// admission mutex, which is also what pins the sample order.
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(DegradationConfig config);
+
+  /// Records an admission-time sample (the in-flight depth after the
+  /// admission decision) and returns the tier the request should be served
+  /// at: 0 = full quality, i >= 1 = config.tiers[i - 1].
+  uint32_t OnSample(uint32_t depth);
+
+  /// Records a completion latency (only meaningful when latency_enter_us
+  /// is configured).
+  void OnLatency(uint64_t latency_us);
+
+  uint32_t tier() const { return tier_; }
+  /// Total tiers including the implicit full-quality tier 0.
+  uint32_t num_tiers() const {
+    return static_cast<uint32_t>(config_.tiers.size()) + 1;
+  }
+
+  /// Applies tier `tier` to a request's own params (tightest-wins merge of
+  /// pool_size / max_distance_evals / time_budget_us; k and everything else
+  /// are the request's). Tier 0 returns `request` unchanged.
+  SearchParams Apply(uint32_t tier, const SearchParams& request) const;
+
+ private:
+  void RecordPressure(bool overloaded, bool calm);
+
+  const DegradationConfig config_;
+  uint32_t tier_ = 0;
+  uint32_t overloaded_streak_ = 0;
+  uint32_t calm_streak_ = 0;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_DEGRADATION_H_

@@ -45,10 +45,22 @@ BatchResult SearchEngine::SearchBatch(const Dataset& queries,
   return SearchBatch(rows, params);
 }
 
+// Clamps k (and the dependent pool size floor) to the number of indexed
+// vectors, so `k > dataset size` yields a well-formed short result instead
+// of whatever the individual algorithm would improvise.
+SearchParams SearchEngine::ClampParams(const SearchParams& params) const {
+  SearchParams clamped = params;
+  const uint32_t n = index_.graph().size();
+  if (clamped.k > n) clamped.k = n;
+  return clamped;
+}
+
 BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
                                       const SearchParams& params) const {
   const auto n = static_cast<uint32_t>(queries.size());
   BatchResult out;
+  if (n == 0) return out;  // well-formed empty batch: no timer, no tasks
+  const SearchParams clamped = ClampParams(params);
   out.ids.resize(n);
   out.stats.resize(n);
   Timer timer;
@@ -56,7 +68,7 @@ BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
   // task q only ever writes slot q, so the output is claim-order invariant.
   pool_.RunTasks(n, [&](uint32_t q) {
     ScratchLease lease(*this);
-    out.ids[q] = index_.SearchWith(lease.get(), queries[q], params,
+    out.ids[q] = index_.SearchWith(lease.get(), queries[q], clamped,
                                    &out.stats[q]);
   });
   out.totals.wall_seconds = timer.Seconds();
@@ -64,6 +76,7 @@ BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
     out.totals.distance_evals += out.stats[q].distance_evals;
     out.totals.hops += out.stats[q].hops;
     if (out.stats[q].truncated) ++out.totals.truncated_queries;
+    if (out.stats[q].degraded) ++out.totals.degraded_queries;
   }
   return out;
 }
@@ -72,7 +85,7 @@ std::vector<uint32_t> SearchEngine::SearchOne(const float* query,
                                               const SearchParams& params,
                                               QueryStats* stats) const {
   ScratchLease lease(*this);
-  return index_.SearchWith(lease.get(), query, params, stats);
+  return index_.SearchWith(lease.get(), query, ClampParams(params), stats);
 }
 
 }  // namespace weavess

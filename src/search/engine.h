@@ -7,9 +7,11 @@
 // randomness. Queries are claimed dynamically, but each task writes only
 // its own result/stats slot, and the batch totals are reduced in query
 // order after the barrier. Results are therefore bit-for-bit identical for
-// any thread count, including num_threads == 1. (The one caveat is
-// SearchParams::time_budget_us: a wall-clock budget can trip at different
-// points under scheduler noise. max_distance_evals is deterministic.)
+// any thread count, including num_threads == 1. SearchParams budgets are
+// deterministic too: max_distance_evals counts exact work, and
+// time_budget_us is read through SearchParams::clock (core/clock.h), so a
+// test that injects a VirtualClock gets reproducible truncation points.
+// Only the default SteadyClock reintroduces scheduler-dependent timing.
 //
 // Thread safety: SearchBatch/SearchOne are const and safe to call from many
 // producer threads concurrently — scratch is checked out from a mutex-
@@ -34,6 +36,7 @@ struct BatchStats {
   uint64_t distance_evals = 0;
   uint64_t hops = 0;
   uint32_t truncated_queries = 0;
+  uint32_t degraded_queries = 0;
   /// Wall time of the whole batch (the only intentionally nondeterministic
   /// field; everything else is thread-count invariant).
   double wall_seconds = 0.0;
@@ -64,7 +67,9 @@ class SearchEngine {
 
   /// Searches every row of `queries` under the same params. Budgets in
   /// `params` (max_distance_evals / time_budget_us) apply per query, never
-  /// to the batch as a whole.
+  /// to the batch as a whole. An empty batch returns a well-formed empty
+  /// result, and `k` greater than the dataset size is clamped so every
+  /// result list holds at most dataset-size ids regardless of algorithm.
   BatchResult SearchBatch(const Dataset& queries,
                           const SearchParams& params) const;
 
@@ -79,6 +84,8 @@ class SearchEngine {
                                   QueryStats* stats = nullptr) const;
 
  private:
+  SearchParams ClampParams(const SearchParams& params) const;
+
   // Checks a scratch out of the free list (allocating if the list is dry)
   // and returns it on destruction — exception-safe under throwing searches.
   class ScratchLease {

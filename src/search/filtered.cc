@@ -59,7 +59,8 @@ std::vector<uint32_t> FilteredSearcher::Search(const float* query,
   DistanceOracle oracle(*data_, &counter);
   SearchContext ctx(data_->size());
   ctx.BeginQuery();
-  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                params.clock);
   const Graph& graph = index_->graph();
   CandidatePool routing(std::max(params.pool_size, params.k));
   CandidatePool results(std::max(params.k, 1u));

@@ -1,0 +1,349 @@
+#include "search/serving.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "core/graph_io.h"
+#include "search/router.h"
+#include "search/seed.h"
+
+namespace weavess {
+
+namespace {
+
+// Best-first search over a graph restored from the checksummed on-disk
+// format: the healthy-path backend of ServingEngine::FromSavedGraph. The
+// loaded adjacency plus the dataset it was built over are everything
+// best-first routing needs; seeds are query-hash-derived (deterministic at
+// any thread count, like every other index).
+class LoadedGraphIndex final : public AnnIndex {
+ public:
+  LoadedGraphIndex(Graph graph, const Dataset& data, std::string metadata)
+      : graph_(std::move(graph)),
+        data_(&data),
+        metadata_(std::move(metadata)),
+        seeds_(graph_.size(), /*num_seeds=*/10, /*seed=*/2024) {}
+
+  void Build(const Dataset&) override {
+    WEAVESS_CHECK(false && "a loaded graph index is already built");
+  }
+
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats) const override {
+    SearchContext& ctx = scratch.ctx;
+    ctx.BeginQuery();
+    DistanceCounter counter;
+    DistanceOracle oracle(*data_, &counter);
+    ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
+                  params.clock);
+    CandidatePool& pool = scratch.pool;
+    pool.Reset(std::max(params.pool_size, params.k));
+    seeds_.Seed(query, oracle, ctx, pool);
+    BestFirstSearch(graph_, query, oracle, ctx, pool);
+    if (stats != nullptr) {
+      stats->distance_evals = counter.count;
+      stats->hops = ctx.hops;
+      stats->truncated = ctx.truncated;
+    }
+    return ExtractTopK(pool, params.k);
+  }
+
+  const Graph& graph() const override { return graph_; }
+
+  size_t IndexMemoryBytes() const override {
+    return graph_.MemoryBytes() + seeds_.MemoryBytes();
+  }
+
+  BuildStats build_stats() const override { return {}; }
+
+  std::string name() const override {
+    return metadata_.empty() ? "LoadedGraph" : "LoadedGraph:" + metadata_;
+  }
+
+ private:
+  Graph graph_;
+  const Dataset* data_;
+  std::string metadata_;
+  RandomSeedProvider seeds_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> BruteForceTopK(const Dataset& data, const float* query,
+                                     uint32_t k, uint32_t shard,
+                                     QueryStats* stats) {
+  const uint32_t rows =
+      shard == 0 ? data.size() : std::min(data.size(), shard);
+  const uint32_t take = std::min(k, rows);
+  DistanceCounter counter;
+  DistanceOracle oracle(data, &counter);
+  // Max-heap of (distance, id): the lexicographic order breaks distance
+  // ties by id, so results are deterministic.
+  std::vector<std::pair<float, uint32_t>> best;
+  best.reserve(take + 1);
+  for (uint32_t i = 0; i < rows; ++i) {
+    const std::pair<float, uint32_t> entry(oracle.ToQuery(query, i), i);
+    if (best.size() < take) {
+      best.push_back(entry);
+      std::push_heap(best.begin(), best.end());
+    } else if (take > 0 && entry < best.front()) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = entry;
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  std::sort_heap(best.begin(), best.end());
+  std::vector<uint32_t> ids;
+  ids.reserve(best.size());
+  for (const auto& [distance, id] : best) ids.push_back(id);
+  if (stats != nullptr) {
+    *stats = QueryStats{};
+    stats->distance_evals = counter.count;
+  }
+  return ids;
+}
+
+ServingEngine::ServingEngine(const AnnIndex& index, ServingConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      engine_(std::make_unique<SearchEngine>(index, 1)),
+      pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
+      admission_(config_.admission),
+      ladder_(config_.degradation) {
+  WEAVESS_CHECK(config_.num_threads >= 1);
+}
+
+ServingEngine::ServingEngine(const Dataset& data, ServingConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      fallback_data_(&data),
+      pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
+      admission_(config_.admission),
+      ladder_(config_.degradation) {
+  WEAVESS_CHECK(config_.num_threads >= 1);
+}
+
+ServingEngine::ServingEngine(std::unique_ptr<AnnIndex> owned_index,
+                             ServingConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      owned_index_(std::move(owned_index)),
+      engine_(std::make_unique<SearchEngine>(*owned_index_, 1)),
+      pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
+      admission_(config_.admission),
+      ladder_(config_.degradation) {
+  WEAVESS_CHECK(config_.num_threads >= 1);
+}
+
+ServingEngine::~ServingEngine() = default;
+
+ServingEngine::Opened ServingEngine::FromSavedGraph(const std::string& path,
+                                                    const Dataset& data,
+                                                    ServingConfig config) {
+  Opened opened;
+  std::string metadata;
+  StatusOr<Graph> graph_or = LoadGraph(path, &metadata);
+  if (graph_or.ok() && graph_or->size() != data.size()) {
+    graph_or = Status::Corruption(
+        "graph/dataset mismatch: graph has " +
+        std::to_string(graph_or->size()) + " vertices, dataset has " +
+        std::to_string(data.size()) + " rows");
+  }
+  if (graph_or.ok()) {
+    opened.engine.reset(new ServingEngine(
+        std::make_unique<LoadedGraphIndex>(*std::move(graph_or), data,
+                                           std::move(metadata)),
+        std::move(config)));
+  } else {
+    opened.load_status = graph_or.status();
+    opened.engine = std::make_unique<ServingEngine>(data, std::move(config));
+  }
+  return opened;
+}
+
+void ServingEngine::RecordOutcomeLocked(const ServeOutcome& outcome,
+                                        ServingReport* batch_report) {
+  const auto apply = [&outcome](ServingReport& report) {
+    if (outcome.status.ok()) {
+      ++report.completed;
+      if (outcome.stats.degraded) ++report.degraded;
+      if (outcome.tier > report.max_tier) report.max_tier = outcome.tier;
+    } else if (outcome.status.IsDeadlineExceeded()) {
+      ++report.shed_deadline;
+    } else if (outcome.status.IsUnavailable() &&
+               outcome.status.message().rfind("overloaded", 0) == 0) {
+      ++report.shed_overload;
+    } else {
+      ++report.failed;
+    }
+  };
+  apply(lifetime_);
+  if (batch_report != nullptr) apply(*batch_report);
+}
+
+bool ServingEngine::AdmitLocked(const RequestOptions& request,
+                                uint64_t now_us, ServeOutcome* outcome,
+                                uint32_t* tier, ServingReport* batch_report) {
+  if (request.deadline_us > 0 && now_us >= request.deadline_us) {
+    outcome->status = Status::DeadlineExceeded(
+        "deadline exceeded: expired before admission");
+    RecordOutcomeLocked(*outcome, batch_report);
+    return false;
+  }
+  Status admitted = admission_.TryAcquire();
+  if (!admitted.ok()) {
+    outcome->status = std::move(admitted);
+    outcome->retry_after_us = admission_.retry_after_us();
+    RecordOutcomeLocked(*outcome, batch_report);
+    return false;
+  }
+  *tier = ladder_.OnSample(admission_.in_flight());
+  outcome->tier = *tier;
+  return true;
+}
+
+ServeOutcome ServingEngine::Execute(const float* query,
+                                    const RequestOptions& request,
+                                    uint32_t tier, uint64_t admit_us) const {
+  ServeOutcome out;
+  out.tier = tier;
+  const uint64_t now = clock_->NowMicros();
+  // Dequeue-time deadline check: a request that can no longer meet its
+  // deadline is shed here, before any distance evaluation.
+  if (request.deadline_us > 0 && now >= request.deadline_us) {
+    out.status = Status::DeadlineExceeded(
+        "deadline exceeded: shed at dequeue before execution");
+    return out;
+  }
+  SearchParams params = ladder_.Apply(tier, request.params);
+  params.clock = clock_;
+  if (request.deadline_us > 0) {
+    // Convert the remaining time into the routing-level budget, tightest
+    // wins, so the walk itself stops at the deadline.
+    const uint64_t remaining = request.deadline_us - now;
+    params.time_budget_us = params.time_budget_us == 0
+                                ? remaining
+                                : std::min(params.time_budget_us, remaining);
+  }
+  try {
+    if (engine_ != nullptr) {
+      out.ids = engine_->SearchOne(query, params, &out.stats);
+    } else {
+      out.ids = FallbackSearch(query, params, &out.stats);
+    }
+  } catch (const std::exception& error) {
+    out.ids.clear();
+    out.status =
+        Status::Unavailable(std::string("backend failure: ") + error.what());
+  } catch (...) {
+    out.ids.clear();
+    out.status = Status::Unavailable("backend failure: unknown exception");
+  }
+  if (out.status.ok() && (tier > 0 || engine_ == nullptr)) {
+    out.stats.degraded = true;
+  }
+  out.latency_us = clock_->NowMicros() - admit_us;
+  return out;
+}
+
+std::vector<uint32_t> ServingEngine::FallbackSearch(const float* query,
+                                                    const SearchParams& params,
+                                                    QueryStats* stats) const {
+  uint32_t rows = config_.fallback_shard == 0
+                      ? fallback_data_->size()
+                      : std::min(fallback_data_->size(),
+                                 config_.fallback_shard);
+  bool truncated = false;
+  if (params.max_distance_evals > 0 && params.max_distance_evals < rows) {
+    // One evaluation per row makes the eval budget an exact row bound; the
+    // scan is already bounded by the shard, so the time budget is not
+    // polled mid-scan.
+    rows = static_cast<uint32_t>(params.max_distance_evals);
+    truncated = true;
+  }
+  std::vector<uint32_t> ids =
+      BruteForceTopK(*fallback_data_, query, params.k, rows, stats);
+  if (stats != nullptr) stats->truncated = truncated;
+  return ids;
+}
+
+ServeOutcome ServingEngine::Serve(const float* query,
+                                  const RequestOptions& request) {
+  const uint64_t t0 = clock_->NowMicros();
+  ServeOutcome out;
+  uint32_t tier = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++lifetime_.submitted;
+    if (!AdmitLocked(request, t0, &out, &tier, nullptr)) return out;
+  }
+  out = Execute(query, request, tier, t0);
+  admission_.Release();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out.status.ok()) ladder_.OnLatency(out.latency_us);
+  RecordOutcomeLocked(out, nullptr);
+  return out;
+}
+
+ServeBatchResult ServingEngine::ServeBatch(const Dataset& queries,
+                                           const RequestOptions& request) {
+  std::vector<const float*> rows(queries.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) rows[q] = queries.Row(q);
+  return ServeBatch(rows, request);
+}
+
+ServeBatchResult ServingEngine::ServeBatch(
+    const std::vector<const float*>& queries, const RequestOptions& request) {
+  const auto n = static_cast<uint32_t>(queries.size());
+  ServeBatchResult result;
+  result.outcomes.resize(n);
+  result.report.submitted = n;
+  std::vector<uint32_t> accepted;
+  accepted.reserve(n);
+  std::vector<uint32_t> tiers(n, 0);
+  std::vector<uint64_t> admit_us(n, 0);
+  {
+    // Admission and tier decisions for the whole burst, in query order, on
+    // this thread: given the same submission sequence the decision trace is
+    // identical at any num_threads (the determinism contract of the chaos
+    // suite).
+    std::lock_guard<std::mutex> lock(mu_);
+    lifetime_.submitted += n;
+    for (uint32_t q = 0; q < n; ++q) {
+      const uint64_t now = clock_->NowMicros();
+      if (AdmitLocked(request, now, &result.outcomes[q], &tiers[q],
+                      &result.report)) {
+        admit_us[q] = now;
+        accepted.push_back(q);
+      }
+    }
+  }
+  pool_.RunTasks(static_cast<uint32_t>(accepted.size()), [&](uint32_t t) {
+    const uint32_t q = accepted[t];
+    result.outcomes[q] = Execute(queries[q], request, tiers[q], admit_us[q]);
+    admission_.Release();
+  });
+  // Post-barrier accounting in submission order keeps the ladder's latency
+  // signal and the report deterministic even though execution interleaved.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t q : accepted) {
+    const ServeOutcome& out = result.outcomes[q];
+    if (out.status.ok()) ladder_.OnLatency(out.latency_us);
+    RecordOutcomeLocked(out, &result.report);
+  }
+  return result;
+}
+
+uint32_t ServingEngine::current_tier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ladder_.tier();
+}
+
+ServingReport ServingEngine::lifetime_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lifetime_;
+}
+
+}  // namespace weavess

@@ -1,0 +1,199 @@
+// Overload-resilient serving layer over the batched query engine
+// (docs/SERVING.md). A ServingEngine wraps an immutable index with:
+//
+//   1. Admission control — a bounded in-flight budget; excess load is
+//      rejected fast with kUnavailable and a retry-after hint instead of
+//      queuing unboundedly (search/admission.h).
+//   2. Deadline propagation — a per-request absolute deadline checked at
+//      enqueue and dequeue and converted into the remaining-time budget the
+//      routers already honor, so a request that can no longer make its
+//      deadline is shed before burning CPU.
+//   3. A graceful-degradation ladder — under sustained queue pressure the
+//      engine steps down through configured SearchParams tiers, tagging
+//      results with QueryStats::degraded (search/degradation.h).
+//   4. Brute-force fallback — when a saved graph fails its checksummed
+//      load (core/graph_io.h), FromSavedGraph serves exact results over a
+//      bounded shard instead of erroring; every outcome is degraded.
+//
+// Determinism: admission and tier decisions are made sequentially, in
+// request-submission order, under one lock — never on worker threads — so
+// for a fixed submission sequence the shed/degrade trace is bit-for-bit
+// identical at any num_threads (chaos_test.cc drives this under a
+// VirtualClock).
+#ifndef WEAVESS_SEARCH_SERVING_H_
+#define WEAVESS_SEARCH_SERVING_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/dataset.h"
+#include "core/index.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "search/admission.h"
+#include "search/degradation.h"
+#include "search/engine.h"
+
+namespace weavess {
+
+/// Per-request serving options. `params` is what the request wants at full
+/// quality; the ladder may cap it (tier > 0) before execution.
+struct RequestOptions {
+  SearchParams params;
+  /// Absolute deadline in serving-clock microseconds (ServingEngine::clock),
+  /// 0 = none. Checked at admission and again before execution; the
+  /// remaining time is merged into params.time_budget_us (tightest wins) so
+  /// routing itself stops at the deadline.
+  uint64_t deadline_us = 0;
+};
+
+struct ServeOutcome {
+  /// OK, kUnavailable ("overloaded: ..." or "backend failure: ..."), or
+  /// kDeadlineExceeded ("deadline exceeded: ...").
+  Status status;
+  std::vector<uint32_t> ids;
+  QueryStats stats;
+  /// Quality tier served at (0 = full quality).
+  uint32_t tier = 0;
+  /// Back-off hint, set when status is the admission-reject kUnavailable.
+  uint64_t retry_after_us = 0;
+  /// Admission-to-completion time on the serving clock (completed only).
+  uint64_t latency_us = 0;
+};
+
+struct ServingReport {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  /// Rejected at admission (kUnavailable, "overloaded:").
+  uint64_t shed_overload = 0;
+  /// Shed because the deadline passed at enqueue or dequeue.
+  uint64_t shed_deadline = 0;
+  /// Backend threw (kUnavailable, "backend failure:").
+  uint64_t failed = 0;
+  /// Completed below full quality (ladder tier > 0 or fallback mode).
+  uint64_t degraded = 0;
+  uint32_t max_tier = 0;
+};
+
+struct ServeBatchResult {
+  /// outcomes[q] corresponds to query q, shed or served.
+  std::vector<ServeOutcome> outcomes;
+  ServingReport report;
+};
+
+struct ServingConfig {
+  /// Execution streams for ServeBatch (>= 1, counting the caller).
+  uint32_t num_threads = 1;
+  AdmissionConfig admission;
+  DegradationConfig degradation;
+  /// Rows the brute-force fallback scans per query (0 = whole dataset).
+  uint32_t fallback_shard = 4096;
+  /// Serving clock; nullptr = process SteadyClock. Tests inject a
+  /// VirtualClock for reproducible deadline/overload behavior.
+  const Clock* clock = nullptr;
+};
+
+class ServingEngine {
+ public:
+  /// Serves `index` (built, outlives the engine, treated as immutable).
+  ServingEngine(const AnnIndex& index, ServingConfig config);
+
+  /// Fallback-only engine: exact brute force over a bounded shard of
+  /// `data`; every outcome is tagged degraded. This is the mode
+  /// FromSavedGraph drops into when the index cannot be loaded.
+  ServingEngine(const Dataset& data, ServingConfig config);
+
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  struct Opened {
+    std::unique_ptr<ServingEngine> engine;  // never null
+    /// OK when the graph loaded clean; the load/corruption Status when the
+    /// engine had to fall back to brute force.
+    Status load_status;
+  };
+
+  /// Opens a saved graph (checksummed format of core/graph_io.h) over its
+  /// dataset and serves best-first search on it. On kIOError/kCorruption —
+  /// or a graph whose vertex count does not match `data` — the engine
+  /// comes up in brute-force fallback mode instead of failing: degraded
+  /// availability beats unavailability for a replica that can be repaired
+  /// out of band.
+  static Opened FromSavedGraph(const std::string& path, const Dataset& data,
+                               ServingConfig config);
+
+  /// One request, executed on the calling thread. Thread-safe: concurrent
+  /// callers contend for admission slots exactly like real traffic.
+  ServeOutcome Serve(const float* query, const RequestOptions& request = {});
+
+  /// A burst of requests sharing one RequestOptions: admission and tier
+  /// decisions for the whole burst are made first, in query order, then the
+  /// admitted queries fan across the engine's threads. Capacity therefore
+  /// bounds how much of a single burst is absorbed.
+  ServeBatchResult ServeBatch(const Dataset& queries,
+                              const RequestOptions& request = {});
+  ServeBatchResult ServeBatch(const std::vector<const float*>& queries,
+                              const RequestOptions& request = {});
+
+  /// True when serving brute-force fallback instead of a graph index.
+  bool fallback_mode() const { return engine_ == nullptr; }
+  uint32_t num_threads() const { return config_.num_threads; }
+  uint32_t current_tier() const;
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+  /// Totals across every Serve/ServeBatch since construction.
+  ServingReport lifetime_report() const;
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  ServingEngine(std::unique_ptr<AnnIndex> owned_index, ServingConfig config);
+
+  /// Admission + deadline + tier decision for one request; must hold mu_.
+  /// Returns true when admitted (tier filled in); false when shed (outcome
+  /// filled in and accounted into lifetime_ and `batch_report`).
+  bool AdmitLocked(const RequestOptions& request, uint64_t now_us,
+                   ServeOutcome* outcome, uint32_t* tier,
+                   ServingReport* batch_report);
+
+  /// Classifies an outcome into lifetime_ (and `batch_report` when given);
+  /// must hold mu_.
+  void RecordOutcomeLocked(const ServeOutcome& outcome,
+                           ServingReport* batch_report);
+
+  /// Runs one admitted request on the calling thread: dequeue-time deadline
+  /// recheck, tier application, search or fallback scan. Does not touch
+  /// admission or ladder state.
+  ServeOutcome Execute(const float* query, const RequestOptions& request,
+                       uint32_t tier, uint64_t admit_us) const;
+
+  std::vector<uint32_t> FallbackSearch(const float* query,
+                                       const SearchParams& params,
+                                       QueryStats* stats) const;
+
+  const ServingConfig config_;
+  const Clock* clock_;
+  const Dataset* fallback_data_ = nullptr;   // fallback mode only
+  std::unique_ptr<AnnIndex> owned_index_;    // FromSavedGraph healthy path
+  std::unique_ptr<SearchEngine> engine_;     // null in fallback mode
+  mutable ThreadPool pool_;                  // ServeBatch execution streams
+  AdmissionController admission_;
+  mutable std::mutex mu_;                    // ladder + lifetime totals
+  DegradationLadder ladder_;
+  ServingReport lifetime_;
+};
+
+/// Exact top-k ids (ascending distance, ties by id) over the first
+/// min(data.size(), shard) rows; shard 0 means the whole dataset. This is
+/// the scan behind fallback mode, exposed so tests can check fallback
+/// results against an independently computed answer.
+std::vector<uint32_t> BruteForceTopK(const Dataset& data, const float* query,
+                                     uint32_t k, uint32_t shard = 0,
+                                     QueryStats* stats = nullptr);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_SERVING_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "algorithms/registry.h"
+#include "core/clock.h"
 #include "core/graph.h"
 #include "core/index.h"
 #include "search/router.h"
@@ -136,6 +137,60 @@ TEST(BudgetTest, TruncationFlagResetsBetweenQueries) {
   EXPECT_FALSE(clean_stats.truncated)
       << "truncated flag leaked from the previous budgeted query";
   EXPECT_EQ(result.size(), 10u);
+}
+
+TEST(BudgetTest, VirtualClockMakesTimeBudgetDeterministic) {
+  // Under an injected VirtualClock the wall-clock budget is a pure function
+  // of the clock readings, not of scheduler speed: a frozen clock never
+  // expires even a 1us budget, so the search runs to convergence and
+  // matches the unlimited result exactly — on every repetition.
+  const TestWorkload& tw = SharedWorkload();
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(tw.workload.base);
+
+  SearchParams unlimited;
+  unlimited.k = 10;
+  const auto reference =
+      index->Search(tw.workload.queries.Row(0), unlimited);
+
+  VirtualClock frozen(5000);
+  SearchParams budgeted = unlimited;
+  budgeted.time_budget_us = 1;
+  budgeted.clock = &frozen;
+  for (int rep = 0; rep < 3; ++rep) {
+    QueryStats stats;
+    const auto result =
+        index->Search(tw.workload.queries.Row(0), budgeted, &stats);
+    EXPECT_FALSE(stats.truncated)
+        << "a frozen clock must never trip the time budget";
+    EXPECT_EQ(result, reference);
+  }
+}
+
+TEST(BudgetTest, VirtualClockExpiryTruncatesImmediately) {
+  // The mirror case: arm a time budget, then advance the clock past the
+  // deadline before walking. The very first budget poll must truncate, and
+  // the partial best-so-far must survive — deterministically.
+  const TestWorkload& tw = SharedWorkload();
+  const Dataset& base = tw.workload.base;
+  Graph graph(base.size());
+  for (uint32_t v = 0; v + 1 < base.size(); ++v) graph.AddEdge(v, v + 1);
+
+  VirtualClock clock(1000);
+  DistanceCounter counter;
+  DistanceOracle oracle(base, &counter);
+  SearchContext ctx(base.size());
+  ctx.BeginQuery();
+  ctx.ArmBudget(/*max_distance_evals=*/0, /*time_budget_us=*/5, &counter,
+                &clock);
+  clock.AdvanceMicros(100);  // deadline (1005) is now in the past
+  CandidatePool pool(100);
+  SeedPool({0}, tw.workload.queries.Row(0), oracle, ctx, pool);
+  BestFirstSearch(graph, tw.workload.queries.Row(0), oracle, ctx, pool);
+  EXPECT_TRUE(ctx.truncated);
+  const std::vector<uint32_t> result = ExtractTopK(pool, 10);
+  EXPECT_FALSE(result.empty()) << "expiry must not discard the best-so-far";
+  EXPECT_LT(result.size(), 10u) << "an expired walk cannot have converged";
 }
 
 TEST(BudgetTest, GenerousBudgetDoesNotTruncate) {

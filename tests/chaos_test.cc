@@ -1,0 +1,392 @@
+// Engine-level chaos suite (docs/SERVING.md): drives the serving layer
+// through overload, corruption, backend failure, stalled workers, and clock
+// skew using the fault-injection doubles of fault_injection.h and a
+// deterministic VirtualClock. The three acceptance scenarios:
+//
+//   (a) a saturated engine rejects excess load with kUnavailable while the
+//       in-flight queries still complete within their deadline;
+//   (b) a corrupt graph load falls back to brute force with correct top-k
+//       and degraded=true;
+//   (c) the degradation ladder engages and releases across a load spike
+//       with bit-for-bit reproducible shed/degrade decisions at any
+//       thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/clock.h"
+#include "core/file_io.h"
+#include "core/graph_io.h"
+#include "core/status.h"
+#include "fault_injection.h"
+#include "search/serving.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+using ::weavess::testing::ChaosConfig;
+using ::weavess::testing::ChaosIndex;
+using ::weavess::testing::FlipBit;
+using ::weavess::testing::Gate;
+using ::weavess::testing::MakeTestWorkload;
+using ::weavess::testing::TestWorkload;
+
+const TestWorkload& SharedWorkload() {
+  static const TestWorkload* const kWorkload =
+      new TestWorkload(MakeTestWorkload(400, 8, 8, 3));
+  return *kWorkload;
+}
+
+// One shared built index: the chaos doubles wrap it without rebuilding.
+const AnnIndex& SharedIndex() {
+  static const AnnIndex* const kIndex = [] {
+    auto index = CreateAlgorithm("HNSW");
+    index->Build(SharedWorkload().workload.base);
+    return index.release();
+  }();
+  return *kIndex;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool HasPrefix(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+// ------------------------------------------------------------ scenario (a)
+
+TEST(ChaosTest, SaturatedEngineRejectsWhileInFlightComplete) {
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock clock(1'000'000);
+  Gate gate;
+  ChaosConfig chaos;
+  chaos.clock = &clock;
+  chaos.stall = &gate;  // every in-flight query wedges until released
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &clock;
+  config.admission.capacity = 2;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.deadline_us = clock.NowMicros() + 10'000;
+
+  // Two requests occupy both slots and stall inside the backend.
+  ServeOutcome first, second;
+  std::thread t1([&] { first = serving.Serve(tw.workload.queries.Row(0), request); });
+  std::thread t2([&] { second = serving.Serve(tw.workload.queries.Row(1), request); });
+  gate.AwaitWaiters(2);
+
+  // The engine is saturated: the third request is rejected fast, with the
+  // overload contract, while the stalled queries still hold their slots.
+  const ServeOutcome rejected =
+      serving.Serve(tw.workload.queries.Row(2), request);
+  EXPECT_TRUE(rejected.status.IsUnavailable()) << rejected.status.ToString();
+  EXPECT_TRUE(HasPrefix(rejected.status.message(), "overloaded:"));
+  EXPECT_GT(rejected.retry_after_us, 0u);
+  EXPECT_TRUE(rejected.ids.empty());
+
+  gate.Open();
+  t1.join();
+  t2.join();
+
+  // The in-flight queries were never harmed by the rejection: both complete
+  // with full results, inside the deadline (the virtual clock never moved,
+  // so their measured latency is zero and completion time is well before
+  // the deadline).
+  for (const ServeOutcome* out : {&first, &second}) {
+    ASSERT_TRUE(out->status.ok()) << out->status.ToString();
+    EXPECT_EQ(out->ids.size(), 10u);
+    EXPECT_LT(clock.NowMicros() + out->latency_us, request.deadline_us);
+  }
+  const AdmissionStats stats = serving.admission_stats();
+  EXPECT_EQ(stats.peak_in_flight, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  const ServingReport report = serving.lifetime_report();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.shed_overload, 1u);
+}
+
+// ------------------------------------------------------------ scenario (b)
+
+TEST(ChaosTest, HealthySavedGraphServesAtFullQuality) {
+  const TestWorkload& tw = SharedWorkload();
+  const std::string path = TempPath("chaos_healthy.wvs");
+  ASSERT_TRUE(SaveGraph(SharedIndex().graph(), path, "HNSW").ok());
+
+  ServingConfig config;
+  ServingEngine::Opened opened =
+      ServingEngine::FromSavedGraph(path, tw.workload.base, config);
+  ASSERT_TRUE(opened.load_status.ok()) << opened.load_status.ToString();
+  EXPECT_FALSE(opened.engine->fallback_mode());
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 100;
+  double recall = 0.0;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    const ServeOutcome out =
+        opened.engine->Serve(tw.workload.queries.Row(q), request);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_FALSE(out.stats.degraded);
+    recall += Recall(out.ids, tw.truth[q], 10);
+  }
+  EXPECT_GT(recall / tw.workload.queries.size(), 0.8);
+}
+
+TEST(ChaosTest, CorruptGraphFallsBackToBruteForce) {
+  const TestWorkload& tw = SharedWorkload();
+  const std::string good_path = TempPath("chaos_good.wvs");
+  ASSERT_TRUE(SaveGraph(SharedIndex().graph(), good_path, "HNSW").ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(good_path, &bytes).ok());
+  // One flipped bit in the middle of the file: a CRC must catch it.
+  const std::string corrupt_path = TempPath("chaos_corrupt.wvs");
+  ASSERT_TRUE(
+      WriteStringToFile(FlipBit(bytes, bytes.size() * 4), corrupt_path).ok());
+
+  ServingConfig config;
+  config.fallback_shard = 0;  // scan the whole (small) dataset
+  ServingEngine::Opened opened =
+      ServingEngine::FromSavedGraph(corrupt_path, tw.workload.base, config);
+  // The load failed — but the engine came up anyway, degraded.
+  EXPECT_FALSE(opened.load_status.ok());
+  EXPECT_TRUE(opened.load_status.IsCorruption())
+      << opened.load_status.ToString();
+  ASSERT_TRUE(opened.engine->fallback_mode());
+
+  RequestOptions request;
+  request.params.k = 10;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    SCOPED_TRACE(q);
+    const float* query = tw.workload.queries.Row(q);
+    const ServeOutcome out = opened.engine->Serve(query, request);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_TRUE(out.stats.degraded);
+    // Exact top-k: the fallback is a brute-force scan, so over the full
+    // dataset its answers are the ground truth.
+    EXPECT_EQ(out.ids, BruteForceTopK(tw.workload.base, query, 10));
+    EXPECT_DOUBLE_EQ(Recall(out.ids, tw.truth[q], 10), 1.0);
+  }
+  const ServingReport report = opened.engine->lifetime_report();
+  EXPECT_EQ(report.completed, tw.workload.queries.size());
+  EXPECT_EQ(report.degraded, tw.workload.queries.size());
+}
+
+TEST(ChaosTest, MismatchedDatasetIsCorruptionFallback) {
+  // A structurally valid graph over the wrong row count must not be served:
+  // ids would silently point at the wrong vectors.
+  const TestWorkload& tw = SharedWorkload();
+  Graph tiny(6);
+  for (uint32_t v = 0; v < 6; ++v) tiny.AddEdge(v, (v + 1) % 6);
+  const std::string path = TempPath("chaos_mismatch.wvs");
+  ASSERT_TRUE(SaveGraph(tiny, path, "tiny").ok());
+
+  ServingEngine::Opened opened =
+      ServingEngine::FromSavedGraph(path, tw.workload.base, ServingConfig{});
+  EXPECT_TRUE(opened.load_status.IsCorruption())
+      << opened.load_status.ToString();
+  EXPECT_NE(opened.load_status.message().find("mismatch"), std::string::npos);
+  EXPECT_TRUE(opened.engine->fallback_mode());
+}
+
+// ------------------------------------------------------------ scenario (c)
+
+// Everything observable about one serve decision, for trace comparison.
+using OutcomeKey =
+    std::tuple<int, std::string, uint32_t, bool, std::vector<uint32_t>>;
+
+OutcomeKey KeyOf(const ServeOutcome& out) {
+  return {static_cast<int>(out.status.code()), out.status.message(), out.tier,
+          out.stats.degraded, out.ids};
+}
+
+TEST(ChaosTest, LadderSpikeTraceIsReproducibleAtAnyThreadCount) {
+  const TestWorkload& tw = SharedWorkload();
+  // A load spike: two saturating bursts, then calm traffic. Capacity 8 with
+  // enter_depth 6 means the tail of each big burst counts as pressure.
+  const std::vector<uint32_t> kBurstSizes = {12, 12, 2, 2, 2};
+
+  const auto run_schedule = [&](uint32_t num_threads) {
+    VirtualClock clock(0);
+    ServingConfig config;
+    config.clock = &clock;
+    config.num_threads = num_threads;
+    config.admission.capacity = 8;
+    SearchParams tier1;
+    tier1.pool_size = 32;
+    SearchParams tier2;
+    tier2.pool_size = 16;
+    config.degradation.tiers = {tier1, tier2};
+    config.degradation.enter_depth = 6;
+    config.degradation.exit_depth = 2;
+    config.degradation.step_down_after = 2;
+    config.degradation.step_up_after = 3;
+    ServingEngine serving(SharedIndex(), config);
+
+    RequestOptions request;
+    request.params.k = 10;
+    request.params.pool_size = 100;
+
+    std::vector<OutcomeKey> trace;
+    uint32_t max_tier = 0;
+    for (uint32_t burst : kBurstSizes) {
+      std::vector<const float*> queries;
+      queries.reserve(burst);
+      for (uint32_t i = 0; i < burst; ++i) {
+        queries.push_back(
+            tw.workload.queries.Row(i % tw.workload.queries.size()));
+      }
+      const ServeBatchResult result = serving.ServeBatch(queries, request);
+      for (const ServeOutcome& out : result.outcomes) {
+        trace.push_back(KeyOf(out));
+      }
+      max_tier = std::max(max_tier, result.report.max_tier);
+    }
+    EXPECT_GT(max_tier, 0u) << "the spike never engaged the ladder";
+    EXPECT_EQ(serving.current_tier(), 0u)
+        << "the ladder never released after the spike";
+    EXPECT_EQ(serving.lifetime_report().max_tier, max_tier);
+    return trace;
+  };
+
+  const std::vector<OutcomeKey> single = run_schedule(1);
+  // The spike must actually shed and degrade, not just complete.
+  uint32_t sheds = 0, degraded = 0;
+  for (const OutcomeKey& key : single) {
+    if (std::get<0>(key) != 0) ++sheds;
+    if (std::get<3>(key)) ++degraded;
+  }
+  EXPECT_GT(sheds, 0u);
+  EXPECT_GT(degraded, 0u);
+
+  // Bit-for-bit identical decision traces — status code and message, tier,
+  // degraded flag, and result ids — at every thread count.
+  EXPECT_EQ(run_schedule(2), single);
+  EXPECT_EQ(run_schedule(8), single);
+}
+
+// ------------------------------------------- deadline, failure, clock skew
+
+TEST(ChaosTest, DeadlineShedAtDequeueBeforeExecution) {
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock clock(1000);
+  ChaosConfig chaos;
+  chaos.clock = &clock;
+  chaos.query_cost_us = 60;
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &clock;
+  config.num_threads = 1;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.deadline_us = 1000 + 100;
+
+  // All three admitted at t=1000 (admission precedes execution); the first
+  // two complete at t=1060 and t=1120; the third finds its deadline already
+  // passed at dequeue and is shed before any distance evaluation.
+  std::vector<const float*> queries = {tw.workload.queries.Row(0),
+                                       tw.workload.queries.Row(1),
+                                       tw.workload.queries.Row(2)};
+  const ServeBatchResult result = serving.ServeBatch(queries, request);
+  ASSERT_TRUE(result.outcomes[0].status.ok())
+      << result.outcomes[0].status.ToString();
+  ASSERT_TRUE(result.outcomes[1].status.ok())
+      << result.outcomes[1].status.ToString();
+  const ServeOutcome& shed = result.outcomes[2];
+  EXPECT_TRUE(shed.status.IsDeadlineExceeded()) << shed.status.ToString();
+  EXPECT_NE(shed.status.message().find("dequeue"), std::string::npos);
+  EXPECT_TRUE(shed.ids.empty());
+  EXPECT_EQ(result.report.completed, 2u);
+  EXPECT_EQ(result.report.shed_deadline, 1u);
+  // The chaos backend never saw the shed query.
+  EXPECT_EQ(index.queries_seen(), 2u);
+
+  // A new request against the same expired deadline is shed even earlier:
+  // at admission, before taking a slot.
+  const ServeOutcome late = serving.Serve(tw.workload.queries.Row(3), request);
+  EXPECT_TRUE(late.status.IsDeadlineExceeded()) << late.status.ToString();
+  EXPECT_NE(late.status.message().find("before admission"), std::string::npos);
+  EXPECT_EQ(serving.admission_stats().admitted, 3u)
+      << "an admission-expired request must not consume a slot";
+}
+
+TEST(ChaosTest, FailingBackendIsUnavailableAndIsolated) {
+  const TestWorkload& tw = SharedWorkload();
+  ChaosConfig chaos;
+  chaos.fail_after = 2;  // two good queries, then the backend wedges
+  ChaosIndex index(SharedIndex(), chaos);
+  ServingEngine serving(index, ServingConfig{});
+
+  RequestOptions request;
+  request.params.k = 10;
+  for (uint32_t q = 0; q < 4; ++q) {
+    SCOPED_TRACE(q);
+    const ServeOutcome out =
+        serving.Serve(tw.workload.queries.Row(q), request);
+    if (q < 2) {
+      EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+      EXPECT_EQ(out.ids.size(), 10u);
+    } else {
+      EXPECT_TRUE(out.status.IsUnavailable()) << out.status.ToString();
+      EXPECT_TRUE(HasPrefix(out.status.message(), "backend failure:"));
+      EXPECT_TRUE(out.ids.empty());
+    }
+  }
+  const ServingReport report = serving.lifetime_report();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.failed, 2u);
+  // The exception path released its admission slot: the engine is not
+  // leaking capacity on failures.
+  EXPECT_EQ(serving.admission_stats().in_flight, 0u);
+}
+
+TEST(ChaosTest, SkewedClockDrivesDeadlinesConsistently) {
+  // A clock running at 2x with a fixed offset: deadlines computed from the
+  // serving clock must shed exactly when *that* clock says so, regardless
+  // of the underlying time base.
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock base(100);
+  SkewedClock skewed(base, /*rate=*/2.0, /*offset_us=*/500);
+  ASSERT_EQ(skewed.NowMicros(), 700u);
+
+  ChaosConfig chaos;
+  chaos.clock = &base;       // chaos charges the base clock...
+  chaos.query_cost_us = 30;  // ...which the skewed clock sees as 60us
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &skewed;
+  config.num_threads = 1;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.deadline_us = serving.clock().NowMicros() + 100;  // 800 skewed
+
+  // Two queries fit (skewed time 700 -> 760 -> 820); the third is past the
+  // deadline on the skewed clock even though only 60us of base time passed.
+  EXPECT_TRUE(serving.Serve(tw.workload.queries.Row(0), request).status.ok());
+  EXPECT_TRUE(serving.Serve(tw.workload.queries.Row(1), request).status.ok());
+  const ServeOutcome shed = serving.Serve(tw.workload.queries.Row(2), request);
+  EXPECT_TRUE(shed.status.IsDeadlineExceeded()) << shed.status.ToString();
+  EXPECT_EQ(serving.lifetime_report().shed_deadline, 1u);
+}
+
+}  // namespace
+}  // namespace weavess

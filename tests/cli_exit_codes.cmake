@@ -1,5 +1,5 @@
 # Exercises weavess_cli's documented process exit-code contract end to end:
-#   0 success, 1 usage error, 2 I/O error, 3 corruption.
+#   0 success, 1 usage error, 2 I/O error, 3 corruption, 4 overload.
 # Run as a CTest script test:
 #   cmake -DCLI=<weavess_cli> -DWORKDIR=<scratch dir> -P cli_exit_codes.cmake
 cmake_minimum_required(VERSION 3.16)
@@ -40,6 +40,8 @@ run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
         --algo KGraph --pools ten --threads 2)
 run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
         --algo NoSuchAlgorithm)
+run_cli(1 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --gt ${prefix}.gt.ivecs --algo KGraph --pools 10 --capacity banana)
 run_cli(1 nosuchcommand)
 
 # --- exit 2 (I/O): nonexistent inputs.
@@ -59,5 +61,13 @@ set(bad "${WORKDIR}/bad_magic.wvs")
 file(WRITE "${bad}" "this is not a weavess graph file, padded well past ")
 file(APPEND "${bad}" "the 32-byte header so only the magic check can fail")
 run_cli(3 verify --graph ${bad})
+
+# --- exit 4 (overload): serving mode with --capacity 0 is drain mode —
+# every query is deterministically shed, which the CLI reports as overload.
+# A nonzero capacity on the same inputs must still succeed.
+run_cli(0 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --gt ${prefix}.gt.ivecs --algo KGraph --pools 10 --capacity 16)
+run_cli(4 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --gt ${prefix}.gt.ivecs --algo KGraph --pools 10 --capacity 0)
 
 message(STATUS "cli_exit_codes: all exit-code checks passed")

@@ -3,13 +3,16 @@
 // boundary values.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "algorithms/registry.h"
 #include "core/metrics.h"
 #include "eval/synthetic.h"
 #include "graph/connectivity.h"
 #include "graph/exact_knng.h"
+#include "search/engine.h"
 #include "search/router.h"
 #include "test_util.h"
 
@@ -107,6 +110,57 @@ TEST(SearchEdgeTest, StatsPointerOptional) {
   params.pool_size = 30;
   // No stats pointer: must not crash and must return results.
   EXPECT_FALSE(index->Search(tw.workload.queries.Row(0), params).empty());
+}
+
+TEST(SearchEdgeTest, EmptyBatchIsWellFormed) {
+  // Regression: an empty batch must return empty vectors and zero totals,
+  // not crash in the timer/reduction path — for both batch entry points.
+  const auto tw = MakeTestWorkload(200, 6, 2);
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(tw.workload.base);
+  const SearchEngine engine(*index, /*num_threads=*/2);
+  SearchParams params;
+  params.k = 5;
+
+  const BatchResult from_pointers =
+      engine.SearchBatch(std::vector<const float*>{}, params);
+  EXPECT_TRUE(from_pointers.ids.empty());
+  EXPECT_TRUE(from_pointers.stats.empty());
+  EXPECT_EQ(from_pointers.totals.distance_evals, 0u);
+  EXPECT_EQ(from_pointers.totals.truncated_queries, 0u);
+
+  const BatchResult from_dataset = engine.SearchBatch(Dataset(), params);
+  EXPECT_TRUE(from_dataset.ids.empty());
+  EXPECT_TRUE(from_dataset.stats.empty());
+}
+
+TEST(SearchEdgeTest, KBeyondDatasetSizeIsClamped) {
+  // Regression: k larger than the dataset must yield at most dataset-size
+  // ids — sorted by distance, duplicate-free — instead of whatever the
+  // algorithm improvises past the end of the data.
+  const auto tw = MakeTestWorkload(50, 6, 3);
+  auto index = CreateAlgorithm("HNSW");
+  index->Build(tw.workload.base);
+  const SearchEngine engine(*index, /*num_threads=*/1);
+  SearchParams params;
+  params.k = 200;  // 4x the dataset
+  params.pool_size = 10;
+
+  const BatchResult batch = engine.SearchBatch(tw.workload.queries, params);
+  ASSERT_EQ(batch.ids.size(), tw.workload.queries.size());
+  for (const std::vector<uint32_t>& ids : batch.ids) {
+    EXPECT_LE(ids.size(), 50u);
+    std::vector<uint32_t> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate ids in a clamped result";
+    for (uint32_t id : sorted) EXPECT_LT(id, 50u);
+  }
+
+  QueryStats stats;
+  const auto one =
+      engine.SearchOne(tw.workload.queries.Row(0), params, &stats);
+  EXPECT_LE(one.size(), 50u);
 }
 
 TEST(SearchEdgeTest, RepeatedSearchesIndependent) {

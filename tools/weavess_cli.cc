@@ -13,12 +13,21 @@
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
 //                    [--max-evals N] [--budget-us U]
+//                    [--capacity C] [--deadline-us D] [--retry-after-us R]
+//                    [--degrade-pools 40,20]
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
 //       --threads T (default 1) runs each sweep point through a T-stream
 //       SearchEngine batch; recall/NDC/PL are identical at any T (see
 //       docs/CONCURRENCY.md), only QPS changes. The optional search
 //       budgets demonstrate graceful degradation and apply per query; the
 //       Trunc column counts budget-truncated queries per sweep point.
+//       Any of --capacity/--deadline-us/--retry-after-us/--degrade-pools
+//       switches the sweep to the overload-resilient serving path
+//       (docs/SERVING.md): each point is one ServeBatch burst through
+//       admission control, per-request deadlines, and the degradation
+//       ladder, and the table reports completed/shed/degraded counts plus
+//       latency percentiles. If the engine sheds every query the process
+//       exits 4 (overload).
 //
 //   weavess_cli verify --graph FILE
 //       Checks magic, format version, and every section CRC of a saved
@@ -28,7 +37,8 @@
 //       Lists the 17 registry names.
 //
 // Process exit codes: 0 success, 1 usage error, 2 I/O error, 3 corruption
-// (or unsupported format version).
+// (or unsupported format version), 4 overload (every query was shed by
+// admission control or its deadline).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +66,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 1;
 constexpr int kExitIOError = 2;
 constexpr int kExitCorruption = 3;
+constexpr int kExitOverload = 4;
 
 /// Maps a Status onto the documented process exit codes.
 int ExitCodeFor(const Status& status) {
@@ -69,6 +80,9 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kCorruption:
     case StatusCode::kNotSupported:
       return kExitCorruption;
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return kExitOverload;
   }
   return kExitUsage;
 }
@@ -204,6 +218,24 @@ int CmdGenerate(const Args& args) {
   return kExitOk;
 }
 
+/// Parses a comma-separated list of positive pool sizes (--pools,
+/// --degrade-pools).
+Status ParsePoolList(const char* name, const char* list,
+                     std::vector<uint32_t>* out) {
+  for (const char* p = list; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(p, &end, 10);
+    if (end == p || (*end != '\0' && *end != ',') || value == 0) {
+      return Status::InvalidArgument(std::string("--") + name +
+                                     " expects positive numbers, got '" +
+                                     list + "'");
+    }
+    out->push_back(static_cast<uint32_t>(value));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return Status::OK();
+}
+
 AlgorithmOptions OptionsFrom(const Args& args) {
   AlgorithmOptions options;
   options.knng_degree = args.GetU32("knng", options.knng_degree);
@@ -275,19 +307,39 @@ int CmdEval(const Args& args) {
   base_params.time_budget_us = args.GetU64("budget-us", 0);
   std::vector<uint32_t> pools;
   if (const char* list = args.Get("pools"); list != nullptr) {
-    for (const char* p = list; *p != '\0';) {
-      char* end = nullptr;
-      const unsigned long value = std::strtoul(p, &end, 10);
-      if (end == p || (*end != '\0' && *end != ',') || value == 0) {
-        return Fail(Status::InvalidArgument(
-            std::string("--pools expects positive numbers, got '") + list +
-            "'"));
-      }
-      pools.push_back(static_cast<uint32_t>(value));
-      p = (*end == ',') ? end + 1 : end;
+    if (Status s = ParsePoolList("pools", list, &pools); !s.ok()) {
+      return Fail(s);
     }
   } else {
     pools = {10, 20, 40, 80, 160, 320};
+  }
+  // Any serving flag switches the sweep to the overload-resilient path.
+  const bool serving_mode = args.Get("capacity") != nullptr ||
+                            args.Get("deadline-us") != nullptr ||
+                            args.Get("retry-after-us") != nullptr ||
+                            args.Get("degrade-pools") != nullptr;
+  ServingConfig serving_config;
+  serving_config.num_threads = options.num_threads;
+  serving_config.admission.capacity = args.GetU32("capacity", 64);
+  serving_config.admission.retry_after_us =
+      args.GetU64("retry-after-us", 1000);
+  const uint64_t deadline_us = args.GetU64("deadline-us", 0);
+  if (const char* list = args.Get("degrade-pools"); list != nullptr) {
+    std::vector<uint32_t> degrade_pools;
+    if (Status s = ParsePoolList("degrade-pools", list, &degrade_pools);
+        !s.ok()) {
+      return Fail(s);
+    }
+    for (uint32_t pool : degrade_pools) {
+      SearchParams tier;
+      tier.pool_size = pool;
+      serving_config.degradation.tiers.push_back(tier);
+    }
+    // Pressure thresholds scale with the admission budget: step down when
+    // the queue is 3/4 full, recover below 1/4.
+    const uint32_t capacity = serving_config.admission.capacity;
+    serving_config.degradation.enter_depth = std::max(1u, capacity * 3 / 4);
+    serving_config.degradation.exit_depth = capacity / 4;
   }
   if (pools.empty() || !args.status().ok()) {
     return Fail(args.status().ok()
@@ -311,6 +363,49 @@ int CmdEval(const Args& args) {
   auto index = CreateAlgorithm(algo, options);
   index->Build(base);
   std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
+  if (serving_mode) {
+    std::printf("serving with %u thread(s), capacity %u, %zu degrade tier(s)"
+                ", deadline %llu us\n",
+                serving_config.num_threads,
+                serving_config.admission.capacity,
+                serving_config.degradation.tiers.size(),
+                static_cast<unsigned long long>(deadline_us));
+    TablePrinter table({"L", "Recall@k", "OK", "ShedOver", "ShedDl", "Degr",
+                        "Tier", "p50us", "p99us"});
+    uint64_t total_completed = 0;
+    uint64_t total_shed = 0;
+    for (uint32_t pool : pools) {
+      // A fresh engine per point: each sweep row starts from a calm ladder.
+      ServingEngine serving(*index, serving_config);
+      RequestOptions request;
+      request.params = base_params;
+      request.params.k = k;
+      request.params.pool_size = pool;
+      if (deadline_us > 0) {
+        request.deadline_us = serving.clock().NowMicros() + deadline_us;
+      }
+      const ServingPoint point =
+          EvaluateServing(serving, queries, truth, request);
+      total_completed += point.report.completed;
+      total_shed += point.report.shed_overload + point.report.shed_deadline;
+      table.AddRow({TablePrinter::Int(pool),
+                    TablePrinter::Fixed(point.recall_completed, 3),
+                    TablePrinter::Int(point.report.completed),
+                    TablePrinter::Int(point.report.shed_overload),
+                    TablePrinter::Int(point.report.shed_deadline),
+                    TablePrinter::Int(point.report.degraded),
+                    TablePrinter::Int(point.report.max_tier),
+                    TablePrinter::Fixed(point.p50_latency_us, 0),
+                    TablePrinter::Fixed(point.p99_latency_us, 0)});
+    }
+    table.Print();
+    if (total_completed == 0 && total_shed > 0) {
+      return Fail(Status::Unavailable(
+          "overloaded: every query was shed; raise --capacity or relax "
+          "--deadline-us"));
+    }
+    return kExitOk;
+  }
   const SearchEngine engine(*index, options.num_threads);
   std::printf("searching with %u thread(s)\n", engine.num_threads());
 
