@@ -16,8 +16,23 @@
 #include "algorithms/sptag.h"
 #include "algorithms/vamana.h"
 #include "core/check.h"
+#include "shard/sharded_index.h"
 
 namespace weavess {
+
+namespace {
+
+constexpr char kShardedPrefix[] = "Sharded:";
+constexpr size_t kShardedPrefixLen = sizeof(kShardedPrefix) - 1;
+
+bool IsBaseAlgorithm(const std::string& name) {
+  for (const std::string& known : AlgorithmNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 const std::vector<std::string>& AlgorithmNames() {
   static const std::vector<std::string>* const kNames =
@@ -31,6 +46,12 @@ const std::vector<std::string>& AlgorithmNames() {
 
 std::unique_ptr<AnnIndex> CreateAlgorithm(const std::string& name,
                                           const AlgorithmOptions& options) {
+  if (name.rfind(kShardedPrefix, 0) == 0) {
+    const std::string inner = name.substr(kShardedPrefixLen);
+    WEAVESS_CHECK(IsBaseAlgorithm(inner) &&
+                  "Sharded: wraps a base algorithm name (no nesting)");
+    return std::make_unique<ShardedIndex>(inner, options);
+  }
   if (name == "KGraph") return CreateKGraph(options);
   if (name == "NGT-panng") return CreateNgtPanng(options);
   if (name == "NGT-onng") return CreateNgtOnng(options);
@@ -53,10 +74,10 @@ std::unique_ptr<AnnIndex> CreateAlgorithm(const std::string& name,
 }
 
 bool IsKnownAlgorithm(const std::string& name) {
-  for (const std::string& known : AlgorithmNames()) {
-    if (known == name) return true;
+  if (name.rfind(kShardedPrefix, 0) == 0) {
+    return IsBaseAlgorithm(name.substr(kShardedPrefixLen));
   }
-  return false;
+  return IsBaseAlgorithm(name);
 }
 
 }  // namespace weavess

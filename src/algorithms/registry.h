@@ -34,8 +34,16 @@ struct AlgorithmOptions {
   float angle_degrees = 60.0f;
   /// Construction threads for the stages that parallelize safely (exact-
   /// KNNG init, refinement pass); 1 = fully deterministic single-core.
+  /// For "Sharded:<algo>" this bounds the parallel per-shard builds (each
+  /// inner build is single-threaded); results are thread-count invariant
+  /// either way.
   uint32_t num_threads = 1;
   uint64_t seed = 2024;
+  /// "Sharded:<algo>" only: shard count (>= 1) and partitioner spelling
+  /// ("random" / "kmeans", see shard/partitioner.h). Ignored by base
+  /// algorithms.
+  uint32_t num_shards = 4;
+  std::string partitioner = "random";
 };
 
 /// Canonical algorithm names, in the paper's presentation order:
@@ -44,10 +52,15 @@ struct AlgorithmOptions {
 const std::vector<std::string>& AlgorithmNames();
 
 /// Creates an unbuilt index by canonical name; WEAVESS_CHECK-fails on an
-/// unknown name (use IsKnownAlgorithm to probe).
+/// unknown name (use IsKnownAlgorithm to probe). "Sharded:<name>" wraps a
+/// base algorithm in the partitioned scatter-gather index of
+/// shard/sharded_index.h (options.num_shards / options.partitioner);
+/// sharding does not nest, so the inner name must be a base name.
 std::unique_ptr<AnnIndex> CreateAlgorithm(
     const std::string& name, const AlgorithmOptions& options = {});
 
+/// True for every base name in AlgorithmNames() plus their "Sharded:<name>"
+/// wrappers.
 bool IsKnownAlgorithm(const std::string& name);
 
 }  // namespace weavess

@@ -1,0 +1,146 @@
+// Shared top-k selection and k-way merge. Two collaborating pieces:
+//
+//  * TopKAccumulator — a bounded max-heap that keeps the k smallest
+//    (distance, id) pairs seen so far. This is the single implementation
+//    behind every exact scan in the library (the serving brute-force
+//    fallback, degraded shard scans).
+//
+//  * MergeTopK — merges per-source sorted candidate lists into one global
+//    top-k with duplicate-id suppression: the gather step of the sharded
+//    scatter-gather search (src/shard/sharded_index.h). Disjoint partitions
+//    cannot produce duplicates, but the merge does not rely on that — an
+//    overlapping source set (replicated shards, multi-probe) merges
+//    correctly too.
+//
+// Ordering everywhere is lexicographic (distance, id): distance ties break
+// by ascending id, so results are deterministic regardless of source order.
+#ifndef WEAVESS_CORE_TOPK_MERGE_H_
+#define WEAVESS_CORE_TOPK_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace weavess {
+
+/// A candidate with its (squared) distance to the query.
+struct ScoredId {
+  float distance = 0.0f;
+  uint32_t id = 0;
+
+  ScoredId() = default;
+  ScoredId(float distance_in, uint32_t id_in)
+      : distance(distance_in), id(id_in) {}
+
+  friend bool operator<(const ScoredId& a, const ScoredId& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.id < b.id);
+  }
+  friend bool operator==(const ScoredId& a, const ScoredId& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// Keeps the k smallest (distance, id) pairs pushed into it. `k == 0` keeps
+/// nothing. Push is O(log k); extraction sorts ascending. No duplicate
+/// detection — callers feeding one source (a linear scan) never produce
+/// duplicates; use MergeTopK when sources may overlap.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(uint32_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void Push(float distance, uint32_t id) {
+    if (k_ == 0) return;
+    const ScoredId entry(distance, id);
+    if (heap_.size() < k_) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (entry < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = entry;
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Worst kept distance, +inf while fewer than k entries are held. Lets a
+  /// scan skip the Push for obviously hopeless candidates.
+  float WorstDistance() const {
+    return heap_.size() < k_ ? std::numeric_limits<float>::infinity()
+                             : heap_.front().distance;
+  }
+
+  /// Extracts the kept entries in ascending (distance, id) order. The
+  /// accumulator is empty afterwards.
+  std::vector<ScoredId> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+  /// Convenience: TakeSorted projected onto ids.
+  std::vector<uint32_t> TakeSortedIds() {
+    const std::vector<ScoredId> sorted = TakeSorted();
+    std::vector<uint32_t> ids;
+    ids.reserve(sorted.size());
+    for (const ScoredId& entry : sorted) ids.push_back(entry.id);
+    return ids;
+  }
+
+ private:
+  size_t k_;
+  std::vector<ScoredId> heap_;  // max-heap under operator<
+};
+
+/// K-way merge of per-source candidate lists (each sorted ascending by
+/// (distance, id)) into the global top-k. Duplicate ids are suppressed:
+/// only the occurrence with the smallest (distance, id) survives, so the
+/// result is sorted and dup-free with size <= k. Unsorted input still
+/// yields a correct dup-free top-k (the merge heap orders entries), it just
+/// loses the early-exit.
+namespace topk_internal {
+
+struct MergeHead {
+  ScoredId entry;
+  uint32_t list = 0;
+  uint32_t pos = 0;
+  // Min-heap via reversed comparison; ties broken by list index for a
+  // fully deterministic pop order.
+  friend bool operator<(const MergeHead& a, const MergeHead& b) {
+    if (b.entry < a.entry) return true;
+    if (a.entry < b.entry) return false;
+    return a.list > b.list;
+  }
+};
+
+}  // namespace topk_internal
+
+inline std::vector<ScoredId> MergeTopK(
+    const std::vector<std::vector<ScoredId>>& lists, uint32_t k) {
+  using topk_internal::MergeHead;
+  std::priority_queue<MergeHead> heads;
+  for (uint32_t l = 0; l < lists.size(); ++l) {
+    if (!lists[l].empty()) heads.push({lists[l][0], l, 0});
+  }
+  std::vector<ScoredId> merged;
+  merged.reserve(k);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(k);
+  while (merged.size() < k && !heads.empty()) {
+    const MergeHead head = heads.top();
+    heads.pop();
+    if (seen.insert(head.entry.id).second) merged.push_back(head.entry);
+    const uint32_t next = head.pos + 1;
+    if (next < lists[head.list].size()) {
+      heads.push({lists[head.list][next], head.list, next});
+    }
+  }
+  return merged;
+}
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_TOPK_MERGE_H_

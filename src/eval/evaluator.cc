@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algorithms/registry.h"
 #include "core/check.h"
 #include "core/timer.h"
 
@@ -118,6 +119,28 @@ CandidateSizeResult FindCandidateSize(
     }
   }
   return result;
+}
+
+std::vector<ShardingPoint> EvaluateSharding(
+    const std::string& algorithm, const AlgorithmOptions& options,
+    const Dataset& base, const Dataset& queries, const GroundTruth& truth,
+    const std::vector<uint32_t>& shard_counts, const SearchParams& params) {
+  std::vector<ShardingPoint> points;
+  points.reserve(shard_counts.size());
+  for (uint32_t num_shards : shard_counts) {
+    AlgorithmOptions shard_options = options;
+    shard_options.num_shards = num_shards;
+    auto index = CreateAlgorithm("Sharded:" + algorithm, shard_options);
+    index->Build(base);
+    ShardingPoint point;
+    point.num_shards = num_shards;
+    point.build_seconds = index->build_stats().seconds;
+    point.build_distance_evals = index->build_stats().distance_evals;
+    point.index_bytes = index->IndexMemoryBytes();
+    point.search = EvaluateSearch(*index, queries, truth, params);
+    points.push_back(std::move(point));
+  }
+  return points;
 }
 
 size_t EstimateSearchMemory(const AnnIndex& index, const Dataset& base,

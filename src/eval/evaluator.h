@@ -83,6 +83,27 @@ CandidateSizeResult FindCandidateSize(AnnIndex& index, const Dataset& queries,
                                       double target_recall,
                                       const std::vector<uint32_t>& pool_sizes);
 
+/// One row of a shard-count sweep (bench_sharding, `weavess_cli eval
+/// --shard-sweep`): how partitioned build and scatter-gather search trade
+/// off as the shard count grows (docs/SHARDING.md).
+struct ShardingPoint {
+  uint32_t num_shards = 0;
+  /// Fixed-params evaluation of the sharded index (recall/QPS/NDC/PL).
+  SearchPoint search;
+  double build_seconds = 0.0;
+  uint64_t build_distance_evals = 0;
+  size_t index_bytes = 0;
+};
+
+/// Builds "Sharded:<algorithm>" once per entry of `shard_counts` (same
+/// options apart from num_shards) and evaluates each at fixed `params`
+/// through a single-threaded engine. `algorithm` is a base registry name;
+/// a shard count of 1 is the unsharded baseline in the same harness.
+std::vector<ShardingPoint> EvaluateSharding(
+    const std::string& algorithm, const AlgorithmOptions& options,
+    const Dataset& base, const Dataset& queries, const GroundTruth& truth,
+    const std::vector<uint32_t>& shard_counts, const SearchParams& params);
+
 /// Peak-memory estimate during search (MO): vectors + index + per-query
 /// scratch. A deliberate estimate, not an RSS probe — it is reproducible
 /// and matches what the paper's MO column tracks across algorithms.

@@ -1,0 +1,55 @@
+// An AnnIndex over a graph restored from the checksummed on-disk format
+// (core/graph_io.h): the healthy-path backend of ServingEngine::FromSavedGraph
+// and the per-shard index behind LoadShardedIndex (src/shard/sharded_index.h).
+// The loaded adjacency plus the dataset it was built over are everything
+// best-first routing needs; seeds are query-hash-derived, so results are
+// deterministic at any thread count like every other index.
+#ifndef WEAVESS_SEARCH_LOADED_INDEX_H_
+#define WEAVESS_SEARCH_LOADED_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/index.h"
+#include "search/seed.h"
+
+namespace weavess {
+
+class LoadedGraphIndex final : public AnnIndex {
+ public:
+  /// `data` must have exactly graph.size() rows and outlive the index.
+  /// `metadata` is the free-form string stored alongside the graph
+  /// (conventionally the builder algorithm's name).
+  LoadedGraphIndex(Graph graph, const Dataset& data, std::string metadata);
+
+  void Build(const Dataset&) override;
+
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats) const override;
+
+  const Graph& graph() const override { return graph_; }
+
+  size_t IndexMemoryBytes() const override {
+    return graph_.MemoryBytes() + seeds_.MemoryBytes();
+  }
+
+  BuildStats build_stats() const override { return {}; }
+
+  std::string name() const override {
+    return metadata_.empty() ? "LoadedGraph" : "LoadedGraph:" + metadata_;
+  }
+
+  const std::string& metadata() const { return metadata_; }
+
+ private:
+  Graph graph_;
+  const Dataset* data_;
+  std::string metadata_;
+  RandomSeedProvider seeds_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_LOADED_INDEX_H_

@@ -4,105 +4,29 @@
 #include <utility>
 
 #include "core/check.h"
+#include "core/distance.h"
 #include "core/graph_io.h"
-#include "search/router.h"
-#include "search/seed.h"
+#include "core/topk_merge.h"
+#include "search/loaded_index.h"
 
 namespace weavess {
-
-namespace {
-
-// Best-first search over a graph restored from the checksummed on-disk
-// format: the healthy-path backend of ServingEngine::FromSavedGraph. The
-// loaded adjacency plus the dataset it was built over are everything
-// best-first routing needs; seeds are query-hash-derived (deterministic at
-// any thread count, like every other index).
-class LoadedGraphIndex final : public AnnIndex {
- public:
-  LoadedGraphIndex(Graph graph, const Dataset& data, std::string metadata)
-      : graph_(std::move(graph)),
-        data_(&data),
-        metadata_(std::move(metadata)),
-        seeds_(graph_.size(), /*num_seeds=*/10, /*seed=*/2024) {}
-
-  void Build(const Dataset&) override {
-    WEAVESS_CHECK(false && "a loaded graph index is already built");
-  }
-
-  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
-                                   const SearchParams& params,
-                                   QueryStats* stats) const override {
-    SearchContext& ctx = scratch.ctx;
-    ctx.BeginQuery();
-    DistanceCounter counter;
-    DistanceOracle oracle(*data_, &counter);
-    ctx.ArmBudget(params.max_distance_evals, params.time_budget_us, &counter,
-                  params.clock);
-    CandidatePool& pool = scratch.pool;
-    pool.Reset(std::max(params.pool_size, params.k));
-    seeds_.Seed(query, oracle, ctx, pool);
-    BestFirstSearch(graph_, query, oracle, ctx, pool);
-    if (stats != nullptr) {
-      stats->distance_evals = counter.count;
-      stats->hops = ctx.hops;
-      stats->truncated = ctx.truncated;
-    }
-    return ExtractTopK(pool, params.k);
-  }
-
-  const Graph& graph() const override { return graph_; }
-
-  size_t IndexMemoryBytes() const override {
-    return graph_.MemoryBytes() + seeds_.MemoryBytes();
-  }
-
-  BuildStats build_stats() const override { return {}; }
-
-  std::string name() const override {
-    return metadata_.empty() ? "LoadedGraph" : "LoadedGraph:" + metadata_;
-  }
-
- private:
-  Graph graph_;
-  const Dataset* data_;
-  std::string metadata_;
-  RandomSeedProvider seeds_;
-};
-
-}  // namespace
 
 std::vector<uint32_t> BruteForceTopK(const Dataset& data, const float* query,
                                      uint32_t k, uint32_t shard,
                                      QueryStats* stats) {
   const uint32_t rows =
       shard == 0 ? data.size() : std::min(data.size(), shard);
-  const uint32_t take = std::min(k, rows);
   DistanceCounter counter;
   DistanceOracle oracle(data, &counter);
-  // Max-heap of (distance, id): the lexicographic order breaks distance
-  // ties by id, so results are deterministic.
-  std::vector<std::pair<float, uint32_t>> best;
-  best.reserve(take + 1);
+  TopKAccumulator best(std::min(k, rows));
   for (uint32_t i = 0; i < rows; ++i) {
-    const std::pair<float, uint32_t> entry(oracle.ToQuery(query, i), i);
-    if (best.size() < take) {
-      best.push_back(entry);
-      std::push_heap(best.begin(), best.end());
-    } else if (take > 0 && entry < best.front()) {
-      std::pop_heap(best.begin(), best.end());
-      best.back() = entry;
-      std::push_heap(best.begin(), best.end());
-    }
+    best.Push(oracle.ToQuery(query, i), i);
   }
-  std::sort_heap(best.begin(), best.end());
-  std::vector<uint32_t> ids;
-  ids.reserve(best.size());
-  for (const auto& [distance, id] : best) ids.push_back(id);
   if (stats != nullptr) {
     *stats = QueryStats{};
     stats->distance_evals = counter.count;
   }
-  return ids;
+  return best.TakeSortedIds();
 }
 
 ServingEngine::ServingEngine(const AnnIndex& index, ServingConfig config)
@@ -161,6 +85,43 @@ ServingEngine::Opened ServingEngine::FromSavedGraph(const std::string& path,
     opened.engine = std::make_unique<ServingEngine>(data, std::move(config));
   }
   return opened;
+}
+
+ServingEngine::Opened ServingEngine::FromShardManifest(
+    const std::string& manifest_path, const Dataset& data,
+    ServingConfig config) {
+  Opened opened;
+  StatusOr<std::unique_ptr<ShardedIndex>> index_or =
+      ShardedIndex::Load(manifest_path, data);
+  if (!index_or.ok()) {
+    // The manifest itself is unusable: same whole-index fallback as a
+    // corrupt single graph file.
+    opened.load_status = index_or.status();
+    opened.engine = std::make_unique<ServingEngine>(data, std::move(config));
+    return opened;
+  }
+  std::unique_ptr<ShardedIndex> index = *std::move(index_or);
+  ShardedIndex* sharded = index.get();
+  // Surface the first shard failure as the load status — informational:
+  // the engine still serves, with only that shard degraded to exact scan.
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    if (!sharded->shard_status(s).ok()) {
+      opened.load_status = sharded->shard_status(s);
+      break;
+    }
+  }
+  opened.engine.reset(
+      new ServingEngine(std::move(index), std::move(config)));
+  opened.engine->sharded_ = sharded;
+  return opened;
+}
+
+Status ServingEngine::RepairShard(uint32_t shard) {
+  if (sharded_ == nullptr) {
+    return Status::InvalidArgument(
+        "RepairShard requires a FromShardManifest engine");
+  }
+  return sharded_->RepairShard(shard);
 }
 
 void ServingEngine::RecordOutcomeLocked(const ServeOutcome& outcome,
@@ -241,7 +202,9 @@ ServeOutcome ServingEngine::Execute(const float* query,
     out.ids.clear();
     out.status = Status::Unavailable("backend failure: unknown exception");
   }
-  if (out.status.ok() && (tier > 0 || engine_ == nullptr)) {
+  if (out.status.ok() &&
+      (tier > 0 || engine_ == nullptr ||
+       (sharded_ != nullptr && sharded_->num_degraded_shards() > 0))) {
     out.stats.degraded = true;
   }
   out.latency_us = clock_->NowMicros() - admit_us;

@@ -37,6 +37,7 @@
 #include "search/admission.h"
 #include "search/degradation.h"
 #include "search/engine.h"
+#include "shard/sharded_index.h"
 
 namespace weavess {
 
@@ -127,6 +128,27 @@ class ServingEngine {
   static Opened FromSavedGraph(const std::string& path, const Dataset& data,
                                ServingConfig config);
 
+  /// Opens a saved *sharded* index (shard manifest + per-shard graph files,
+  /// docs/SHARDING.md) over its dataset. Failure isolation is per shard: a
+  /// corrupt or missing shard file degrades only that shard to an exact
+  /// scan (outcomes are tagged degraded, load_status carries the first
+  /// shard failure) while the other shards keep serving graph search. Only
+  /// a corrupt manifest — the root of trust — drops the whole engine into
+  /// the brute-force fallback, as FromSavedGraph does.
+  static Opened FromShardManifest(const std::string& manifest_path,
+                                  const Dataset& data, ServingConfig config);
+
+  /// Rebuilds one degraded shard from the manifest-recorded build options
+  /// (bit-for-bit the original graph), rewrites its file, and restores the
+  /// shard to graph search. Only valid on a FromShardManifest engine
+  /// (kInvalidArgument otherwise). Requires quiescence: the caller must
+  /// drain in-flight queries first, exactly like swapping an index.
+  Status RepairShard(uint32_t shard);
+
+  /// The sharded index behind a FromShardManifest engine (nullptr
+  /// otherwise); shard_status/num_degraded_shards live there.
+  const ShardedIndex* sharded_index() const { return sharded_; }
+
   /// One request, executed on the calling thread. Thread-safe: concurrent
   /// callers contend for admission slots exactly like real traffic.
   ServeOutcome Serve(const float* query, const RequestOptions& request = {});
@@ -178,6 +200,7 @@ class ServingEngine {
   const Clock* clock_;
   const Dataset* fallback_data_ = nullptr;   // fallback mode only
   std::unique_ptr<AnnIndex> owned_index_;    // FromSavedGraph healthy path
+  ShardedIndex* sharded_ = nullptr;          // owned_index_, when sharded
   std::unique_ptr<SearchEngine> engine_;     // null in fallback mode
   mutable ThreadPool pool_;                  // ServeBatch execution streams
   AdmissionController admission_;

@@ -1,0 +1,90 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "tree/kmeans_tree.h"
+
+namespace weavess {
+
+namespace {
+
+// Lloyd rounds for the kmeans partitioner. Matches the KMeansTree default:
+// enough to form coherent regions, few enough that partitioning stays a
+// small fraction of the per-shard build cost.
+constexpr uint32_t kPartitionLloydIterations = 4;
+
+std::vector<std::vector<uint32_t>> RandomPartition(uint32_t num_rows,
+                                                   uint32_t num_shards,
+                                                   uint64_t seed) {
+  std::vector<uint32_t> ids(num_rows);
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(ids);
+  std::vector<std::vector<uint32_t>> shards(num_shards);
+  const uint32_t base = num_rows / num_shards;
+  const uint32_t remainder = num_rows % num_shards;
+  uint32_t cursor = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const uint32_t take = base + (s < remainder ? 1 : 0);
+    shards[s].assign(ids.begin() + cursor, ids.begin() + cursor + take);
+    cursor += take;
+  }
+  return shards;
+}
+
+std::vector<std::vector<uint32_t>> KMeansPartition(const Dataset& data,
+                                                   uint32_t num_shards,
+                                                   uint64_t seed) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng(seed);
+  return BalancedKMeansAssign(data, ids.data(), data.size(), num_shards,
+                              kPartitionLloydIterations, rng);
+}
+
+}  // namespace
+
+const char* PartitionerName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kRandom:
+      return "random";
+    case PartitionerKind::kKMeans:
+      return "kmeans";
+  }
+  return "unknown";
+}
+
+StatusOr<PartitionerKind> ParsePartitioner(const std::string& name) {
+  if (name == "random") return PartitionerKind::kRandom;
+  if (name == "kmeans") return PartitionerKind::kKMeans;
+  return Status::InvalidArgument("unknown partitioner \"" + name +
+                                 "\" (expected \"random\" or \"kmeans\")");
+}
+
+StatusOr<std::vector<std::vector<uint32_t>>> PartitionDataset(
+    const Dataset& data, uint32_t num_shards, PartitionerKind kind,
+    uint64_t seed) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<std::vector<uint32_t>> shards;
+  switch (kind) {
+    case PartitionerKind::kRandom:
+      shards = RandomPartition(data.size(), num_shards, seed);
+      break;
+    case PartitionerKind::kKMeans:
+      shards = KMeansPartition(data, num_shards, seed);
+      break;
+  }
+  // Canonical form: ascending ids per shard. Local and global id order then
+  // agree inside every shard, which keeps tie-breaking consistent between
+  // single-index and scatter-gather search.
+  for (std::vector<uint32_t>& shard : shards) {
+    std::sort(shard.begin(), shard.end());
+  }
+  return shards;
+}
+
+}  // namespace weavess

@@ -1,0 +1,48 @@
+// Dataset partitioners for the sharded index subsystem (docs/SHARDING.md).
+// A partitioner splits the row ids [0, data.size()) into `num_shards`
+// disjoint groups that together cover every row. Two strategies:
+//
+//   kRandom — a seeded Fisher-Yates shuffle cut into near-equal contiguous
+//     chunks. Shards are statistically interchangeable samples of the data;
+//     every shard must be searched, but load is perfectly balanced.
+//   kKMeans — balanced Lloyd's clustering (the KMeansTree splitting
+//     machinery, tree/kmeans_tree.h) so each shard covers a coherent region
+//     of the space. A 2x-average balance cap bounds shard skew.
+//
+// Both are pure functions of (data, num_shards, seed): the same inputs
+// partition identically on every run, machine, and thread count — the
+// foundation of the sharded determinism contract.
+#ifndef WEAVESS_SHARD_PARTITIONER_H_
+#define WEAVESS_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace weavess {
+
+enum class PartitionerKind {
+  kRandom = 0,
+  kKMeans = 1,
+};
+
+/// "random" / "kmeans" — the spelling accepted by ParsePartitioner and the
+/// --partitioner CLI flag, and the one stored in shard manifests.
+const char* PartitionerName(PartitionerKind kind);
+
+/// Inverse of PartitionerName; kInvalidArgument on an unknown spelling.
+StatusOr<PartitionerKind> ParsePartitioner(const std::string& name);
+
+/// Splits [0, data.size()) into exactly `num_shards` disjoint, covering id
+/// groups, each sorted ascending. Groups may be empty when num_shards
+/// exceeds the row count. kInvalidArgument when num_shards is 0.
+StatusOr<std::vector<std::vector<uint32_t>>> PartitionDataset(
+    const Dataset& data, uint32_t num_shards, PartitionerKind kind,
+    uint64_t seed);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SHARD_PARTITIONER_H_

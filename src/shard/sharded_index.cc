@@ -1,0 +1,356 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/graph_io.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "core/topk_merge.h"
+#include "search/loaded_index.h"
+
+namespace weavess {
+
+namespace {
+
+/// Even split of a budget across S shards: earlier shards absorb the
+/// remainder, and a nonzero total never rounds a shard's share to zero
+/// (a shard with a budget of 0 would be unlimited, inverting the intent).
+uint64_t SplitBudget(uint64_t total, uint32_t shard, uint32_t num_shards) {
+  if (total == 0) return 0;
+  const uint64_t base = total / num_shards;
+  const uint64_t share = base + (shard < total % num_shards ? 1 : 0);
+  return share == 0 ? 1 : share;
+}
+
+/// Rewraps a shard-file load failure so the Status names the shard and the
+/// file, preserving the original code (kIOError vs kCorruption matters to
+/// callers deciding between retry and repair).
+Status WrapShardStatus(uint32_t shard, const std::string& path,
+                       const Status& inner) {
+  const std::string message = "shard " + std::to_string(shard) + " (" + path +
+                              "): " + inner.message();
+  switch (inner.code()) {
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(message);
+    default:
+      return Status::Corruption(message);
+  }
+}
+
+std::string ShardFileName(const std::string& stem, uint32_t shard) {
+  return stem + ".shard" + std::to_string(shard) + ".wvs";
+}
+
+}  // namespace
+
+uint64_t DeriveShardSeed(uint64_t base_seed, uint32_t shard) {
+  // Explicit little-endian bytes: the derived stream is identical across
+  // architectures, like the on-disk formats.
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(shard & 0xFF),
+      static_cast<unsigned char>((shard >> 8) & 0xFF),
+      static_cast<unsigned char>((shard >> 16) & 0xFF),
+      static_cast<unsigned char>((shard >> 24) & 0xFF)};
+  return HashBytes(bytes, sizeof(bytes), base_seed);
+}
+
+ShardedIndex::ShardedIndex(std::string algorithm, AlgorithmOptions options)
+    : algorithm_(std::move(algorithm)), options_(std::move(options)) {
+  WEAVESS_CHECK(IsKnownAlgorithm(algorithm_) &&
+                algorithm_.rfind("Sharded:", 0) != 0 &&
+                "inner algorithm must be a base registry name");
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  const StatusOr<PartitionerKind> kind =
+      ParsePartitioner(options_.partitioner);
+  WEAVESS_CHECK(kind.ok() && "unknown partitioner name");
+  partitioner_ = *kind;
+}
+
+AlgorithmOptions ShardedIndex::ShardBuildOptions(uint32_t shard) const {
+  AlgorithmOptions per_shard = options_;
+  // Inner builds are single-threaded — outer shard parallelism is the
+  // concurrency story — and each shard gets its own derived RNG stream, so
+  // the composed index is independent of thread count and build order.
+  per_shard.num_threads = 1;
+  per_shard.seed = DeriveShardSeed(options_.seed, shard);
+  return per_shard;
+}
+
+void ShardedIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(shards_.empty() && "Build may be called once per instance");
+  const auto start = std::chrono::steady_clock::now();
+
+  StatusOr<std::vector<std::vector<uint32_t>>> partition =
+      PartitionDataset(data, options_.num_shards, partitioner_,
+                       options_.seed);
+  WEAVESS_CHECK(partition.ok());
+  const uint32_t num_shards = static_cast<uint32_t>(partition->size());
+  // Sized exactly once: inner indexes keep pointers to shard datasets, so
+  // Shard addresses must never move again.
+  shards_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].ids = std::move((*partition)[s]);
+    shards_[s].data = data.Subset(shards_[s].ids);
+  }
+
+  ThreadPool pool(options_.num_threads > 0 ? options_.num_threads - 1 : 0);
+  pool.RunTasks(num_shards, [this](uint32_t s) {
+    // Shards below the graph-construction floor serve exact scans by
+    // design (kMinGraphShardRows); they never get an inner index.
+    if (shards_[s].tiny()) return;
+    std::unique_ptr<AnnIndex> index =
+        CreateAlgorithm(algorithm_, ShardBuildOptions(s));
+    index->Build(shards_[s].data);
+    shards_[s].index = std::move(index);
+  });
+
+  combined_ = Graph(data.size());
+  for (uint32_t s = 0; s < num_shards; ++s) ComposeShard(s);
+  RecountDegraded();
+
+  build_stats_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  build_stats_.distance_evals = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.index != nullptr) {
+      build_stats_.distance_evals += shard.index->build_stats().distance_evals;
+    }
+  }
+}
+
+void ShardedIndex::ComposeShard(uint32_t shard) {
+  const Shard& sh = shards_[shard];
+  for (uint32_t local = 0; local < sh.ids.size(); ++local) {
+    std::vector<uint32_t>& out = combined_.MutableNeighbors(sh.ids[local]);
+    out.clear();
+    if (sh.index == nullptr) continue;  // degraded: isolated vertices
+    for (uint32_t neighbor : sh.index->graph().Neighbors(local)) {
+      out.push_back(sh.ids[neighbor]);
+    }
+  }
+}
+
+void ShardedIndex::RecountDegraded() {
+  // Damage, not policy: tiny shards also run exact scans but carry an OK
+  // status and are not degraded.
+  uint32_t degraded = 0;
+  for (const Shard& shard : shards_) {
+    if (!shard.status.ok()) ++degraded;
+  }
+  degraded_count_.store(degraded, std::memory_order_release);
+}
+
+std::vector<uint32_t> ShardedIndex::SearchWith(SearchScratch& scratch,
+                                               const float* query,
+                                               const SearchParams& params,
+                                               QueryStats* stats) const {
+  const uint32_t num_shards = this->num_shards();
+  QueryStats total;
+  std::vector<std::vector<ScoredId>> lists;
+  lists.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const Shard& shard = shards_[s];
+    if (shard.ids.empty()) continue;
+    SearchParams per_shard = params;
+    per_shard.max_distance_evals =
+        SplitBudget(params.max_distance_evals, s, num_shards);
+    per_shard.time_budget_us =
+        SplitBudget(params.time_budget_us, s, num_shards);
+
+    std::vector<ScoredId> list;
+    if (shard.index != nullptr) {
+      QueryStats shard_stats;
+      const std::vector<uint32_t> local =
+          shard.index->SearchWith(scratch, query, per_shard, &shard_stats);
+      total.distance_evals += shard_stats.distance_evals;
+      total.hops += shard_stats.hops;
+      total.truncated |= shard_stats.truncated;
+      list.reserve(local.size());
+      for (uint32_t lid : local) {
+        // Re-score against the shard's own row (byte-identical to the
+        // global row). The shard search already charged this distance to
+        // NDC; the merge re-score is bookkeeping, not new work.
+        list.emplace_back(
+            L2Sqr(query, shard.data.Row(lid), shard.data.dim()),
+            shard.ids[lid]);
+      }
+    } else {
+      // Degraded shard: exact scan. One evaluation per row makes the eval
+      // budget an exact row cap, as in the serving fallback.
+      uint32_t rows = shard.data.size();
+      bool truncated = false;
+      if (per_shard.max_distance_evals > 0 &&
+          per_shard.max_distance_evals < rows) {
+        rows = static_cast<uint32_t>(per_shard.max_distance_evals);
+        truncated = true;
+      }
+      DistanceCounter counter;
+      DistanceOracle oracle(shard.data, &counter);
+      TopKAccumulator best(std::min(params.k, rows));
+      for (uint32_t r = 0; r < rows; ++r) {
+        best.Push(oracle.ToQuery(query, r), r);
+      }
+      total.distance_evals += counter.count;
+      total.truncated |= truncated;
+      const std::vector<ScoredId> sorted = best.TakeSorted();
+      list.reserve(sorted.size());
+      for (const ScoredId& entry : sorted) {
+        list.emplace_back(entry.distance, shard.ids[entry.id]);
+      }
+    }
+    // Local ids ascend with global ids inside a shard, so each list is
+    // already sorted by (distance, global id) — what MergeTopK expects.
+    lists.push_back(std::move(list));
+  }
+
+  const std::vector<ScoredId> merged = MergeTopK(lists, params.k);
+  std::vector<uint32_t> ids;
+  ids.reserve(merged.size());
+  for (const ScoredId& entry : merged) ids.push_back(entry.id);
+  if (stats != nullptr) {
+    *stats = QueryStats{};
+    stats->distance_evals = total.distance_evals;
+    stats->hops = total.hops;
+    stats->truncated = total.truncated;
+  }
+  return ids;
+}
+
+size_t ShardedIndex::IndexMemoryBytes() const {
+  // Honest accounting: the subset row copies and id maps are real sharding
+  // overhead on top of the shared base vectors, so they count here.
+  size_t bytes = combined_.MemoryBytes();
+  for (const Shard& shard : shards_) {
+    bytes += shard.ids.size() * sizeof(uint32_t) + shard.data.MemoryBytes();
+    if (shard.index != nullptr) bytes += shard.index->IndexMemoryBytes();
+  }
+  return bytes;
+}
+
+Status ShardedIndex::Save(const std::string& prefix) {
+  WEAVESS_CHECK(!shards_.empty() && "Save requires a built or loaded index");
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].index == nullptr && !shards_[s].tiny()) {
+      return Status::InvalidArgument(
+          "cannot save: shard " + std::to_string(s) +
+          " is degraded (" + shards_[s].status.message() +
+          "); RepairShard it first");
+    }
+  }
+  const size_t slash = prefix.find_last_of('/');
+  const std::string stem =
+      slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+
+  ShardManifest manifest;
+  manifest.algorithm = algorithm_;
+  manifest.partitioner = PartitionerName(partitioner_);
+  manifest.options = options_;
+  manifest.total_vertices = combined_.size();
+  manifest.shards.resize(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    manifest.shards[s].path = ShardFileName(stem, s);
+    manifest.shards[s].ids = shards_[s].ids;
+    const std::string path = ShardFileName(prefix, s);
+    // Tiny shards persist a placeholder of isolated vertices so the file's
+    // vertex count still agrees with the manifest's id map (verify checks
+    // that); Load skips these files and serves the shard by exact scan.
+    const Graph placeholder(static_cast<uint32_t>(shards_[s].ids.size()));
+    const Graph& graph =
+        shards_[s].index != nullptr ? shards_[s].index->graph() : placeholder;
+    WEAVESS_RETURN_IF_ERROR(SaveGraph(graph, path, algorithm_));
+    shards_[s].path = path;
+  }
+  return SaveManifest(manifest, prefix + ".manifest");
+}
+
+StatusOr<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
+    const std::string& manifest_path, const Dataset& data) {
+  WEAVESS_ASSIGN_OR_RETURN(ShardManifest manifest,
+                           LoadManifest(manifest_path));
+  if (manifest.total_vertices != data.size()) {
+    return Status::Corruption(
+        "manifest/dataset mismatch: manifest covers " +
+        std::to_string(manifest.total_vertices) + " rows, dataset has " +
+        std::to_string(data.size()));
+  }
+  if (!IsKnownAlgorithm(manifest.algorithm) ||
+      manifest.algorithm.rfind("Sharded:", 0) == 0) {
+    return Status::Corruption("manifest names unknown inner algorithm \"" +
+                              manifest.algorithm + "\"");
+  }
+  const StatusOr<PartitionerKind> kind =
+      ParsePartitioner(manifest.partitioner);
+  if (!kind.ok()) {
+    return Status::Corruption("manifest names " + kind.status().message());
+  }
+
+  std::unique_ptr<ShardedIndex> index(new ShardedIndex());
+  index->algorithm_ = manifest.algorithm;
+  index->options_ = manifest.options;
+  index->partitioner_ = *kind;
+  const uint32_t num_shards =
+      static_cast<uint32_t>(manifest.shards.size());
+  index->shards_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Shard& shard = index->shards_[s];
+    shard.ids = std::move(manifest.shards[s].ids);
+    shard.path = ResolveShardPath(manifest_path, manifest.shards[s].path);
+    shard.data = data.Subset(shard.ids);
+    // Tiny shards serve exact scans by design; their placeholder graph
+    // file is not loaded (and its corruption is harmless).
+    if (shard.tiny()) continue;
+    std::string metadata;
+    StatusOr<Graph> graph = LoadGraph(shard.path, &metadata);
+    if (graph.ok() && graph->size() != shard.ids.size()) {
+      graph = Status::Corruption(
+          "graph has " + std::to_string(graph->size()) +
+          " vertices, manifest assigns " + std::to_string(shard.ids.size()));
+    }
+    if (graph.ok()) {
+      shard.index = std::make_unique<LoadedGraphIndex>(
+          *std::move(graph), shard.data, std::move(metadata));
+    } else {
+      // The failure names the shard and its file; the shard serves exact
+      // scans until RepairShard, everything else is unaffected.
+      shard.status = WrapShardStatus(s, shard.path, graph.status());
+    }
+  }
+  index->combined_ = Graph(data.size());
+  for (uint32_t s = 0; s < num_shards; ++s) index->ComposeShard(s);
+  index->RecountDegraded();
+  return index;
+}
+
+Status ShardedIndex::RepairShard(uint32_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range (index has " +
+        std::to_string(shards_.size()) + " shards)");
+  }
+  Shard& sh = shards_[shard];
+  // Tiny shards have no graph to rebuild: exact scan is their healthy state.
+  if (sh.tiny()) return Status::OK();
+  // The recorded options + derived seed reproduce the original build
+  // bit-for-bit (the determinism contract), so a repaired shard file is
+  // byte-identical to the one that was lost.
+  std::unique_ptr<AnnIndex> rebuilt =
+      CreateAlgorithm(algorithm_, ShardBuildOptions(shard));
+  rebuilt->Build(sh.data);
+  sh.index = std::move(rebuilt);
+  sh.status = Status::OK();
+  ComposeShard(shard);
+  RecountDegraded();
+  if (!sh.path.empty()) {
+    WEAVESS_RETURN_IF_ERROR(SaveGraph(sh.index->graph(), sh.path, algorithm_));
+  }
+  return Status::OK();
+}
+
+}  // namespace weavess

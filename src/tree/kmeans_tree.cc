@@ -20,6 +20,85 @@ struct QueueGreater {
 
 }  // namespace
 
+std::vector<std::vector<uint32_t>> BalancedKMeansAssign(
+    const Dataset& data, const uint32_t* ids, uint32_t count, uint32_t k,
+    uint32_t lloyd_iterations, Rng& rng) {
+  std::vector<std::vector<uint32_t>> buckets(k);
+  if (k == 0 || count == 0) return buckets;
+  if (count <= k) {
+    // Fewer points than clusters: one per bucket, no rng consumed.
+    for (uint32_t i = 0; i < count; ++i) buckets[i].push_back(ids[i]);
+    return buckets;
+  }
+  const uint32_t dim = data.dim();
+
+  // Initialize centers from random distinct members.
+  std::vector<std::vector<float>> centers(k, std::vector<float>(dim));
+  {
+    std::vector<uint32_t> picks = rng.SampleDistinct(count, k);
+    for (uint32_t c = 0; c < k; ++c) {
+      const float* row = data.Row(ids[picks[c]]);
+      std::copy(row, row + dim, centers[c].begin());
+    }
+  }
+  std::vector<uint32_t> assign(count, 0);
+  const uint32_t balance_cap = (count + k - 1) / k * 2;  // 2x average size
+  for (uint32_t iter = 0; iter < lloyd_iterations; ++iter) {
+    // Assignment step with balance cap: a full cluster rejects new members
+    // beyond `balance_cap`, which bounds the largest bucket.
+    std::vector<uint32_t> sizes(k, 0);
+    for (uint32_t i = 0; i < count; ++i) {
+      const float* row = data.Row(ids[i]);
+      float best = std::numeric_limits<float>::infinity();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        if (sizes[c] >= balance_cap) continue;
+        const float dist = L2Sqr(row, centers[c].data(), dim);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+      ++sizes[best_c];
+    }
+    // Update step.
+    std::vector<std::vector<double>> acc(k, std::vector<double>(dim, 0.0));
+    for (uint32_t i = 0; i < count; ++i) {
+      const float* row = data.Row(ids[i]);
+      auto& a = acc[assign[i]];
+      for (uint32_t d = 0; d < dim; ++d) a[d] += row[d];
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        // Re-seed an empty cluster from a random point.
+        const float* row = data.Row(ids[rng.NextBounded(count)]);
+        std::copy(row, row + dim, centers[c].begin());
+        continue;
+      }
+      for (uint32_t d = 0; d < dim; ++d) {
+        centers[c][d] = static_cast<float>(acc[c][d] / sizes[c]);
+      }
+    }
+  }
+
+  // Stable bucket sort of ids by final assignment.
+  for (uint32_t i = 0; i < count; ++i) {
+    buckets[assign[i]].push_back(ids[i]);
+  }
+  // Guard against a degenerate single-bucket outcome (identical points):
+  // split evenly to guarantee progress.
+  uint32_t non_empty = 0;
+  for (const auto& bucket : buckets) non_empty += bucket.empty() ? 0 : 1;
+  if (non_empty <= 1) {
+    buckets.assign(k, {});
+    for (uint32_t i = 0; i < count; ++i) {
+      buckets[i % k].push_back(ids[i]);
+    }
+  }
+  return buckets;
+}
+
 KMeansTree::KMeansTree(const Dataset& data, const Params& params)
     : data_(&data), params_(params) {
   WEAVESS_CHECK(data.size() > 0);
@@ -55,73 +134,11 @@ uint32_t KMeansTree::BuildNode(uint32_t begin, uint32_t end, Rng& rng) {
     return index;  // leaf
   }
 
-  const uint32_t k = params_.branching;
-  // Initialize centers from random distinct members.
-  std::vector<std::vector<float>> centers(k, std::vector<float>(dim));
-  {
-    std::vector<uint32_t> picks = rng.SampleDistinct(count, k);
-    for (uint32_t c = 0; c < k; ++c) {
-      const float* row = data_->Row(ids_[begin + picks[c]]);
-      std::copy(row, row + dim, centers[c].begin());
-    }
-  }
-  std::vector<uint32_t> assign(count, 0);
-  const uint32_t balance_cap = (count + k - 1) / k * 2;  // 2x average size
-  for (uint32_t iter = 0; iter < params_.lloyd_iterations; ++iter) {
-    // Assignment step with balance cap: a full cluster rejects new members
-    // beyond `balance_cap`, which keeps the tree depth bounded.
-    std::vector<uint32_t> sizes(k, 0);
-    for (uint32_t i = 0; i < count; ++i) {
-      const float* row = data_->Row(ids_[begin + i]);
-      float best = std::numeric_limits<float>::infinity();
-      uint32_t best_c = 0;
-      for (uint32_t c = 0; c < k; ++c) {
-        if (sizes[c] >= balance_cap) continue;
-        const float dist = L2Sqr(row, centers[c].data(), dim);
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
-      assign[i] = best_c;
-      ++sizes[best_c];
-    }
-    // Update step.
-    std::vector<std::vector<double>> acc(k, std::vector<double>(dim, 0.0));
-    for (uint32_t i = 0; i < count; ++i) {
-      const float* row = data_->Row(ids_[begin + i]);
-      auto& a = acc[assign[i]];
-      for (uint32_t d = 0; d < dim; ++d) a[d] += row[d];
-    }
-    for (uint32_t c = 0; c < k; ++c) {
-      if (sizes[c] == 0) {
-        // Re-seed an empty cluster from a random point.
-        const float* row =
-            data_->Row(ids_[begin + rng.NextBounded(count)]);
-        std::copy(row, row + dim, centers[c].begin());
-        continue;
-      }
-      for (uint32_t d = 0; d < dim; ++d) {
-        centers[c][d] = static_cast<float>(acc[c][d] / sizes[c]);
-      }
-    }
-  }
-
-  // Stable bucket sort of ids by final assignment.
-  std::vector<std::vector<uint32_t>> buckets(k);
-  for (uint32_t i = 0; i < count; ++i) {
-    buckets[assign[i]].push_back(ids_[begin + i]);
-  }
-  // Guard against a degenerate single-bucket outcome (identical points):
-  // split evenly to guarantee progress.
-  uint32_t non_empty = 0;
-  for (const auto& bucket : buckets) non_empty += bucket.empty() ? 0 : 1;
-  if (non_empty <= 1) {
-    buckets.assign(k, {});
-    for (uint32_t i = 0; i < count; ++i) {
-      buckets[i % k].push_back(ids_[begin + i]);
-    }
-  }
+  // Balanced Lloyd split; buckets hold id values read before the write-back
+  // below, so rewriting ids_[begin..end) in place is safe.
+  const std::vector<std::vector<uint32_t>> buckets = BalancedKMeansAssign(
+      *data_, ids_.data() + begin, count, params_.branching,
+      params_.lloyd_iterations, rng);
   uint32_t write = begin;
   std::vector<std::pair<uint32_t, uint32_t>> child_ranges;
   for (const auto& bucket : buckets) {

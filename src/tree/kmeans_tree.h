@@ -15,6 +15,19 @@
 
 namespace weavess {
 
+/// Balanced Lloyd's clustering of `count` ids (rows of `data`) into `k`
+/// buckets: centers start from random distinct members, a cluster stops
+/// accepting members beyond 2x the average size, empty clusters are
+/// reseeded from a random member each update step, and a degenerate
+/// single-cluster outcome (identical points) falls back to round-robin.
+/// Bucket assignment is stable (members keep their input order) and a pure
+/// function of (data, ids, k, iterations, rng state); buckets may be empty.
+/// This is the splitting step of KMeansTree::BuildNode, exposed so the
+/// shard partitioner (src/shard/partitioner.h) reuses the same machinery.
+std::vector<std::vector<uint32_t>> BalancedKMeansAssign(
+    const Dataset& data, const uint32_t* ids, uint32_t count, uint32_t k,
+    uint32_t lloyd_iterations, Rng& rng);
+
 class KMeansTree {
  public:
   struct Params {

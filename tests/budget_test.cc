@@ -75,6 +75,35 @@ TEST(BudgetTest, EveryAlgorithmHonorsEvalBudget) {
   }
 }
 
+TEST(BudgetTest, ShardedIndexHonorsEvalBudgetAcrossShards) {
+  // The sharded wrapper splits the eval budget across shards
+  // (docs/SHARDING.md); the sum of per-shard spends must still respect the
+  // contract: truncation is flagged and the budgeted spend stays below the
+  // converged spend.
+  const TestWorkload& tw = SharedWorkload();
+  AlgorithmOptions options;
+  options.knng_degree = 10;
+  options.max_degree = 10;
+  options.build_pool = 30;
+  options.nn_descent_iters = 3;
+  options.num_shards = 4;
+  auto index = CreateAlgorithm("Sharded:HNSW", options);
+  index->Build(tw.workload.base);
+
+  SearchParams unlimited;
+  unlimited.k = 10;
+  QueryStats full_stats;
+  index->Search(tw.workload.queries.Row(0), unlimited, &full_stats);
+  EXPECT_FALSE(full_stats.truncated);
+
+  SearchParams budgeted = unlimited;
+  budgeted.max_distance_evals = 4;  // one evaluation's budget per shard
+  QueryStats stats;
+  index->Search(tw.workload.queries.Row(0), budgeted, &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LT(stats.distance_evals, full_stats.distance_evals);
+}
+
 TEST(BudgetTest, DisconnectedGraphPartialResults) {
   // A deliberately disconnected graph: vertices {0,1,2} form a cycle that
   // never reaches the rest of the dataset. With a tiny eval budget the

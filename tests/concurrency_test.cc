@@ -180,16 +180,19 @@ TEST_P(EngineDeterminismTest, RepeatedBatchesAreIdentical) {
 }
 
 // Four AnnIndex families (pipeline x3 + HNSW) plus two seed-provider-driven
-// ones; acceptance requires at least four registry algorithms.
+// ones (acceptance requires at least four registry algorithms), and the
+// sharded scatter-gather wrapper, which must honor the same thread-count
+// invariance as any inner index.
 INSTANTIATE_TEST_SUITE_P(
     RegistryAlgorithms, EngineDeterminismTest,
     ::testing::Values(EngineCase{"HNSW", 40}, EngineCase{"NSG", 40},
                       EngineCase{"KGraph", 60}, EngineCase{"OA", 40},
-                      EngineCase{"HCNNG", 40}, EngineCase{"NGT-panng", 40}),
+                      EngineCase{"HCNNG", 40}, EngineCase{"NGT-panng", 40},
+                      EngineCase{"Sharded:HNSW", 40}),
     [](const ::testing::TestParamInfo<EngineCase>& info) {
       std::string name = info.param.algo;
       for (char& ch : name) {
-        if (ch == '-') ch = '_';
+        if (ch == '-' || ch == ':') ch = '_';
       }
       return name;
     });

@@ -11,11 +11,14 @@
 
 #include "algorithms/registry.h"
 #include "core/crc32c.h"
+#include "core/file_io.h"
 #include "core/graph.h"
 #include "core/graph_io.h"
 #include "core/status.h"
 #include "fault_injection.h"
 #include "search/router.h"
+#include "shard/manifest.h"
+#include "shard/sharded_index.h"
 #include "test_util.h"
 
 namespace weavess {
@@ -278,6 +281,146 @@ TEST(PersistenceTest, LoadMissingFileIsIOError) {
   StatusOr<Graph> loaded = Graph::Load(TempPath("no-such-graph.wvs"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+}
+
+// ------------------------------------------------- shard manifests
+
+ShardManifest MakeSmallManifest() {
+  ShardManifest manifest;
+  manifest.algorithm = "HNSW";
+  manifest.partitioner = "random";
+  manifest.options.seed = 77;
+  // Deserialization fills these two from the header/body, so the round
+  // trip is canonical only when the input agrees with itself.
+  manifest.options.num_shards = 2;
+  manifest.options.partitioner = "random";
+  manifest.total_vertices = 6;
+  manifest.shards.resize(2);
+  manifest.shards[0].path = "a.shard0.wvs";
+  manifest.shards[0].ids = {0, 2, 4};
+  manifest.shards[1].path = "a.shard1.wvs";
+  manifest.shards[1].ids = {1, 3, 5};
+  return manifest;
+}
+
+TEST(PersistenceTest, ShardManifestRoundTripIsCanonical) {
+  const ShardManifest manifest = MakeSmallManifest();
+  const std::string bytes = SerializeManifest(manifest);
+  EXPECT_TRUE(IsManifestBytes(bytes));
+  StatusOr<ShardManifest> loaded = DeserializeManifest(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->algorithm, "HNSW");
+  EXPECT_EQ(loaded->partitioner, "random");
+  EXPECT_EQ(loaded->options.seed, 77u);
+  EXPECT_EQ(loaded->total_vertices, 6u);
+  ASSERT_EQ(loaded->shards.size(), 2u);
+  EXPECT_EQ(loaded->shards[0].path, "a.shard0.wvs");
+  EXPECT_EQ(loaded->shards[1].ids, (std::vector<uint32_t>{1, 3, 5}));
+  // Re-serialization must be bit-identical: the format is canonical.
+  EXPECT_EQ(SerializeManifest(*loaded), bytes);
+}
+
+TEST(PersistenceTest, ShardManifestEveryBitFlipIsDetected) {
+  // The manifest corruption matrix, mirroring EveryBitFlipIsDetected: a
+  // wrong shard map silently routing queries would be worse than a refused
+  // load, so CRC coverage of the manifest must be total.
+  const std::string bytes = SerializeManifest(MakeSmallManifest());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    StatusOr<ShardManifest> loaded = DeserializeManifest(FlipBit(bytes, bit));
+    ASSERT_FALSE(loaded.ok()) << "bit " << bit << " flip went undetected";
+    EXPECT_TRUE(loaded.status().IsCorruption() ||
+                loaded.status().IsNotSupported())
+        << "bit " << bit << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(PersistenceTest, ShardManifestTruncationAtEveryLengthIsDetected) {
+  const std::string bytes = SerializeManifest(MakeSmallManifest());
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    StatusOr<ShardManifest> loaded =
+        DeserializeManifest(TruncateAt(bytes, length));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << length << " bytes parsed";
+    EXPECT_TRUE(loaded.status().IsCorruption())
+        << "length " << length << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(PersistenceTest, ShardManifestRejectsBrokenShardMaps) {
+  // Structurally valid CRCs around semantically broken id maps: every case
+  // must be named corruption, not accepted.
+  {
+    ShardManifest overlap = MakeSmallManifest();
+    overlap.shards[1].ids = {1, 3, 4};  // 4 is owned by shard 0
+    StatusOr<ShardManifest> loaded =
+        DeserializeManifest(SerializeManifest(overlap));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+  {
+    ShardManifest gap = MakeSmallManifest();
+    gap.shards[1].ids = {1, 3};  // row 5 unassigned
+    StatusOr<ShardManifest> loaded =
+        DeserializeManifest(SerializeManifest(gap));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+  {
+    ShardManifest range = MakeSmallManifest();
+    range.shards[1].ids = {1, 3, 9};  // 9 is out of [0, 6)
+    StatusOr<ShardManifest> loaded =
+        DeserializeManifest(SerializeManifest(range));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+}
+
+TEST(PersistenceTest, CorruptingEachShardFileDegradesOnlyThatShard) {
+  // The per-shard corruption matrix over a real saved index: for every
+  // shard in turn, flipping a bit in that shard's file must degrade exactly
+  // that shard — named by id and path in its status — while the others keep
+  // serving graph search (docs/SHARDING.md failure isolation).
+  const auto tw = MakeTestWorkload(400, 8, 8);
+  AlgorithmOptions options;
+  options.knng_degree = 8;
+  options.max_degree = 10;
+  options.build_pool = 30;
+  options.nn_descent_iters = 2;
+  options.num_shards = 3;
+  auto built = CreateAlgorithm("Sharded:HNSW", options);
+  built->Build(tw.workload.base);
+  const std::string prefix = TempPath("shard_matrix");
+  ASSERT_TRUE(dynamic_cast<ShardedIndex*>(built.get())->Save(prefix).ok());
+
+  for (uint32_t victim = 0; victim < 3; ++victim) {
+    SCOPED_TRACE("victim shard " + std::to_string(victim));
+    const std::string path =
+        prefix + ".shard" + std::to_string(victim) + ".wvs";
+    std::string bytes;
+    ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+    ASSERT_TRUE(WriteStringToFile(FlipBit(bytes, 123), path).ok());
+
+    auto loaded_or =
+        ShardedIndex::Load(prefix + ".manifest", tw.workload.base);
+    ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+    const ShardedIndex& loaded = **loaded_or;
+    EXPECT_EQ(loaded.num_degraded_shards(), 1u);
+    for (uint32_t s = 0; s < 3; ++s) {
+      if (s == victim) {
+        const Status& status = loaded.shard_status(s);
+        ASSERT_FALSE(status.ok());
+        EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+        EXPECT_NE(status.message().find("shard " + std::to_string(victim)),
+                  std::string::npos)
+            << status.ToString();
+        EXPECT_NE(status.message().find(path), std::string::npos)
+            << status.ToString();
+      } else {
+        EXPECT_TRUE(loaded.shard_status(s).ok()) << "shard " << s;
+      }
+    }
+    // Restore the file for the next victim.
+    ASSERT_TRUE(WriteStringToFile(bytes, path).ok());
+  }
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 // robustness on degenerate datasets (duplicates, tiny inputs, dimension 1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 #include <set>
 
 #include "algorithms/registry.h"
 #include "core/distance.h"
 #include "core/metrics.h"
+#include "core/rng.h"
+#include "core/topk_merge.h"
 #include "search/engine.h"
 #include "test_util.h"
 
@@ -195,6 +199,97 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PropertyFixture,
                            }
                            return name;
                          });
+
+// ------------------------------------------------- top-k merge properties
+
+// Oracle for TopKAccumulator: sort everything, keep the first k.
+std::vector<ScoredId> SortedPrefix(std::vector<ScoredId> all, uint32_t k) {
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(TopKMergeProperty, AccumulatorMatchesSortOracle) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t n = static_cast<uint32_t>(rng.NextBounded(200));
+    const uint32_t k = static_cast<uint32_t>(rng.NextBounded(20));
+    std::vector<ScoredId> all;
+    TopKAccumulator acc(k);
+    for (uint32_t i = 0; i < n; ++i) {
+      // A small distance alphabet forces ties; ids may repeat too.
+      const float distance = static_cast<float>(rng.NextBounded(8));
+      const uint32_t id = static_cast<uint32_t>(rng.NextBounded(50));
+      all.emplace_back(distance, id);
+      acc.Push(distance, id);
+    }
+    EXPECT_EQ(acc.TakeSorted(), SortedPrefix(all, k)) << "trial " << trial;
+  }
+}
+
+TEST(TopKMergeProperty, AccumulatorWorstDistanceTracksHeapTop) {
+  TopKAccumulator acc(3);
+  EXPECT_EQ(acc.WorstDistance(),
+            std::numeric_limits<float>::infinity());
+  acc.Push(5.0f, 1);
+  acc.Push(2.0f, 2);
+  EXPECT_EQ(acc.WorstDistance(),
+            std::numeric_limits<float>::infinity());  // still under-full
+  acc.Push(9.0f, 3);
+  EXPECT_EQ(acc.WorstDistance(), 9.0f);
+  acc.Push(1.0f, 4);  // evicts 9.0
+  EXPECT_EQ(acc.WorstDistance(), 5.0f);
+}
+
+TEST(TopKMergeProperty, MergedListsSortedDupFreeAndMatchOracle) {
+  // MergeTopK over sorted per-source lists must equal: concatenate, keep
+  // the best (distance, id) entry per id, sort, take k. Sources overlap on
+  // purpose — dedup is the property under test.
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t num_lists = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+    const uint32_t k = static_cast<uint32_t>(rng.NextBounded(15));
+    std::vector<std::vector<ScoredId>> lists(num_lists);
+    std::vector<ScoredId> all;
+    for (auto& list : lists) {
+      const uint32_t len = static_cast<uint32_t>(rng.NextBounded(30));
+      for (uint32_t i = 0; i < len; ++i) {
+        list.emplace_back(static_cast<float>(rng.NextBounded(10)),
+                          static_cast<uint32_t>(rng.NextBounded(40)));
+      }
+      std::sort(list.begin(), list.end());
+      all.insert(all.end(), list.begin(), list.end());
+    }
+    // Oracle: best entry per id, then global top-k.
+    std::sort(all.begin(), all.end());
+    std::vector<ScoredId> expected;
+    std::set<uint32_t> taken;
+    for (const ScoredId& entry : all) {
+      if (expected.size() == k) break;
+      if (taken.insert(entry.id).second) expected.push_back(entry);
+    }
+    const std::vector<ScoredId> merged = MergeTopK(lists, k);
+    EXPECT_EQ(merged, expected) << "trial " << trial;
+    // Explicit invariant checks, independent of the oracle.
+    for (size_t i = 1; i < merged.size(); ++i) {
+      EXPECT_TRUE(merged[i - 1] < merged[i]) << "unsorted at " << i;
+    }
+    std::set<uint32_t> ids;
+    for (const ScoredId& entry : merged) {
+      EXPECT_TRUE(ids.insert(entry.id).second)
+          << "duplicate id " << entry.id;
+    }
+  }
+}
+
+TEST(TopKMergeProperty, EdgeCases) {
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+  EXPECT_TRUE(MergeTopK({{}, {}}, 5).empty());
+  EXPECT_TRUE(MergeTopK({{ScoredId(1.0f, 0)}}, 0).empty());
+  TopKAccumulator zero(0);
+  zero.Push(1.0f, 0);
+  EXPECT_EQ(zero.size(), 0u);
+}
 
 }  // namespace
 }  // namespace weavess

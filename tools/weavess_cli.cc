@@ -6,9 +6,13 @@
 //       PREFIX.gt.ivecs.
 //
 //   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.wvs]
+//                     [--shards S] [--partitioner random|kmeans]
 //       Builds the named index and prints construction stats (Fig. 5/6 and
 //       Table 4 metrics for a single run). --save persists the graph in the
-//       checksummed format of docs/PERSISTENCE.md.
+//       checksummed format of docs/PERSISTENCE.md. For --algo Sharded:NAME
+//       the dataset is partitioned (--shards shards, --partitioner policy)
+//       and --save PREFIX writes PREFIX.manifest plus one PREFIX.shardN.wvs
+//       graph file per shard (docs/SHARDING.md).
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
@@ -27,11 +31,18 @@
 //       admission control, per-request deadlines, and the degradation
 //       ladder, and the table reports completed/shed/degraded counts plus
 //       latency percentiles. If the engine sheds every query the process
-//       exits 4 (overload).
+//       exits 4 (overload). --algo Sharded:NAME with --shards/--partitioner
+//       sweeps the scatter-gather index instead; --shard-sweep 1,2,4,8
+//       switches to a shard-count sweep (EvaluateSharding) at fixed pool
+//       size, one row per shard count.
 //
 //   weavess_cli verify --graph FILE
 //       Checks magic, format version, and every section CRC of a saved
-//       graph and prints a per-section report.
+//       graph and prints a per-section report. A file starting with the
+//       shard-manifest magic is verified as a manifest instead: header and
+//       body CRCs, the disjoint-cover invariant, and then every referenced
+//       shard graph file in turn — a corrupt shard is reported per shard
+//       and the worst failure decides the exit code.
 //
 //   weavess_cli algorithms
 //       Lists the 17 registry names.
@@ -47,6 +58,7 @@
 #include <vector>
 
 #include "algorithms/registry.h"
+#include "core/file_io.h"
 #include "core/graph_io.h"
 #include "core/metrics.h"
 #include "core/status.h"
@@ -57,6 +69,9 @@
 #include "eval/table.h"
 #include "graph/exact_knng.h"
 #include "search/engine.h"
+#include "shard/manifest.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_index.h"
 
 namespace {
 
@@ -243,7 +258,19 @@ AlgorithmOptions OptionsFrom(const Args& args) {
   options.build_pool = args.GetU32("build-pool", options.build_pool);
   options.num_threads = args.GetU32("threads", 1);
   options.seed = args.GetU32("seed", 2024);
+  options.num_shards = args.GetU32("shards", options.num_shards);
+  options.partitioner =
+      args.Get("partitioner", options.partitioner.c_str());
   return options;
+}
+
+/// Sharded builds must not CHECK-crash on a flag typo: surface bad
+/// --shards/--partitioner values as a usage error instead.
+Status ValidateShardFlags(const AlgorithmOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  return ParsePartitioner(options.partitioner).status();
 }
 
 int CmdBuild(const Args& args) {
@@ -258,6 +285,7 @@ int CmdBuild(const Args& args) {
   const AlgorithmOptions options = OptionsFrom(args);
   const uint32_t gq_k = args.GetU32("gq", 0);
   if (!args.status().ok()) return Fail(args.status());
+  if (Status s = ValidateShardFlags(options); !s.ok()) return Fail(s);
   StatusOr<Dataset> base_or = ReadFvecs(base_path);
   if (!base_or.ok()) return Fail(base_or.status());
   const Dataset& base = *base_or;
@@ -278,8 +306,15 @@ int CmdBuild(const Args& args) {
                 ComputeGraphQuality(index->graph(), exact));
   }
   if (const char* save = args.Get("save"); save != nullptr) {
-    if (Status s = index->graph().Save(save, algo); !s.ok()) return Fail(s);
-    std::printf("graph saved to %s (algorithm metadata: %s)\n", save, algo);
+    if (auto* sharded = dynamic_cast<ShardedIndex*>(index.get());
+        sharded != nullptr) {
+      if (Status s = sharded->Save(save); !s.ok()) return Fail(s);
+      std::printf("sharded index saved to %s.manifest (+%u shard files)\n",
+                  save, sharded->num_shards());
+    } else {
+      if (Status s = index->graph().Save(save, algo); !s.ok()) return Fail(s);
+      std::printf("graph saved to %s (algorithm metadata: %s)\n", save, algo);
+    }
   }
   return kExitOk;
 }
@@ -302,6 +337,7 @@ int CmdEval(const Args& args) {
       options.num_threads == 0) {
     return Fail(Status::InvalidArgument("--threads must be >= 1"));
   }
+  if (Status s = ValidateShardFlags(options); !s.ok()) return Fail(s);
   SearchParams base_params;
   base_params.max_distance_evals = args.GetU64("max-evals", 0);
   base_params.time_budget_us = args.GetU64("budget-us", 0);
@@ -359,6 +395,38 @@ int CmdEval(const Args& args) {
     truth = *std::move(truth_or);
   } else {
     truth = ComputeGroundTruth(base, queries, k);
+  }
+  if (const char* list = args.Get("shard-sweep"); list != nullptr) {
+    std::vector<uint32_t> shard_counts;
+    if (Status s = ParsePoolList("shard-sweep", list, &shard_counts);
+        !s.ok()) {
+      return Fail(s);
+    }
+    // The sweep wraps a base algorithm itself; accept either spelling.
+    std::string base_algo = algo;
+    if (base_algo.rfind("Sharded:", 0) == 0) base_algo = base_algo.substr(8);
+    SearchParams params = base_params;
+    params.k = k;
+    params.pool_size = pools.front();
+    std::printf("shard sweep: Sharded:%s (%s partitioner), L=%u\n",
+                base_algo.c_str(), options.partitioner.c_str(),
+                params.pool_size);
+    TablePrinter table({"Shards", "Recall@k", "QPS", "NDC", "PL", "Trunc",
+                        "BuildS", "IndexMB"});
+    for (const ShardingPoint& point : EvaluateSharding(
+             base_algo, options, base, queries, truth, shard_counts,
+             params)) {
+      table.AddRow({TablePrinter::Int(point.num_shards),
+                    TablePrinter::Fixed(point.search.recall, 3),
+                    TablePrinter::Fixed(point.search.qps, 0),
+                    TablePrinter::Fixed(point.search.mean_ndc, 0),
+                    TablePrinter::Fixed(point.search.mean_hops, 0),
+                    TablePrinter::Int(point.search.truncated_queries),
+                    TablePrinter::Fixed(point.build_seconds, 2),
+                    TablePrinter::Megabytes(point.index_bytes)});
+    }
+    table.Print();
+    return kExitOk;
   }
   auto index = CreateAlgorithm(algo, options);
   index->Build(base);
@@ -425,12 +493,63 @@ int CmdEval(const Args& args) {
   return kExitOk;
 }
 
+/// Verifies a shard manifest and every shard graph file it references. All
+/// shards are checked even after a failure — an operator wants the full
+/// damage report — and the first failure decides the exit code.
+int VerifyManifest(const char* manifest_path) {
+  std::printf("verify %s (shard manifest)\n", manifest_path);
+  StatusOr<ShardManifest> manifest_or = LoadManifest(manifest_path);
+  if (!manifest_or.ok()) return Fail(manifest_or.status());
+  const ShardManifest& manifest = *manifest_or;
+  std::printf(
+      "  format v%u, algorithm %s, partitioner %s, %u vertices over %zu "
+      "shard(s)\n  manifest OK\n",
+      kManifestFormatVersion, manifest.algorithm.c_str(),
+      manifest.partitioner.c_str(), manifest.total_vertices,
+      manifest.shards.size());
+  Status worst;
+  for (uint32_t s = 0; s < manifest.shards.size(); ++s) {
+    const ShardManifest::Entry& entry = manifest.shards[s];
+    const std::string shard_path =
+        ResolveShardPath(manifest_path, entry.path);
+    const GraphFileReport report = VerifyGraphFile(shard_path);
+    Status status = report.status;
+    if (status.ok() && report.num_vertices != entry.ids.size()) {
+      status = Status::Corruption(
+          "vertex count mismatch: file has " +
+          std::to_string(report.num_vertices) + ", manifest assigns " +
+          std::to_string(entry.ids.size()));
+    }
+    if (status.ok()) {
+      std::printf("  shard %u %s: OK (%u vertices, %llu edges)\n", s,
+                  shard_path.c_str(), report.num_vertices,
+                  static_cast<unsigned long long>(report.num_edges));
+    } else {
+      std::printf("  shard %u %s: %s\n", s, shard_path.c_str(),
+                  status.ToString().c_str());
+      if (worst.ok()) worst = status;
+    }
+  }
+  if (worst.ok()) {
+    std::printf("  all %zu shard file(s) OK\n", manifest.shards.size());
+    return kExitOk;
+  }
+  return Fail(worst);
+}
+
 int CmdVerify(const Args& args) {
   const char* graph_path = args.Get("graph");
   if (graph_path == nullptr) {
     std::fprintf(stderr, "verify: --graph FILE is required\n");
     return kExitUsage;
   }
+  // A manifest and a graph file share the format family but not the magic;
+  // sniff the first bytes so `verify` works on either without a mode flag.
+  std::string head;
+  if (Status s = ReadFileToString(graph_path, &head); !s.ok()) {
+    return Fail(s);
+  }
+  if (IsManifestBytes(head)) return VerifyManifest(graph_path);
   const GraphFileReport report = VerifyGraphFile(graph_path);
   std::printf("verify %s\n", graph_path);
   if (!report.sections.empty()) {
