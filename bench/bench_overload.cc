@@ -10,6 +10,9 @@
 // line:
 //   {"bench":"overload","offered_qps":...,"completed_qps":...,
 //    "shed_rate":...,"p50_us":...,"p99_us":...,"degraded_fraction":...}
+// plus one metrics-snapshot line per point (docs/OBSERVABILITY.md):
+//   {"bench":"overload_metrics","algo":...,"offered_qps":...,
+//    "snapshot":{"snapshot_version":...,"counters":{...},...}}
 //
 // Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
 //   WEAVESS_OFFERED_QPS  comma-separated offered-QPS ladder
@@ -203,6 +206,11 @@ void Run() {
           algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
           point.completed_qps, point.shed_rate, point.p50_us, point.p99_us,
           point.degraded_fraction, point.max_tier);
+      std::printf(
+          "{\"bench\":\"overload_metrics\",\"algo\":\"%s\","
+          "\"offered_qps\":%llu,\"snapshot\":%s}\n",
+          algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
+          serving.SnapshotMetrics().c_str());
     }
     table.Print();
   }

@@ -9,6 +9,11 @@
 //   {"bench":"sharding","algo":...,"partitioner":...,"num_shards":...,
 //    "recall":...,"qps":...,"ndc":...,"path_len":...,"build_seconds":...,
 //    "index_mb":...}
+// After each partitioner sweep the largest shard count is re-run with the
+// metrics registry attached and one snapshot line is emitted
+// (docs/OBSERVABILITY.md):
+//   {"bench":"sharding_metrics","algo":...,"partitioner":...,
+//    "num_shards":...,"snapshot":{"snapshot_version":...,...}}
 //
 // Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
 //   WEAVESS_SHARDS  comma-separated shard-count ladder (default 1,2,4,8)
@@ -18,7 +23,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "search/engine.h"
 #include "shard/partitioner.h"
+#include "shard/sharded_index.h"
 
 namespace weavess::bench {
 namespace {
@@ -88,6 +96,24 @@ void Run() {
             point.search.mean_hops, point.build_seconds, index_mb);
       }
       table.Print();
+
+      // One metrics-tagged rerun at the largest shard count: a batch
+      // through a registry-attached engine populates the search.* totals
+      // and the per-shard shard.<s>.* scatter-gather counters.
+      const uint32_t snapshot_shards = shard_counts.back();
+      AlgorithmOptions snap_options = options;
+      snap_options.num_shards = snapshot_shards;
+      ShardedIndex sharded(algo, snap_options);
+      sharded.Build(workload.base);
+      MetricsRegistry registry;
+      sharded.set_metrics(&registry);
+      const SearchEngine engine(sharded, 1, &registry);
+      engine.SearchBatch(workload.queries, params);
+      std::printf(
+          "{\"bench\":\"sharding_metrics\",\"algo\":\"%s\","
+          "\"partitioner\":\"%s\",\"num_shards\":%u,\"snapshot\":%s}\n",
+          algo.c_str(), options.partitioner.c_str(), snapshot_shards,
+          registry.ToJson().c_str());
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/clock.h"
 #include "core/dataset.h"
 #include "core/graph.h"
 #include "core/search_context.h"

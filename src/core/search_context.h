@@ -9,9 +9,11 @@
 #include <cstdint>
 
 #include "core/budget.h"
+#include "core/clock.h"
 #include "core/distance.h"
 #include "core/neighbor.h"
 #include "core/visited_list.h"
+#include "obs/trace.h"
 
 namespace weavess {
 
@@ -61,6 +63,12 @@ struct SearchContext {
   bool truncated = false;
   SearchBudget budget;
   const DistanceCounter* budget_counter = nullptr;
+  /// Optional per-query trace hook (docs/OBSERVABILITY.md): when non-null,
+  /// routers record seed/expand/truncation events into it. Owned by the
+  /// caller that armed it (the engine's SearchOne, or a test); BeginQuery
+  /// intentionally leaves it alone — the owner sets and clears it around
+  /// each traced query, so scratch reuse never leaks a stale sink.
+  TraceSink* trace = nullptr;
 };
 
 /// Everything one in-flight query needs: visited stamps plus a reusable

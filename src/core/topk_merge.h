@@ -22,6 +22,7 @@
 #include <limits>
 #include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace weavess {

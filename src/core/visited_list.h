@@ -4,6 +4,7 @@
 #ifndef WEAVESS_CORE_VISITED_LIST_H_
 #define WEAVESS_CORE_VISITED_LIST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,14 @@ class VisitedList {
   }
 
   uint32_t size() const { return static_cast<uint32_t>(stamps_.size()); }
+
+  uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: jumps the epoch so a test can exercise the rare wrap-around
+  /// full clear without 2^32 Reset calls. Stale stamps from earlier epochs
+  /// are left in place on purpose — that is exactly the hazard the wrap
+  /// clear must defuse.
+  void SetEpochForTesting(uint32_t epoch) { epoch_ = epoch; }
 
  private:
   std::vector<uint32_t> stamps_;

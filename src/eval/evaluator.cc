@@ -1,23 +1,14 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "algorithms/registry.h"
 #include "core/check.h"
 #include "core/timer.h"
+#include "obs/metrics.h"
 
 namespace weavess {
-
-namespace {
-
-// Nearest-rank percentile over a sorted sample (0 for an empty one).
-double Percentile(const std::vector<uint64_t>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
-  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
-}
-
-}  // namespace
 
 ServingPoint EvaluateServing(ServingEngine& serving, const Dataset& queries,
                              const GroundTruth& truth,
@@ -36,18 +27,47 @@ ServingPoint EvaluateServing(ServingEngine& serving, const Dataset& queries,
     recall_sum += Recall(out.ids, truth[q], request.params.k);
     latencies.push_back(out.latency_us);
   }
+  point.completed = batch.report.completed;
+  WEAVESS_CHECK(point.completed == latencies.size());
   if (!latencies.empty()) {
     point.recall_completed = recall_sum / static_cast<double>(latencies.size());
     std::sort(latencies.begin(), latencies.end());
-    point.p50_latency_us = Percentile(latencies, 0.5);
-    point.p99_latency_us = Percentile(latencies, 0.99);
+    point.p50_latency_us = NearestRankPercentile(latencies, 0.5);
+    point.p99_latency_us = NearestRankPercentile(latencies, 0.99);
   }
   return point;
 }
 
+std::string ServingPointJson(const ServingPoint& point) {
+  std::string out = "{\"pool_size\":" + std::to_string(point.params.pool_size);
+  out += ",\"submitted\":" + std::to_string(point.report.submitted);
+  out += ",\"completed\":" + std::to_string(point.completed);
+  out += ",\"shed_overload\":" + std::to_string(point.report.shed_overload);
+  out += ",\"shed_deadline\":" + std::to_string(point.report.shed_deadline);
+  out += ",\"failed\":" + std::to_string(point.report.failed);
+  out += ",\"degraded\":" + std::to_string(point.report.degraded);
+  out += ",\"max_tier\":" + std::to_string(point.report.max_tier);
+  if (point.completed == 0) {
+    // Undefined, not zero: nothing completed, so there is no recall or
+    // latency distribution to report.
+    out += ",\"recall_completed\":null,\"p50_latency_us\":null,"
+           "\"p99_latency_us\":null}";
+  } else {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"recall_completed\":%.6f,\"p50_latency_us\":%.1f,"
+                  "\"p99_latency_us\":%.1f}",
+                  point.recall_completed, point.p50_latency_us,
+                  point.p99_latency_us);
+    out += buffer;
+  }
+  return out;
+}
+
 SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
                            const GroundTruth& truth,
-                           const SearchParams& params) {
+                           const SearchParams& params,
+                           uint32_t dataset_size) {
   WEAVESS_CHECK(queries.size() == truth.size());
   WEAVESS_CHECK(queries.size() > 0);
   SearchPoint point;
@@ -63,9 +83,13 @@ SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
                   ? n / batch.totals.wall_seconds
                   : 0.0;
   point.mean_ndc = static_cast<double>(batch.totals.distance_evals) / n;
+  // Speedup = |S| / NDC (§5.1): the numerator is the dataset cardinality —
+  // the cost of the linear scan being beaten — not the graph's vertex
+  // count, which can diverge from |S| for layered or composed graphs.
+  const uint32_t cardinality =
+      dataset_size > 0 ? dataset_size : engine.index().graph().size();
   point.speedup = point.mean_ndc > 0.0
-                      ? static_cast<double>(engine.index().graph().size()) /
-                            point.mean_ndc
+                      ? static_cast<double>(cardinality) / point.mean_ndc
                       : 0.0;
   point.mean_hops = static_cast<double>(batch.totals.hops) / n;
   point.truncated_queries = batch.totals.truncated_queries;
@@ -74,23 +98,25 @@ SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
 
 SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
                            const GroundTruth& truth,
-                           const SearchParams& params) {
+                           const SearchParams& params,
+                           uint32_t dataset_size) {
   const SearchEngine engine(index, /*num_threads=*/1);
-  return EvaluateSearch(engine, queries, truth, params);
+  return EvaluateSearch(engine, queries, truth, params, dataset_size);
 }
 
 std::vector<SearchPoint> SweepPoolSizes(
     const SearchEngine& engine, const Dataset& queries,
     const GroundTruth& truth, uint32_t k,
     const std::vector<uint32_t>& pool_sizes,
-    const SearchParams& base_params) {
+    const SearchParams& base_params, uint32_t dataset_size) {
   std::vector<SearchPoint> points;
   points.reserve(pool_sizes.size());
   for (uint32_t pool : pool_sizes) {
     SearchParams params = base_params;
     params.k = k;
     params.pool_size = pool;
-    points.push_back(EvaluateSearch(engine, queries, truth, params));
+    points.push_back(
+        EvaluateSearch(engine, queries, truth, params, dataset_size));
   }
   return points;
 }
@@ -98,9 +124,10 @@ std::vector<SearchPoint> SweepPoolSizes(
 std::vector<SearchPoint> SweepPoolSizes(
     AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
     uint32_t k, const std::vector<uint32_t>& pool_sizes,
-    const SearchParams& base_params) {
+    const SearchParams& base_params, uint32_t dataset_size) {
   const SearchEngine engine(index, /*num_threads=*/1);
-  return SweepPoolSizes(engine, queries, truth, k, pool_sizes, base_params);
+  return SweepPoolSizes(engine, queries, truth, k, pool_sizes, base_params,
+                        dataset_size);
 }
 
 CandidateSizeResult FindCandidateSize(
@@ -137,7 +164,8 @@ std::vector<ShardingPoint> EvaluateSharding(
     point.build_seconds = index->build_stats().seconds;
     point.build_distance_evals = index->build_stats().distance_evals;
     point.index_bytes = index->IndexMemoryBytes();
-    point.search = EvaluateSearch(*index, queries, truth, params);
+    point.search = EvaluateSearch(*index, queries, truth, params,
+                                  base.size());
     points.push_back(std::move(point));
   }
   return points;

@@ -6,6 +6,7 @@
 #define WEAVESS_EVAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/index.h"
@@ -27,14 +28,20 @@ struct SearchPoint {
 
 /// Runs every query once under `params` through `engine` (QPS reflects the
 /// engine's thread count; recall/NDC/PL are thread-count invariant).
+/// `dataset_size` is |S| in Speedup = |S| / NDC (§5.1): the cardinality of
+/// the dataset being searched. Pass base.size(); 0 falls back to the
+/// engine's graph vertex count, which coincides with |S| only for flat
+/// single-layer indexes over the full dataset.
 SearchPoint EvaluateSearch(const SearchEngine& engine, const Dataset& queries,
                            const GroundTruth& truth,
-                           const SearchParams& params);
+                           const SearchParams& params,
+                           uint32_t dataset_size = 0);
 
 /// Single-threaded convenience overload (a 1-thread engine per call).
 SearchPoint EvaluateSearch(AnnIndex& index, const Dataset& queries,
                            const GroundTruth& truth,
-                           const SearchParams& params);
+                           const SearchParams& params,
+                           uint32_t dataset_size = 0);
 
 /// Sweeps the candidate-pool size L over `pool_sizes`, producing one curve
 /// point per value (k fixed). This is the paper's tradeoff-curve driver.
@@ -44,12 +51,12 @@ std::vector<SearchPoint> SweepPoolSizes(
     const SearchEngine& engine, const Dataset& queries,
     const GroundTruth& truth, uint32_t k,
     const std::vector<uint32_t>& pool_sizes,
-    const SearchParams& base_params = {});
+    const SearchParams& base_params = {}, uint32_t dataset_size = 0);
 
 std::vector<SearchPoint> SweepPoolSizes(
     AnnIndex& index, const Dataset& queries, const GroundTruth& truth,
     uint32_t k, const std::vector<uint32_t>& pool_sizes,
-    const SearchParams& base_params = {});
+    const SearchParams& base_params = {}, uint32_t dataset_size = 0);
 
 /// One overload-aware sweep point: the recall contract is evaluated over
 /// completed queries only, next to the shed/degraded accounting that shows
@@ -57,10 +64,20 @@ std::vector<SearchPoint> SweepPoolSizes(
 struct ServingPoint {
   SearchParams params;
   ServingReport report;
+  /// Queries that completed (== report.completed, hoisted so consumers can
+  /// tell "recall was 0.0" from "no query completed, recall is undefined"
+  /// without digging into the report).
+  uint64_t completed = 0;
   double recall_completed = 0.0;  // mean Recall@k over completed queries
   double p50_latency_us = 0.0;    // completed-query latency percentiles
   double p99_latency_us = 0.0;
 };
+
+/// One-line JSON object for a ServingPoint. The statistics that are
+/// undefined when zero queries completed — recall_completed, p50, p99 —
+/// are emitted as JSON null in that case, never a misleading 0.0 (the
+/// all-rejected drain-mode ambiguity).
+std::string ServingPointJson(const ServingPoint& point);
 
 /// Serves every query once through `serving` as one burst (ServeBatch) with
 /// `request` carrying the deadline and full-quality params. Queries shed by

@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace weavess {
+
+double NearestRankPercentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
+}
+
+Histogram::Histogram(std::vector<uint64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0),
+      bucket_max_(upper_bounds_.size() + 1, 0) {
+  WEAVESS_CHECK(!upper_bounds_.empty());
+  for (size_t i = 0; i + 1 < upper_bounds_.size(); ++i) {
+    WEAVESS_CHECK(upper_bounds_[i] < upper_bounds_[i + 1]);
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  // Bucket i covers (bounds[i-1], bounds[i]]; the last entry is +inf.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  bucket_max_[bucket] = std::max(bucket_max_[bucket], value);
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  // Same nearest-rank rule as NearestRankPercentile, walked over buckets.
+  const uint64_t rank = static_cast<uint64_t>(
+      p * static_cast<double>(count_ - 1) + 0.5);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) return bucket_max_[i];
+  }
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+const std::vector<uint64_t>& DefaultLatencyBucketsUs() {
+  static const std::vector<uint64_t>* const kBuckets = [] {
+    auto* buckets = new std::vector<uint64_t>();
+    for (uint64_t bound = 1; bound <= (1ull << 24); bound <<= 1) {
+      buckets->push_back(bound);  // 1us .. ~16.8s
+    }
+    return buckets;
+  }();
+  return *kBuckets;
+}
+
+const std::vector<uint64_t>& DefaultNdcBuckets() {
+  static const std::vector<uint64_t>* const kBuckets = [] {
+    auto* buckets = new std::vector<uint64_t>();
+    for (uint64_t bound = 1; bound <= (1ull << 20); bound <<= 1) {
+      buckets->push_back(bound);  // 1 .. ~1M distance evals
+    }
+    return buckets;
+  }();
+  return *kBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<uint64_t>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+uint64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::AddTiming(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timing_[name] += seconds;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    // Instrument names are plain identifiers; escape defensively anyway.
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"snapshot_version\":";
+  AppendU64(kMetricsSnapshotVersion, &out);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendU64(counter->value(), &out);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendU64(gauge->value(), &out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":{\"count\":";
+    AppendU64(histogram->count(), &out);
+    out += ",\"sum\":";
+    AppendU64(histogram->sum(), &out);
+    out += ",\"min\":";
+    AppendU64(histogram->min(), &out);
+    out += ",\"max\":";
+    AppendU64(histogram->max(), &out);
+    out += ",\"p50\":";
+    AppendU64(histogram->Percentile(0.5), &out);
+    out += ",\"p99\":";
+    AppendU64(histogram->Percentile(0.99), &out);
+    out += ",\"buckets\":[";
+    const std::vector<uint64_t>& bounds = histogram->upper_bounds();
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"le\":";
+      if (i < bounds.size()) {
+        AppendU64(bounds[i], &out);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ",\"count\":";
+      AppendU64(counts[i], &out);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "},\"timing\":{";
+  if (include_timing) {
+    first = true;
+    for (const auto& [name, seconds] : timing_) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(name, &out);
+      out.push_back(':');
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+      out.append(buffer);
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace weavess

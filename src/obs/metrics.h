@@ -1,0 +1,151 @@
+// Query-path metrics registry (docs/OBSERVABILITY.md): monotonic counters,
+// gauges, and fixed-bucket histograms, all held as plain uint64_t so a
+// snapshot is a pure function of the event sequence — bit-for-bit identical
+// at any thread count and, under a VirtualClock, across runs. Wall-clock
+// measurements are the one intentionally nondeterministic family; they are
+// quarantined in a separate `timing` section that ToJson can exclude, which
+// is what lets tests compare whole snapshots for equality.
+//
+// Naming convention: dot-separated lowercase paths grouped by layer —
+// `search.*` (batched engine), `serving.*` (admission/deadline/ladder),
+// `shard.<s>.*` (per-shard scatter-gather). The taxonomy is documented in
+// docs/OBSERVABILITY.md and printed by `weavess_cli metrics`.
+#ifndef WEAVESS_OBS_METRICS_H_
+#define WEAVESS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace weavess {
+
+/// Version of the JSON snapshot layout emitted by MetricsRegistry::ToJson.
+inline constexpr uint32_t kMetricsSnapshotVersion = 1;
+
+/// Nearest-rank percentile over an ascending-sorted sample; 0 for an empty
+/// one. This is the single percentile definition in the library — the
+/// evaluator, the benches, and Histogram::Percentile all agree with it.
+/// For n = 1 every p returns the sample; for n = 2, p < 0.5 returns the
+/// smaller value and p >= 0.5 the larger (the rank rounds half up).
+double NearestRankPercentile(const std::vector<uint64_t>& sorted, double p);
+
+/// Monotonic event counter. Thread-safe; increments are relaxed atomics
+/// (totals commute, so snapshots stay deterministic for a fixed event set).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (queue depths, tier, degraded-shard count).
+class Gauge {
+ public:
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over uint64 samples (latency in microseconds,
+/// NDC per query). Buckets are [0, b0], (b0, b1], ... , (b_last, +inf);
+/// bounds are fixed at construction so two histograms with the same bounds
+/// aggregate bucket-for-bucket. Alongside the counts it tracks exact count
+/// / sum / min / max and each bucket's largest observed sample, which is
+/// what Percentile resolves to: the nearest-rank bucket's max is always an
+/// actually-observed value, exact whenever the bucket holds one distinct
+/// value (bucket-boundary workloads, deterministic latency under a
+/// VirtualClock) and never finer than one bucket otherwise. Thread-safe.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<uint64_t> upper_bounds);
+
+  void Record(uint64_t value);
+
+  uint64_t count() const;
+  uint64_t sum() const;
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const;
+  /// Nearest-rank percentile resolved to the containing bucket's largest
+  /// observed sample (see class comment); 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  const std::vector<uint64_t>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts, one entry per bound plus the +inf overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  const std::vector<uint64_t> upper_bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;      // upper_bounds_.size() + 1 entries
+  std::vector<uint64_t> bucket_max_;  // largest sample seen per bucket
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Power-of-two microsecond ladder (1us .. ~16.8s) for latency histograms.
+const std::vector<uint64_t>& DefaultLatencyBucketsUs();
+/// Power-of-two ladder (1 .. ~1M) for per-query distance-eval histograms.
+const std::vector<uint64_t>& DefaultNdcBuckets();
+
+/// Registry of named instruments. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so hot paths can
+/// cache it and skip the name lookup. Thread-safe throughout. Snapshots
+/// serialize instruments in name order — deterministic regardless of
+/// registration interleaving.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// First caller fixes the bounds; later callers get the same histogram
+  /// (their `upper_bounds` argument is ignored).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<uint64_t>& upper_bounds);
+
+  /// Current value of a counter, 0 if it was never registered. The
+  /// accounting-invariant tests read terminal counters through this.
+  uint64_t CounterValue(const std::string& name) const;
+  uint64_t GaugeValue(const std::string& name) const;
+  /// nullptr if never registered.
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Accumulates a wall-clock measurement (seconds) under the `timing`
+  /// snapshot section — the quarantine for nondeterministic values.
+  void AddTiming(const std::string& name, double seconds);
+
+  /// Versioned single-line JSON snapshot:
+  ///   {"snapshot_version":1,"counters":{...},"gauges":{...},
+  ///    "histograms":{...},"timing":{...}}
+  /// Everything outside `timing` is a deterministic function of the
+  /// recorded event multiset; pass include_timing = false to get the
+  /// comparable core (the determinism tests diff exactly that string).
+  std::string ToJson(bool include_timing = true) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, double> timing_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_OBS_METRICS_H_

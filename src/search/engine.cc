@@ -24,8 +24,12 @@ SearchEngine::ScratchLease::~ScratchLease() {
   engine_.free_scratch_.push_back(std::move(scratch_));
 }
 
-SearchEngine::SearchEngine(const AnnIndex& index, uint32_t num_threads)
-    : index_(index), num_threads_(num_threads), pool_(num_threads - 1) {
+SearchEngine::SearchEngine(const AnnIndex& index, uint32_t num_threads,
+                           MetricsRegistry* metrics)
+    : index_(index),
+      num_threads_(num_threads),
+      metrics_(metrics),
+      pool_(num_threads - 1) {
   WEAVESS_CHECK(num_threads >= 1);
   WEAVESS_CHECK(index.graph().size() > 0);  // must be built
   // Pre-populate the free list so steady-state batches allocate nothing.
@@ -78,14 +82,47 @@ BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
     if (out.stats[q].truncated) ++out.totals.truncated_queries;
     if (out.stats[q].degraded) ++out.totals.degraded_queries;
   }
+  if (metrics_ != nullptr) {
+    // Aggregate once per batch, from the query-order reduction above, so the
+    // exported counters are thread-count invariant. Only the wall-clock
+    // entry (quarantined under the `timing` JSON key) is nondeterministic.
+    metrics_->GetCounter("search.queries")->Add(n);
+    metrics_->GetCounter("search.batches")->Add(1);
+    metrics_->GetCounter("search.distance_evals")
+        ->Add(out.totals.distance_evals);
+    metrics_->GetCounter("search.hops")->Add(out.totals.hops);
+    metrics_->GetCounter("search.truncated_queries")
+        ->Add(out.totals.truncated_queries);
+    metrics_->GetCounter("search.degraded_queries")
+        ->Add(out.totals.degraded_queries);
+    Histogram* ndc =
+        metrics_->GetHistogram("search.ndc", DefaultNdcBuckets());
+    for (uint32_t q = 0; q < n; ++q) {
+      ndc->Record(out.stats[q].distance_evals);
+    }
+    metrics_->AddTiming("search.batch_wall_seconds",
+                        out.totals.wall_seconds);
+  }
   return out;
 }
 
 std::vector<uint32_t> SearchEngine::SearchOne(const float* query,
                                               const SearchParams& params,
-                                              QueryStats* stats) const {
+                                              QueryStats* stats,
+                                              TraceSink* trace) const {
   ScratchLease lease(*this);
-  return index_.SearchWith(lease.get(), query, ClampParams(params), stats);
+  // Arm the caller's sink for exactly this query; scratch goes back to the
+  // free list with a null sink, so reuse never leaks a stale pointer.
+  lease.get().ctx.trace = trace;
+  std::vector<uint32_t> ids;
+  try {
+    ids = index_.SearchWith(lease.get(), query, ClampParams(params), stats);
+  } catch (...) {
+    lease.get().ctx.trace = nullptr;
+    throw;
+  }
+  lease.get().ctx.trace = nullptr;
+  return ids;
 }
 
 }  // namespace weavess

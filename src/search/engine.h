@@ -27,6 +27,8 @@
 #include "core/dataset.h"
 #include "core/index.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace weavess {
 
@@ -55,8 +57,14 @@ class SearchEngine {
   /// `index` must be built and must outlive the engine; the engine treats
   /// it as immutable. `num_threads` >= 1 counts the calling thread: the
   /// engine spawns num_threads - 1 workers and the SearchBatch caller
-  /// participates as the last execution stream.
-  SearchEngine(const AnnIndex& index, uint32_t num_threads);
+  /// participates as the last execution stream. An optional `metrics`
+  /// registry (caller-owned, outlives the engine) receives the `search.*`
+  /// counters and the per-query NDC histogram, aggregated once per batch in
+  /// query order so the exported totals are as thread-count invariant as
+  /// the per-query stats (docs/OBSERVABILITY.md); batch wall time goes to
+  /// the registry's `timing` section, the quarantine for wall-clock values.
+  SearchEngine(const AnnIndex& index, uint32_t num_threads,
+               MetricsRegistry* metrics = nullptr);
   ~SearchEngine();
 
   SearchEngine(const SearchEngine&) = delete;
@@ -78,10 +86,15 @@ class SearchEngine {
                           const SearchParams& params) const;
 
   /// Single query on the calling thread, using pooled scratch. Equivalent
-  /// to a one-element batch.
+  /// to a one-element batch. `trace`, when given, receives this query's
+  /// routing events (seeds, expansions, truncation); the sink is armed for
+  /// exactly this call and never leaks into pooled scratch.
   std::vector<uint32_t> SearchOne(const float* query,
                                   const SearchParams& params,
-                                  QueryStats* stats = nullptr) const;
+                                  QueryStats* stats = nullptr,
+                                  TraceSink* trace = nullptr) const;
+
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   SearchParams ClampParams(const SearchParams& params) const;
@@ -101,6 +114,7 @@ class SearchEngine {
 
   const AnnIndex& index_;
   uint32_t num_threads_;
+  MetricsRegistry* metrics_ = nullptr;
   mutable ThreadPool pool_;
   mutable std::mutex scratch_mu_;
   mutable std::vector<std::unique_ptr<SearchScratch>> free_scratch_;

@@ -6,11 +6,31 @@
 
 namespace weavess {
 
+namespace {
+
+// Trace helpers: one branch when tracing is off (the common case).
+inline void TraceExpand(SearchContext& ctx, uint32_t vertex) {
+  if (ctx.trace != nullptr) {
+    ctx.trace->Record(TraceEventKind::kExpand, vertex);
+  }
+}
+
+inline void TraceTruncated(SearchContext& ctx) {
+  if (ctx.trace != nullptr) {
+    const uint64_t evals =
+        ctx.budget_counter != nullptr ? ctx.budget_counter->count : 0;
+    ctx.trace->Record(TraceEventKind::kTruncated, 0, evals);
+  }
+}
+
+}  // namespace
+
 void SeedPool(const std::vector<uint32_t>& ids, const float* query,
               DistanceOracle& oracle, SearchContext& ctx,
               CandidatePool& pool) {
   for (uint32_t id : ids) {
     if (ctx.visited.CheckAndMark(id)) continue;
+    if (ctx.trace != nullptr) ctx.trace->Record(TraceEventKind::kSeed, id);
     pool.Insert(Neighbor(id, oracle.ToQuery(query, id)));
   }
 }
@@ -22,11 +42,13 @@ void BestFirstSearch(const Graph& graph, const float* query,
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
     if (ctx.BudgetExhausted()) {
       ctx.truncated = true;
+      TraceTruncated(ctx);
       return;
     }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
+    TraceExpand(ctx, current);
     for (uint32_t neighbor : graph.Neighbors(current)) {
       if (ctx.visited.CheckAndMark(neighbor)) continue;
       const float dist = oracle.ToQuery(query, neighbor);
@@ -45,6 +67,7 @@ void BacktrackSearch(const Graph& graph, const float* query,
       overflow;
   auto expand = [&](uint32_t current) {
     ++ctx.hops;
+    TraceExpand(ctx, current);
     for (uint32_t neighbor : graph.Neighbors(current)) {
       if (ctx.visited.CheckAndMark(neighbor)) continue;
       const float dist = oracle.ToQuery(query, neighbor);
@@ -57,6 +80,7 @@ void BacktrackSearch(const Graph& graph, const float* query,
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
     if (ctx.BudgetExhausted()) {
       ctx.truncated = true;
+      TraceTruncated(ctx);
       return;
     }
     const uint32_t current = pool[next].id;
@@ -68,6 +92,7 @@ void BacktrackSearch(const Graph& graph, const float* query,
   while (spent < backtrack_budget && !overflow.empty()) {
     if (ctx.BudgetExhausted()) {
       ctx.truncated = true;
+      TraceTruncated(ctx);
       return;
     }
     const Neighbor candidate = overflow.top();
@@ -78,6 +103,7 @@ void BacktrackSearch(const Graph& graph, const float* query,
     while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
       if (ctx.BudgetExhausted()) {
         ctx.truncated = true;
+        TraceTruncated(ctx);
         return;
       }
       const uint32_t current = pool[next].id;
@@ -98,6 +124,7 @@ void RangeSearch(const Graph& graph, const float* query,
   while (!frontier.empty()) {
     if (ctx.BudgetExhausted()) {
       ctx.truncated = true;
+      TraceTruncated(ctx);
       return;
     }
     const Neighbor current = frontier.top();
@@ -105,6 +132,7 @@ void RangeSearch(const Graph& graph, const float* query,
     const float radius = pool.WorstDistance();
     if (pool.full() && current.distance > expansion * radius) break;
     ++ctx.hops;
+    TraceExpand(ctx, current.id);
     for (uint32_t neighbor : graph.Neighbors(current.id)) {
       if (ctx.visited.CheckAndMark(neighbor)) continue;
       const float dist = oracle.ToQuery(query, neighbor);
@@ -144,11 +172,13 @@ void GuidedSearch(const Graph& graph, const Dataset& data, const float* query,
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
     if (ctx.BudgetExhausted()) {
       ctx.truncated = true;
+      TraceTruncated(ctx);
       return;
     }
     const uint32_t current = pool[next].id;
     pool.MarkChecked(next);
     ++ctx.hops;
+    TraceExpand(ctx, current);
     const float* row = data.Row(current);
     const uint32_t guide_dim = DominantDim(row, query, dim);
     const bool query_side = query[guide_dim] >= row[guide_dim];

@@ -32,7 +32,11 @@ std::vector<uint32_t> BruteForceTopK(const Dataset& data, const float* query,
 ServingEngine::ServingEngine(const AnnIndex& index, ServingConfig config)
     : config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
-      engine_(std::make_unique<SearchEngine>(index, 1)),
+      own_metrics_(config_.metrics != nullptr ? nullptr
+                                              : new MetricsRegistry()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
+      engine_(std::make_unique<SearchEngine>(index, 1, metrics_)),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -42,6 +46,10 @@ ServingEngine::ServingEngine(const AnnIndex& index, ServingConfig config)
 ServingEngine::ServingEngine(const Dataset& data, ServingConfig config)
     : config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      own_metrics_(config_.metrics != nullptr ? nullptr
+                                              : new MetricsRegistry()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
       fallback_data_(&data),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
@@ -53,8 +61,12 @@ ServingEngine::ServingEngine(std::unique_ptr<AnnIndex> owned_index,
                              ServingConfig config)
     : config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      own_metrics_(config_.metrics != nullptr ? nullptr
+                                              : new MetricsRegistry()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
       owned_index_(std::move(owned_index)),
-      engine_(std::make_unique<SearchEngine>(*owned_index_, 1)),
+      engine_(std::make_unique<SearchEngine>(*owned_index_, 1, metrics_)),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -113,6 +125,9 @@ ServingEngine::Opened ServingEngine::FromShardManifest(
   opened.engine.reset(
       new ServingEngine(std::move(index), std::move(config)));
   opened.engine->sharded_ = sharded;
+  // Per-shard scatter-gather counters land in the same registry as the
+  // serving.* instruments, so one snapshot covers the whole engine.
+  sharded->set_metrics(opened.engine->metrics_);
   return opened;
 }
 
@@ -126,22 +141,70 @@ Status ServingEngine::RepairShard(uint32_t shard) {
 
 void ServingEngine::RecordOutcomeLocked(const ServeOutcome& outcome,
                                         ServingReport* batch_report) {
-  const auto apply = [&outcome](ServingReport& report) {
-    if (outcome.status.ok()) {
-      ++report.completed;
-      if (outcome.stats.degraded) ++report.degraded;
-      if (outcome.tier > report.max_tier) report.max_tier = outcome.tier;
-    } else if (outcome.status.IsDeadlineExceeded()) {
-      ++report.shed_deadline;
-    } else if (outcome.status.IsUnavailable() &&
-               outcome.status.message().rfind("overloaded", 0) == 0) {
-      ++report.shed_overload;
-    } else {
-      ++report.failed;
+  // Classify once; the report(s) and the terminal counters must agree.
+  enum class Terminal { kCompleted, kDeadline, kOverload, kFailed };
+  Terminal terminal;
+  if (outcome.status.ok()) {
+    terminal = Terminal::kCompleted;
+  } else if (outcome.status.IsDeadlineExceeded()) {
+    terminal = Terminal::kDeadline;
+  } else if (outcome.status.IsUnavailable() &&
+             outcome.status.message().rfind("overloaded", 0) == 0) {
+    terminal = Terminal::kOverload;
+  } else {
+    terminal = Terminal::kFailed;
+  }
+  const auto apply = [&outcome, terminal](ServingReport& report) {
+    switch (terminal) {
+      case Terminal::kCompleted:
+        ++report.completed;
+        if (outcome.stats.degraded) ++report.degraded;
+        if (outcome.tier > report.max_tier) report.max_tier = outcome.tier;
+        break;
+      case Terminal::kDeadline:
+        ++report.shed_deadline;
+        break;
+      case Terminal::kOverload:
+        ++report.shed_overload;
+        break;
+      case Terminal::kFailed:
+        ++report.failed;
+        break;
     }
   };
   apply(lifetime_);
   if (batch_report != nullptr) apply(*batch_report);
+  // Exactly one terminal counter per outcome — the invariant
+  //   serving.submitted == completed + deadline_exceeded
+  //                        + rejected_overload + failed
+  // that chaos_test asserts over every snapshot.
+  switch (terminal) {
+    case Terminal::kCompleted:
+      metrics_->GetCounter("serving.completed")->Add(1);
+      metrics_->GetHistogram("serving.latency_us", DefaultLatencyBucketsUs())
+          ->Record(outcome.latency_us);
+      if (outcome.stats.degraded) {
+        metrics_->GetCounter("serving.degraded")->Add(1);
+        metrics_
+            ->GetCounter("serving.degraded.tier" +
+                         std::to_string(outcome.tier))
+            ->Add(1);
+      }
+      break;
+    case Terminal::kDeadline:
+      metrics_->GetCounter("serving.deadline_exceeded")->Add(1);
+      if (outcome.status.message().rfind("deadline exceeded: shed at dequeue",
+                                         0) == 0) {
+        metrics_->GetCounter("serving.shed_at_dequeue")->Add(1);
+      }
+      break;
+    case Terminal::kOverload:
+      metrics_->GetCounter("serving.rejected_overload")->Add(1);
+      break;
+    case Terminal::kFailed:
+      metrics_->GetCounter("serving.failed")->Add(1);
+      break;
+  }
 }
 
 bool ServingEngine::AdmitLocked(const RequestOptions& request,
@@ -150,6 +213,9 @@ bool ServingEngine::AdmitLocked(const RequestOptions& request,
   if (request.deadline_us > 0 && now_us >= request.deadline_us) {
     outcome->status = Status::DeadlineExceeded(
         "deadline exceeded: expired before admission");
+    if (request.trace != nullptr) {
+      request.trace->Record(TraceEventKind::kShedDeadline, 0);
+    }
     RecordOutcomeLocked(*outcome, batch_report);
     return false;
   }
@@ -157,9 +223,14 @@ bool ServingEngine::AdmitLocked(const RequestOptions& request,
   if (!admitted.ok()) {
     outcome->status = std::move(admitted);
     outcome->retry_after_us = admission_.retry_after_us();
+    if (request.trace != nullptr) {
+      request.trace->Record(TraceEventKind::kShedOverload, 0,
+                            outcome->retry_after_us);
+    }
     RecordOutcomeLocked(*outcome, batch_report);
     return false;
   }
+  metrics_->GetCounter("serving.admitted")->Add(1);
   *tier = ladder_.OnSample(admission_.in_flight());
   outcome->tier = *tier;
   return true;
@@ -176,6 +247,9 @@ ServeOutcome ServingEngine::Execute(const float* query,
   if (request.deadline_us > 0 && now >= request.deadline_us) {
     out.status = Status::DeadlineExceeded(
         "deadline exceeded: shed at dequeue before execution");
+    if (request.trace != nullptr) {
+      request.trace->Record(TraceEventKind::kShedDeadline, 1);
+    }
     return out;
   }
   SearchParams params = ladder_.Apply(tier, request.params);
@@ -190,7 +264,7 @@ ServeOutcome ServingEngine::Execute(const float* query,
   }
   try {
     if (engine_ != nullptr) {
-      out.ids = engine_->SearchOne(query, params, &out.stats);
+      out.ids = engine_->SearchOne(query, params, &out.stats, request.trace);
     } else {
       out.ids = FallbackSearch(query, params, &out.stats);
     }
@@ -202,10 +276,16 @@ ServeOutcome ServingEngine::Execute(const float* query,
     out.ids.clear();
     out.status = Status::Unavailable("backend failure: unknown exception");
   }
+  if (!out.status.ok() && request.trace != nullptr) {
+    request.trace->Record(TraceEventKind::kBackendFailure);
+  }
   if (out.status.ok() &&
       (tier > 0 || engine_ == nullptr ||
        (sharded_ != nullptr && sharded_->num_degraded_shards() > 0))) {
     out.stats.degraded = true;
+    if (request.trace != nullptr) {
+      request.trace->Record(TraceEventKind::kDegraded, 0, tier);
+    }
   }
   out.latency_us = clock_->NowMicros() - admit_us;
   return out;
@@ -240,6 +320,7 @@ ServeOutcome ServingEngine::Serve(const float* query,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++lifetime_.submitted;
+    metrics_->GetCounter("serving.submitted")->Add(1);
     if (!AdmitLocked(request, t0, &out, &tier, nullptr)) return out;
   }
   out = Execute(query, request, tier, t0);
@@ -274,6 +355,7 @@ ServeBatchResult ServingEngine::ServeBatch(
     // suite).
     std::lock_guard<std::mutex> lock(mu_);
     lifetime_.submitted += n;
+    metrics_->GetCounter("serving.submitted")->Add(n);
     for (uint32_t q = 0; q < n; ++q) {
       const uint64_t now = clock_->NowMicros();
       if (AdmitLocked(request, now, &result.outcomes[q], &tiers[q],
@@ -283,9 +365,15 @@ ServeBatchResult ServingEngine::ServeBatch(
       }
     }
   }
+  // A TraceSink is single-query state; with more than one execution stream
+  // the burst's shared sink only records the sequential admission decisions
+  // above, never the parallel executions (see RequestOptions::trace).
+  RequestOptions exec_request = request;
+  if (config_.num_threads > 1) exec_request.trace = nullptr;
   pool_.RunTasks(static_cast<uint32_t>(accepted.size()), [&](uint32_t t) {
     const uint32_t q = accepted[t];
-    result.outcomes[q] = Execute(queries[q], request, tiers[q], admit_us[q]);
+    result.outcomes[q] =
+        Execute(queries[q], exec_request, tiers[q], admit_us[q]);
     admission_.Release();
   });
   // Post-barrier accounting in submission order keeps the ladder's latency
@@ -307,6 +395,18 @@ uint32_t ServingEngine::current_tier() const {
 ServingReport ServingEngine::lifetime_report() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lifetime_;
+}
+
+std::string ServingEngine::SnapshotMetrics(bool include_timing) const {
+  // Gauges are point-in-time; refresh them at snapshot edge instead of on
+  // every state change.
+  metrics_->GetGauge("serving.in_flight")->Set(admission_.in_flight());
+  metrics_->GetGauge("serving.current_tier")->Set(current_tier());
+  if (sharded_ != nullptr) {
+    metrics_->GetGauge("shard.degraded_shards")
+        ->Set(sharded_->num_degraded_shards());
+  }
+  return metrics_->ToJson(include_timing);
 }
 
 }  // namespace weavess

@@ -34,6 +34,8 @@
 #include "core/index.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/admission.h"
 #include "search/degradation.h"
 #include "search/engine.h"
@@ -50,6 +52,12 @@ struct RequestOptions {
   /// remaining time is merged into params.time_budget_us (tightest wins) so
   /// routing itself stops at the deadline.
   uint64_t deadline_us = 0;
+  /// Optional per-request trace sink (obs/trace.h): receives the routing
+  /// events plus this layer's shed/degrade/failure reason codes. A TraceSink
+  /// is single-query state, so a multi-threaded ServeBatch arms it only for
+  /// the sequential admission decisions, not for the parallel executions;
+  /// use Serve (or a one-thread engine) for full per-query traces.
+  TraceSink* trace = nullptr;
 };
 
 struct ServeOutcome {
@@ -96,6 +104,12 @@ struct ServingConfig {
   /// Serving clock; nullptr = process SteadyClock. Tests inject a
   /// VirtualClock for reproducible deadline/overload behavior.
   const Clock* clock = nullptr;
+  /// Metrics registry to record the `serving.*` (and nested `search.*`,
+  /// `shard.*`) instruments into. nullptr = the engine owns a private
+  /// registry, still reachable via ServingEngine::metrics(). A non-null
+  /// registry must outlive the engine; share one to aggregate several
+  /// engines into a single snapshot.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class ServingEngine {
@@ -171,6 +185,17 @@ class ServingEngine {
   ServingReport lifetime_report() const;
   const Clock& clock() const { return *clock_; }
 
+  /// The registry every serving counter lands in (config-provided or
+  /// engine-owned). Never null.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Refreshes the point-in-time gauges (in-flight, tier, degraded shards)
+  /// and returns the registry's versioned JSON snapshot. Excluding timing
+  /// yields the deterministic core that is bit-for-bit identical across
+  /// thread counts for a fixed submission sequence under a VirtualClock
+  /// (docs/OBSERVABILITY.md).
+  std::string SnapshotMetrics(bool include_timing = true) const;
+
  private:
   ServingEngine(std::unique_ptr<AnnIndex> owned_index, ServingConfig config);
 
@@ -198,6 +223,10 @@ class ServingEngine {
 
   const ServingConfig config_;
   const Clock* clock_;
+  // Declared before engine_: the SearchEngine is constructed with a pointer
+  // into this registry, and members initialize in declaration order.
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // null when config_.metrics
+  MetricsRegistry* metrics_;                      // never null
   const Dataset* fallback_data_ = nullptr;   // fallback mode only
   std::unique_ptr<AnnIndex> owned_index_;    // FromSavedGraph healthy path
   ShardedIndex* sharded_ = nullptr;          // owned_index_, when sharded

@@ -153,6 +153,7 @@ std::vector<uint32_t> ShardedIndex::SearchWith(SearchScratch& scratch,
                                                QueryStats* stats) const {
   const uint32_t num_shards = this->num_shards();
   QueryStats total;
+  TraceSink* trace = scratch.ctx.trace;
   std::vector<std::vector<ScoredId>> lists;
   lists.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
@@ -164,14 +165,17 @@ std::vector<uint32_t> ShardedIndex::SearchWith(SearchScratch& scratch,
     per_shard.time_budget_us =
         SplitBudget(params.time_budget_us, s, num_shards);
 
+    uint64_t shard_evals = 0;
+    bool shard_truncated = false;
+    bool exact_scan = false;
     std::vector<ScoredId> list;
     if (shard.index != nullptr) {
       QueryStats shard_stats;
       const std::vector<uint32_t> local =
           shard.index->SearchWith(scratch, query, per_shard, &shard_stats);
-      total.distance_evals += shard_stats.distance_evals;
+      shard_evals = shard_stats.distance_evals;
+      shard_truncated = shard_stats.truncated;
       total.hops += shard_stats.hops;
-      total.truncated |= shard_stats.truncated;
       list.reserve(local.size());
       for (uint32_t lid : local) {
         // Re-score against the shard's own row (byte-identical to the
@@ -184,12 +188,12 @@ std::vector<uint32_t> ShardedIndex::SearchWith(SearchScratch& scratch,
     } else {
       // Degraded shard: exact scan. One evaluation per row makes the eval
       // budget an exact row cap, as in the serving fallback.
+      exact_scan = true;
       uint32_t rows = shard.data.size();
-      bool truncated = false;
       if (per_shard.max_distance_evals > 0 &&
           per_shard.max_distance_evals < rows) {
         rows = static_cast<uint32_t>(per_shard.max_distance_evals);
-        truncated = true;
+        shard_truncated = true;
       }
       DistanceCounter counter;
       DistanceOracle oracle(shard.data, &counter);
@@ -197,13 +201,25 @@ std::vector<uint32_t> ShardedIndex::SearchWith(SearchScratch& scratch,
       for (uint32_t r = 0; r < rows; ++r) {
         best.Push(oracle.ToQuery(query, r), r);
       }
-      total.distance_evals += counter.count;
-      total.truncated |= truncated;
+      shard_evals = counter.count;
       const std::vector<ScoredId> sorted = best.TakeSorted();
       list.reserve(sorted.size());
       for (const ScoredId& entry : sorted) {
         list.emplace_back(entry.distance, shard.ids[entry.id]);
       }
+    }
+    total.distance_evals += shard_evals;
+    total.truncated |= shard_truncated;
+    if (trace != nullptr) {
+      if (exact_scan) trace->Record(TraceEventKind::kShardFallback, s);
+      trace->Record(TraceEventKind::kShardSearch, s, shard_evals);
+    }
+    if (!shard_counters_.empty()) {
+      const ShardCounters& counters = shard_counters_[s];
+      counters.searches->Add(1);
+      counters.distance_evals->Add(shard_evals);
+      if (exact_scan) counters.exact_scans->Add(1);
+      if (shard_truncated) counters.truncated->Add(1);
     }
     // Local ids ascend with global ids inside a shard, so each list is
     // already sorted by (distance, global id) — what MergeTopK expects.
@@ -326,6 +342,20 @@ StatusOr<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
   for (uint32_t s = 0; s < num_shards; ++s) index->ComposeShard(s);
   index->RecountDegraded();
   return index;
+}
+
+void ShardedIndex::set_metrics(MetricsRegistry* metrics) {
+  shard_counters_.clear();
+  if (metrics == nullptr) return;
+  shard_counters_.reserve(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    shard_counters_.push_back(ShardCounters{
+        metrics->GetCounter(prefix + "searches"),
+        metrics->GetCounter(prefix + "distance_evals"),
+        metrics->GetCounter(prefix + "exact_scans"),
+        metrics->GetCounter(prefix + "truncated")});
+  }
 }
 
 Status ShardedIndex::RepairShard(uint32_t shard) {

@@ -34,6 +34,8 @@
 #include "algorithms/registry.h"
 #include "core/index.h"
 #include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/manifest.h"
 #include "shard/partitioner.h"
 
@@ -119,6 +121,14 @@ class ShardedIndex final : public AnnIndex {
   /// between-batch repairs quiescent by construction).
   Status RepairShard(uint32_t shard);
 
+  /// Tags every subsequent SearchWith with per-shard scatter-gather stats:
+  /// `shard.<s>.{searches,distance_evals,exact_scans,truncated}` counters in
+  /// `metrics` (docs/OBSERVABILITY.md). Call after Build or Load — the
+  /// counters are resolved per shard once, here, not per query. nullptr
+  /// detaches. Requires quiescence, like RepairShard; the registry must
+  /// outlive the index.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   struct Shard {
     std::vector<uint32_t> ids;        // local vertex -> global row id
@@ -143,6 +153,16 @@ class ShardedIndex final : public AnnIndex {
 
   void RecountDegraded();
 
+  /// Pre-resolved `shard.<s>.*` instruments, one slot per shard (registry
+  /// pointers are stable for its lifetime, so SearchWith never does a name
+  /// lookup on the query path).
+  struct ShardCounters {
+    Counter* searches;
+    Counter* distance_evals;
+    Counter* exact_scans;
+    Counter* truncated;
+  };
+
   std::string algorithm_;
   AlgorithmOptions options_;
   PartitionerKind partitioner_ = PartitionerKind::kRandom;
@@ -150,6 +170,7 @@ class ShardedIndex final : public AnnIndex {
   Graph combined_;
   BuildStats build_stats_;
   std::atomic<uint32_t> degraded_count_{0};
+  std::vector<ShardCounters> shard_counters_;  // empty until set_metrics
 };
 
 }  // namespace weavess

@@ -25,6 +25,8 @@
 #include "core/graph_io.h"
 #include "core/status.h"
 #include "fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/serving.h"
 #include "test_util.h"
 
@@ -276,6 +278,139 @@ TEST(ChaosTest, LadderSpikeTraceIsReproducibleAtAnyThreadCount) {
   // degraded flag, and result ids — at every thread count.
   EXPECT_EQ(run_schedule(2), single);
   EXPECT_EQ(run_schedule(8), single);
+}
+
+// ------------------------------------------------ metrics (observability)
+
+TEST(ChaosTest, MetricsSnapshotIsIdenticalAtAnyThreadCount) {
+  // The acceptance bar of docs/OBSERVABILITY.md: under a VirtualClock the
+  // deterministic core of the snapshot — everything outside `timing` — is
+  // the same JSON string whether the burst ran on 1, 2, or 8 threads.
+  const TestWorkload& tw = SharedWorkload();
+  const std::vector<uint32_t> kBurstSizes = {12, 12, 2, 2, 2};
+
+  const auto run_schedule = [&](uint32_t num_threads) {
+    VirtualClock clock(0);
+    ServingConfig config;
+    config.clock = &clock;
+    config.num_threads = num_threads;
+    config.admission.capacity = 8;
+    SearchParams tier1;
+    tier1.pool_size = 32;
+    config.degradation.tiers = {tier1};
+    config.degradation.enter_depth = 6;
+    config.degradation.exit_depth = 2;
+    config.degradation.step_down_after = 2;
+    config.degradation.step_up_after = 3;
+    ServingEngine serving(SharedIndex(), config);
+
+    RequestOptions request;
+    request.params.k = 10;
+    request.params.pool_size = 100;
+    for (uint32_t burst : kBurstSizes) {
+      std::vector<const float*> queries;
+      queries.reserve(burst);
+      for (uint32_t i = 0; i < burst; ++i) {
+        queries.push_back(
+            tw.workload.queries.Row(i % tw.workload.queries.size()));
+      }
+      serving.ServeBatch(queries, request);
+    }
+    return serving.SnapshotMetrics(/*include_timing=*/false);
+  };
+
+  const std::string single = run_schedule(1);
+  // The snapshot is populated, not a trivially equal empty skeleton.
+  EXPECT_NE(single.find("\"serving.submitted\":30"), std::string::npos)
+      << single;
+  EXPECT_NE(single.find("\"serving.degraded.tier1\""), std::string::npos)
+      << single;
+  EXPECT_NE(single.find("\"serving.latency_us\""), std::string::npos)
+      << single;
+  EXPECT_NE(single.find("\"timing\":{}"), std::string::npos) << single;
+
+  EXPECT_EQ(run_schedule(2), single);
+  EXPECT_EQ(run_schedule(8), single);
+}
+
+TEST(ChaosTest, EveryQueryLandsInExactlyOneTerminalCounter) {
+  // Drives all four terminal outcomes through one engine — completed,
+  // rejected at admission, shed on deadline, backend failure — and checks
+  // the accounting invariant: every submitted query is counted exactly
+  // once.  serving.submitted == completed + rejected_overload +
+  // deadline_exceeded + failed.
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock clock(1000);
+  ChaosConfig chaos;
+  chaos.clock = &clock;
+  chaos.fail_after = 4;  // burst 1 completes 4 queries, then the backend dies
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &clock;
+  config.num_threads = 1;
+  config.admission.capacity = 4;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+
+  const auto burst_of = [&](uint32_t count) {
+    std::vector<const float*> queries;
+    queries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      queries.push_back(
+          tw.workload.queries.Row(i % tw.workload.queries.size()));
+    }
+    return queries;
+  };
+
+  // Burst 1: 10 against capacity 4 -> 4 complete, 6 rejected at admission.
+  TraceSink overload_sink;
+  request.trace = &overload_sink;
+  serving.ServeBatch(burst_of(10), request);
+  EXPECT_EQ(overload_sink.CountOf(TraceEventKind::kShedOverload), 6u);
+
+  // Burst 2: 3 with an already-expired deadline -> shed before admission.
+  TraceSink deadline_sink;
+  request.trace = &deadline_sink;
+  request.deadline_us = 500;  // the clock reads 1000
+  serving.ServeBatch(burst_of(3), request);
+  EXPECT_EQ(deadline_sink.CountOf(TraceEventKind::kShedDeadline), 3u);
+
+  // Burst 3: 3 more; the backend has served its 4 healthy queries -> fail.
+  TraceSink failure_sink;
+  request.trace = &failure_sink;
+  request.deadline_us = 0;
+  serving.ServeBatch(burst_of(3), request);
+  EXPECT_EQ(failure_sink.CountOf(TraceEventKind::kBackendFailure), 3u);
+
+  const MetricsRegistry& metrics = serving.metrics();
+  const uint64_t submitted = metrics.CounterValue("serving.submitted");
+  const uint64_t completed = metrics.CounterValue("serving.completed");
+  const uint64_t overload = metrics.CounterValue("serving.rejected_overload");
+  const uint64_t deadline = metrics.CounterValue("serving.deadline_exceeded");
+  const uint64_t failed = metrics.CounterValue("serving.failed");
+  EXPECT_EQ(submitted, 16u);
+  EXPECT_EQ(completed, 4u);
+  EXPECT_EQ(overload, 6u);
+  EXPECT_EQ(deadline, 3u);
+  EXPECT_EQ(failed, 3u);
+  // The invariant itself: no query double-counted, none lost.
+  EXPECT_EQ(submitted, completed + overload + deadline + failed);
+
+  // The counters agree with the engine's own lifetime report and with the
+  // latency histogram (one sample per completed query, none for sheds).
+  const ServingReport report = serving.lifetime_report();
+  EXPECT_EQ(report.submitted, submitted);
+  EXPECT_EQ(report.completed, completed);
+  EXPECT_EQ(report.shed_overload, overload);
+  EXPECT_EQ(report.shed_deadline, deadline);
+  EXPECT_EQ(report.failed, failed);
+  const Histogram* latency = metrics.FindHistogram("serving.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), completed);
+  EXPECT_EQ(metrics.CounterValue("serving.admitted"), completed + failed);
 }
 
 // ------------------------------------------- deadline, failure, clock skew

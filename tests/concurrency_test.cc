@@ -12,6 +12,8 @@
 
 #include "algorithms/registry.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/engine.h"
 #include "test_util.h"
 
@@ -243,6 +245,54 @@ TEST(SearchEngineTest, SearchOneMatchesBatch) {
               batch.ids[q]);
     EXPECT_EQ(stats.distance_evals, batch.stats[q].distance_evals);
   }
+}
+
+TEST(SearchEngineTest, TraceEventsAgreeWithQueryStats) {
+  // The router's trace hook and its QueryStats are two views of the same
+  // walk: one kExpand per hop, at least one kSeed, and a kTruncated event
+  // exactly when the stats say the budget tripped.
+  const auto tw = MakeTestWorkload(600, 12, 8);
+  auto index = CreateAlgorithm("NSG", AlgorithmOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 30;
+  const SearchEngine engine(*index, 1);
+  TraceSink sink;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    SCOPED_TRACE(q);
+    sink.Clear();
+    QueryStats stats;
+    engine.SearchOne(tw.workload.queries.Row(q), params, &stats, &sink);
+    EXPECT_GE(sink.CountOf(TraceEventKind::kSeed), 1u);
+    EXPECT_EQ(sink.CountOf(TraceEventKind::kExpand), stats.hops);
+    EXPECT_EQ(sink.CountOf(TraceEventKind::kTruncated),
+              stats.truncated ? 1u : 0u);
+  }
+}
+
+TEST(SearchEngineTest, EngineMetricsMatchBatchTotals) {
+  // A registry-attached engine aggregates per-batch: the counters are the
+  // batch totals, and the NDC histogram holds one sample per query.
+  const auto tw = MakeTestWorkload(600, 12, 16);
+  auto index = CreateAlgorithm("NSG", AlgorithmOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 5;
+  params.pool_size = 30;
+  MetricsRegistry registry;
+  const SearchEngine engine(*index, 3, &registry);
+  const BatchResult batch = engine.SearchBatch(tw.workload.queries, params);
+  EXPECT_EQ(registry.CounterValue("search.queries"),
+            tw.workload.queries.size());
+  EXPECT_EQ(registry.CounterValue("search.batches"), 1u);
+  EXPECT_EQ(registry.CounterValue("search.distance_evals"),
+            batch.totals.distance_evals);
+  EXPECT_EQ(registry.CounterValue("search.hops"), batch.totals.hops);
+  const Histogram* ndc = registry.FindHistogram("search.ndc");
+  ASSERT_NE(ndc, nullptr);
+  EXPECT_EQ(ndc->count(), tw.workload.queries.size());
+  EXPECT_EQ(ndc->sum(), batch.totals.distance_evals);
 }
 
 TEST(SearchEngineTest, TotalsAreQueryOrderSums) {

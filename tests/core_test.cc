@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 #include "core/dataset.h"
@@ -304,6 +305,43 @@ TEST(VisitedListTest, ManyResetsStayCorrect) {
     visited.MarkVisited(2);
     EXPECT_TRUE(visited.Visited(2));
   }
+}
+
+TEST(VisitedListTest, NearWrapEpochsStillMark) {
+  // Jump close to the wrap point: ordinary Resets up to UINT32_MAX behave
+  // exactly like any other epoch.
+  VisitedList visited(4);
+  visited.SetEpochForTesting(UINT32_MAX - 1);
+  visited.Reset();  // epoch = UINT32_MAX, no wrap yet
+  EXPECT_EQ(visited.epoch(), UINT32_MAX);
+  EXPECT_FALSE(visited.Visited(1));
+  visited.MarkVisited(1);
+  EXPECT_TRUE(visited.Visited(1));
+}
+
+TEST(VisitedListTest, EpochWrapFullyClearsStaleStamps) {
+  // The hazard the wrap clear defuses: after 2^32 Resets the epoch counter
+  // returns to 1, and any stamp surviving from the *first* epoch 1 would
+  // falsely read as visited. Plant exactly that collision, then wrap.
+  VisitedList visited(8);
+  visited.Reset();  // epoch 1
+  EXPECT_EQ(visited.epoch(), 1u);
+  visited.MarkVisited(3);  // stamp[3] == 1: collides with the post-wrap epoch
+
+  visited.SetEpochForTesting(UINT32_MAX);
+  visited.MarkVisited(5);  // stamp[5] == UINT32_MAX: a recent-epoch stamp
+
+  visited.Reset();  // ++epoch wraps to 0 -> full clear, epoch restarts at 1
+  EXPECT_EQ(visited.epoch(), 1u);
+  for (uint32_t id = 0; id < visited.size(); ++id) {
+    EXPECT_FALSE(visited.Visited(id)) << id;
+  }
+  // The post-wrap epoch works like any other.
+  EXPECT_FALSE(visited.CheckAndMark(3));
+  EXPECT_TRUE(visited.CheckAndMark(3));
+  visited.Reset();  // epoch 2: normal path again
+  EXPECT_EQ(visited.epoch(), 2u);
+  EXPECT_FALSE(visited.Visited(3));
 }
 
 // ---------- Graph ----------

@@ -3,12 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "algorithms/nsg.h"
+#include "core/clock.h"
 #include "eval/evaluator.h"
 #include "eval/ground_truth.h"
 #include "eval/synthetic.h"
 #include "eval/table.h"
+#include "search/serving.h"
+#include "shard/sharded_index.h"
 #include "test_util.h"
 
 namespace weavess {
@@ -154,6 +159,63 @@ TEST(EvaluatorTest, SearchPointFieldsConsistent) {
   EXPECT_GT(point.mean_hops, 0.0);
 }
 
+TEST(EvaluatorTest, SpeedupUsesDatasetCardinality) {
+  // Speedup = |S| / NDC (§5.1): the numerator is the dataset cardinality,
+  // an explicit input — not whatever vertex count the index happens to
+  // expose. Halving the claimed |S| must halve the speedup exactly, with
+  // the same NDC.
+  const auto tw = ::weavess::testing::MakeTestWorkload(800, 10, 20);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 80;
+  const uint32_t n = tw.workload.base.size();
+  const SearchPoint full =
+      EvaluateSearch(*index, tw.workload.queries, tw.truth, params, n);
+  const SearchPoint half =
+      EvaluateSearch(*index, tw.workload.queries, tw.truth, params, n / 2);
+  EXPECT_GT(full.mean_ndc, 0.0);
+  EXPECT_DOUBLE_EQ(full.mean_ndc, half.mean_ndc);
+  EXPECT_NEAR(full.speedup, n / full.mean_ndc, 1e-9);
+  EXPECT_NEAR(half.speedup, (n / 2) / half.mean_ndc, 1e-9);
+  // dataset_size = 0 falls back to the graph vertex count, which for a
+  // flat single-layer index over the full dataset coincides with |S|.
+  const SearchPoint fallback =
+      EvaluateSearch(*index, tw.workload.queries, tw.truth, params);
+  EXPECT_NEAR(fallback.speedup, full.speedup, 1e-9);
+}
+
+TEST(EvaluatorTest, ShardedAndFlatSpeedupShareTheDenominator) {
+  // A sharded index and a flat index over the same dataset answer the same
+  // question, so their Speedup values must use the same |S| numerator —
+  // comparable across index shapes, per §5.1.
+  const auto tw = ::weavess::testing::MakeTestWorkload(600, 8, 10);
+  const uint32_t n = tw.workload.base.size();
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 80;
+
+  auto flat = CreateNsg(AlgorithmOptions{});
+  flat->Build(tw.workload.base);
+  const SearchPoint flat_point =
+      EvaluateSearch(*flat, tw.workload.queries, tw.truth, params, n);
+
+  AlgorithmOptions sharded_options;
+  sharded_options.num_shards = 3;
+  ShardedIndex sharded("NSG", sharded_options);
+  sharded.Build(tw.workload.base);
+  const SearchPoint sharded_point =
+      EvaluateSearch(sharded, tw.workload.queries, tw.truth, params, n);
+
+  // Same numerator |S| on both sides: speedup * mean_ndc recovers n for
+  // flat and sharded alike, even though their NDC (and graphs) differ.
+  ASSERT_GT(flat_point.mean_ndc, 0.0);
+  ASSERT_GT(sharded_point.mean_ndc, 0.0);
+  EXPECT_NEAR(flat_point.speedup * flat_point.mean_ndc, n, 1e-6);
+  EXPECT_NEAR(sharded_point.speedup * sharded_point.mean_ndc, n, 1e-6);
+}
+
 TEST(EvaluatorTest, SweepRecallGrowsWithPool) {
   const auto tw = ::weavess::testing::MakeTestWorkload(800, 10, 20);
   auto index = CreateNsg(AlgorithmOptions{});
@@ -175,6 +237,68 @@ TEST(EvaluatorTest, FindCandidateSizeStopsAtTarget) {
                                         {10, 20, 40, 80, 160, 320});
   EXPECT_TRUE(result.reached_target);
   EXPECT_GE(result.point.recall, 0.9);
+}
+
+TEST(ServingPointJsonTest, UndefinedStatsAreNullNotZero) {
+  // Nothing completed: recall and the latency percentiles do not exist.
+  // Emitting 0.0 would be indistinguishable from "completed with recall 0".
+  ServingPoint point;
+  point.params.pool_size = 64;
+  point.report.submitted = 9;
+  point.report.shed_overload = 6;
+  point.report.shed_deadline = 3;
+  point.completed = 0;
+  const std::string json = ServingPointJson(point);
+  EXPECT_NE(json.find("\"submitted\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recall_completed\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_latency_us\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_latency_us\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("0.000000"), std::string::npos) << json;
+}
+
+TEST(ServingPointJsonTest, CompletedStatsAreNumbers) {
+  ServingPoint point;
+  point.params.pool_size = 64;
+  point.report.submitted = 4;
+  point.report.completed = 4;
+  point.completed = 4;
+  point.recall_completed = 0.875;
+  point.p50_latency_us = 120.0;
+  point.p99_latency_us = 900.0;
+  const std::string json = ServingPointJson(point);
+  EXPECT_NE(json.find("\"recall_completed\":0.875000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p50_latency_us\":120.0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_latency_us\":900.0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("null"), std::string::npos) << json;
+}
+
+TEST(EvaluatorTest, AllRejectedServingPointHasZeroCompletedAndNullStats) {
+  // Drain mode: every request carries an already-expired deadline, so the
+  // whole batch is shed before admission. The point must say "nothing
+  // completed" explicitly, not report a misleading 0.0 recall.
+  const auto tw = ::weavess::testing::MakeTestWorkload(400, 8, 8);
+  auto index = CreateNsg(AlgorithmOptions{});
+  index->Build(tw.workload.base);
+  VirtualClock clock(1000);
+  ServingConfig config;
+  config.clock = &clock;
+  ServingEngine serving(*index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.deadline_us = 500;  // already in the past at t=1000
+  const ServingPoint point =
+      EvaluateServing(serving, tw.workload.queries, tw.truth, request);
+  EXPECT_EQ(point.completed, 0u);
+  EXPECT_EQ(point.report.submitted, tw.workload.queries.size());
+  EXPECT_EQ(point.report.shed_deadline, tw.workload.queries.size());
+  EXPECT_DOUBLE_EQ(point.recall_completed, 0.0);  // placeholder value...
+  const std::string json = ServingPointJson(point);
+  // ...which the JSON never shows: undefined stats serialize as null.
+  EXPECT_NE(json.find("\"recall_completed\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_latency_us\":null"), std::string::npos) << json;
 }
 
 TEST(EvaluatorTest, MemoryEstimateIncludesDataAndIndex) {

@@ -1,0 +1,307 @@
+// Tests for src/obs: the nearest-rank percentile rule, counters, gauges,
+// fixed-bucket histograms (bucket-boundary placement and tiny-sample
+// percentiles), the registry's JSON snapshot (name-sorted, versioned,
+// timing quarantine), and the bounded TraceSink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace weavess {
+namespace {
+
+// ---------- NearestRankPercentile ----------
+
+TEST(NearestRankPercentileTest, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 0.99), 0.0);
+}
+
+TEST(NearestRankPercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<uint64_t> one = {42};
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one, 1.0), 42.0);
+}
+
+TEST(NearestRankPercentileTest, TwoSamplesSplitAtTheMedian) {
+  // rank = p * (n-1) + 0.5 rounds half up: p < 0.5 resolves to the smaller
+  // sample, p >= 0.5 to the larger.
+  const std::vector<uint64_t> two = {10, 20};
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 0.49), 10.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 0.99), 20.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(two, 1.0), 20.0);
+}
+
+TEST(NearestRankPercentileTest, TinySamplesP99IsTheMaximum) {
+  // With fewer than 100 samples the 99th percentile is the sample maximum —
+  // never an interpolated value that was not observed.
+  for (size_t n : {1u, 2u, 3u, 5u, 50u}) {
+    std::vector<uint64_t> sorted;
+    for (size_t i = 0; i < n; ++i) sorted.push_back(100 + i);
+    EXPECT_DOUBLE_EQ(NearestRankPercentile(sorted, 0.99),
+                     static_cast<double>(sorted.back()))
+        << "n=" << n;
+  }
+}
+
+TEST(NearestRankPercentileTest, OddSampleMedianIsTheMiddleValue) {
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1, 2, 3, 4, 5}, 1.0), 5.0);
+}
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, AddAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0u);
+  gauge.Set(7);
+  gauge.Set(3);
+  EXPECT_EQ(gauge.value(), 3u);
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, BucketBoundaryValuesLandInclusive) {
+  // Buckets are [0, 10], (10, 100], (100, +inf): a sample exactly on a
+  // bound belongs to the bucket it bounds, not the next one.
+  Histogram hist({10, 100});
+  hist.Record(0);
+  hist.Record(10);   // on the first bound -> first bucket
+  hist.Record(11);   // one past the bound -> second bucket
+  hist.Record(100);  // on the second bound -> second bucket
+  hist.Record(101);  // past the last bound -> overflow bucket
+  EXPECT_EQ(hist.bucket_counts(), (std::vector<uint64_t>{2, 2, 1}));
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 222u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 101u);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  const Histogram hist({1, 2, 4});
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(hist.Percentile(0.99), 0u);
+}
+
+TEST(HistogramTest, PercentileResolvesToObservedBucketMax) {
+  Histogram hist({10, 100});
+  hist.Record(0);
+  hist.Record(10);
+  hist.Record(11);
+  hist.Record(100);
+  hist.Record(101);
+  // Nearest-rank over buckets: the answer is the containing bucket's
+  // largest *observed* sample, never an unobserved bound.
+  EXPECT_EQ(hist.Percentile(0.0), 10u);    // rank 0 -> first bucket, max 10
+  EXPECT_EQ(hist.Percentile(0.5), 100u);   // rank 2 -> second bucket
+  EXPECT_EQ(hist.Percentile(0.99), 101u);  // rank 4 -> overflow bucket
+}
+
+TEST(HistogramTest, TinySamplePercentilesMatchNearestRank) {
+  // n = 1: every percentile is the sample.
+  Histogram one({10, 100});
+  one.Record(7);
+  EXPECT_EQ(one.Percentile(0.5), 7u);
+  EXPECT_EQ(one.Percentile(0.99), 7u);
+
+  // n = 2 in distinct buckets: the histogram agrees with the exact
+  // nearest-rank rule — p < 0.5 the smaller sample, p >= 0.5 the larger.
+  Histogram two({10, 100});
+  two.Record(3);
+  two.Record(900);
+  const std::vector<uint64_t> sorted = {3, 900};
+  for (double p : {0.25, 0.5, 0.99}) {
+    EXPECT_EQ(static_cast<double>(two.Percentile(p)),
+              NearestRankPercentile(sorted, p))
+        << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, DefaultLaddersAreStrictlyAscending) {
+  for (const std::vector<uint64_t>* ladder :
+       {&DefaultLatencyBucketsUs(), &DefaultNdcBuckets()}) {
+    ASSERT_FALSE(ladder->empty());
+    EXPECT_EQ(ladder->front(), 1u);
+    for (size_t i = 0; i + 1 < ladder->size(); ++i) {
+      EXPECT_LT((*ladder)[i], (*ladder)[i + 1]);
+    }
+  }
+}
+
+// ---------- MetricsRegistry ----------
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("a.events");
+  counter->Add(3);
+  EXPECT_EQ(registry.GetCounter("a.events"), counter);
+  EXPECT_EQ(registry.CounterValue("a.events"), 3u);
+
+  Gauge* gauge = registry.GetGauge("a.depth");
+  gauge->Set(9);
+  EXPECT_EQ(registry.GetGauge("a.depth"), gauge);
+  EXPECT_EQ(registry.GaugeValue("a.depth"), 9u);
+}
+
+TEST(MetricsRegistryTest, UnknownInstrumentsReadAsAbsent) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("never.registered"), 0u);
+  EXPECT_EQ(registry.GaugeValue("never.registered"), 0u);
+  EXPECT_EQ(registry.FindHistogram("never.registered"), nullptr);
+}
+
+TEST(MetricsRegistryTest, FirstHistogramCallerFixesTheBounds) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("h", {10, 100});
+  // A second caller with different bounds gets the same instrument.
+  EXPECT_EQ(registry.GetHistogram("h", {1, 2, 3}), hist);
+  EXPECT_EQ(hist->upper_bounds(), (std::vector<uint64_t>{10, 100}));
+  EXPECT_EQ(registry.FindHistogram("h"), hist);
+}
+
+TEST(MetricsRegistryTest, EmptySnapshotIsTheVersionedSkeleton) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"snapshot_version\":1,\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{},\"timing\":{}}");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedNotRegistrationOrdered) {
+  // Two registries fed the same instruments in opposite registration order
+  // must serialize identically — snapshots sort by name.
+  const auto populate_forward = [](MetricsRegistry* registry) {
+    registry->GetCounter("a.first")->Add(1);
+    registry->GetCounter("b.second")->Add(2);
+    registry->GetHistogram("h.lat", {10, 100})->Record(5);
+  };
+  const auto populate_reversed = [](MetricsRegistry* registry) {
+    registry->GetHistogram("h.lat", {10, 100})->Record(5);
+    registry->GetCounter("b.second")->Add(2);
+    registry->GetCounter("a.first")->Add(1);
+  };
+  MetricsRegistry forward, reversed;
+  populate_forward(&forward);
+  populate_reversed(&reversed);
+  const std::string json = forward.ToJson();
+  EXPECT_EQ(json, reversed.ToJson());
+  EXPECT_LT(json.find("\"a.first\":1"), json.find("\"b.second\":2"));
+  EXPECT_NE(json.find("\"h.lat\":{\"count\":1,\"sum\":5"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"count\":0}"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TimingIsQuarantinedAndExcludable) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  registry.AddTiming("batch_wall_seconds", 0.25);
+  registry.AddTiming("batch_wall_seconds", 0.25);  // accumulates
+
+  const std::string with_timing = registry.ToJson();
+  EXPECT_NE(with_timing.find("\"timing\":{\"batch_wall_seconds\":0.500000}"),
+            std::string::npos);
+
+  // The deterministic core: the timing section is present but empty, so the
+  // snapshot shape is stable and whole-string comparison works.
+  const std::string core = registry.ToJson(/*include_timing=*/false);
+  EXPECT_NE(core.find("\"timing\":{}"), std::string::npos);
+  EXPECT_EQ(core.find("batch_wall_seconds"), std::string::npos);
+  EXPECT_NE(core.find("\"c\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingSumsExactly) {
+  // Counters, gauges, and histograms are shared across worker threads; the
+  // totals must be exact (and TSan must see no races — this test is part of
+  // the concurrency label the tsan preset runs).
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* counter = registry.GetCounter("mt.events");
+      Histogram* hist = registry.GetHistogram("mt.lat", {8, 64, 512});
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        hist->Record(static_cast<uint64_t>(i % 700));
+        registry.GetGauge("mt.depth")->Set(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("mt.events"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const Histogram* hist = registry.FindHistogram("mt.lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->max(), 699u);
+  EXPECT_LT(registry.GaugeValue("mt.depth"), static_cast<uint64_t>(kThreads));
+}
+
+// ---------- TraceSink ----------
+
+TEST(TraceSinkTest, RecordsEventsInOrder) {
+  TraceSink sink;
+  sink.Record(TraceEventKind::kSeed, 3);
+  sink.Record(TraceEventKind::kExpand, 7);
+  sink.Record(TraceEventKind::kExpand, 9);
+  sink.Record(TraceEventKind::kTruncated, 0, 250);
+  ASSERT_EQ(sink.events().size(), 4u);
+  EXPECT_EQ(sink.events()[0].kind, TraceEventKind::kSeed);
+  EXPECT_EQ(sink.events()[0].id, 3u);
+  EXPECT_EQ(sink.events()[3].value, 250u);
+  EXPECT_EQ(sink.CountOf(TraceEventKind::kExpand), 2u);
+  EXPECT_EQ(sink.CountOf(TraceEventKind::kShedOverload), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, BoundedCapacityCountsDrops) {
+  TraceSink sink(/*capacity=*/2);
+  sink.Record(TraceEventKind::kSeed, 1);
+  sink.Record(TraceEventKind::kExpand, 2);
+  sink.Record(TraceEventKind::kExpand, 3);  // over capacity: dropped
+  sink.Record(TraceEventKind::kExpand, 4);  // dropped
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  // The retained prefix is the oldest events, never a silent overwrite.
+  EXPECT_EQ(sink.events()[1].id, 2u);
+
+  sink.Clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+  sink.Record(TraceEventKind::kSeed, 5);
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(TraceSinkTest, KindNamesAreStable) {
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kSeed), "seed");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kTruncated), "truncated");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kShedDeadline),
+               "shed_deadline");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kShardFallback),
+               "shard_fallback");
+}
+
+}  // namespace
+}  // namespace weavess

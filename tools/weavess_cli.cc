@@ -16,7 +16,7 @@
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
-//                    [--max-evals N] [--budget-us U]
+//                    [--max-evals N] [--budget-us U] [--metrics-out FILE]
 //                    [--capacity C] [--deadline-us D] [--retry-after-us R]
 //                    [--degrade-pools 40,20]
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
@@ -47,6 +47,12 @@
 //   weavess_cli algorithms
 //       Lists the 17 registry names.
 //
+//   weavess_cli metrics
+//       Prints the observability counter taxonomy and an empty versioned
+//       snapshot — the schema contract of docs/OBSERVABILITY.md, greppable
+//       without building an index. `eval --metrics-out FILE` (search or
+//       serving sweep) writes a populated snapshot of the same shape.
+//
 // Process exit codes: 0 success, 1 usage error, 2 I/O error, 3 corruption
 // (or unsupported format version), 4 overload (every query was shed by
 // admission control or its deadline).
@@ -68,6 +74,7 @@
 #include "eval/synthetic.h"
 #include "eval/table.h"
 #include "graph/exact_knng.h"
+#include "obs/metrics.h"
 #include "search/engine.h"
 #include "shard/manifest.h"
 #include "shard/partitioner.h"
@@ -175,7 +182,8 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: weavess_cli <generate|build|eval|verify|algorithms> "
+               "usage: weavess_cli "
+               "<generate|build|eval|verify|algorithms|metrics> "
                "[--flag value ...]\n"
                "see the header comment of tools/weavess_cli.cc\n");
   return kExitUsage;
@@ -185,6 +193,31 @@ int CmdAlgorithms() {
   for (const std::string& name : AlgorithmNames()) {
     std::printf("%s\n", name.c_str());
   }
+  return kExitOk;
+}
+
+int CmdMetrics() {
+  std::printf(
+      "instrument taxonomy (docs/OBSERVABILITY.md):\n"
+      "  search.queries / search.batches / search.distance_evals /\n"
+      "  search.hops / search.truncated_queries / search.degraded_queries\n"
+      "  search.ndc                      histogram of per-query NDC\n"
+      "  serving.submitted / serving.admitted\n"
+      "  serving.completed / serving.rejected_overload /\n"
+      "  serving.deadline_exceeded / serving.failed   terminal counters:\n"
+      "      submitted == completed + rejected_overload\n"
+      "                   + deadline_exceeded + failed\n"
+      "  serving.shed_at_dequeue         subset of deadline_exceeded\n"
+      "  serving.degraded / serving.degraded.tier<k>\n"
+      "  serving.latency_us              histogram, completed queries\n"
+      "  serving.in_flight / serving.current_tier     gauges (snapshot-time)\n"
+      "  shard.<s>.searches / shard.<s>.distance_evals /\n"
+      "  shard.<s>.exact_scans / shard.<s>.truncated  per-shard counters\n"
+      "  shard.degraded_shards           gauge (snapshot-time)\n"
+      "\nempty snapshot (version %u):\n",
+      kMetricsSnapshotVersion);
+  const MetricsRegistry registry;
+  std::printf("%s\n", registry.ToJson().c_str());
   return kExitOk;
 }
 
@@ -428,10 +461,14 @@ int CmdEval(const Args& args) {
     table.Print();
     return kExitOk;
   }
+  const char* metrics_out = args.Get("metrics-out");
   auto index = CreateAlgorithm(algo, options);
   index->Build(base);
   std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
   if (serving_mode) {
+    MetricsRegistry registry;
+    serving_config.metrics = &registry;  // aggregated across sweep points
+    std::string snapshot;
     std::printf("serving with %u thread(s), capacity %u, %zu degrade tier(s)"
                 ", deadline %llu us\n",
                 serving_config.num_threads,
@@ -454,6 +491,10 @@ int CmdEval(const Args& args) {
       }
       const ServingPoint point =
           EvaluateServing(serving, queries, truth, request);
+      // Machine-readable line per point; undefined stats are JSON null,
+      // never a fake 0.0 (see ServingPointJson).
+      std::printf("%s\n", ServingPointJson(point).c_str());
+      snapshot = serving.SnapshotMetrics();
       total_completed += point.report.completed;
       total_shed += point.report.shed_overload + point.report.shed_deadline;
       table.AddRow({TablePrinter::Int(pool),
@@ -467,6 +508,14 @@ int CmdEval(const Args& args) {
                     TablePrinter::Fixed(point.p99_latency_us, 0)});
     }
     table.Print();
+    if (metrics_out != nullptr) {
+      // Gauges were refreshed by the last sweep point's SnapshotMetrics.
+      if (Status s = WriteStringToFile(snapshot + "\n", metrics_out);
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("metrics snapshot written to %s\n", metrics_out);
+    }
     if (total_completed == 0 && total_shed > 0) {
       return Fail(Status::Unavailable(
           "overloaded: every query was shed; raise --capacity or relax "
@@ -474,13 +523,15 @@ int CmdEval(const Args& args) {
     }
     return kExitOk;
   }
-  const SearchEngine engine(*index, options.num_threads);
+  MetricsRegistry registry;
+  const SearchEngine engine(*index, options.num_threads, &registry);
   std::printf("searching with %u thread(s)\n", engine.num_threads());
 
   TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL",
                       "Trunc"});
-  for (const SearchPoint& point :
-       SweepPoolSizes(engine, queries, truth, k, pools, base_params)) {
+  for (const SearchPoint& point : SweepPoolSizes(engine, queries, truth, k,
+                                                 pools, base_params,
+                                                 base.size())) {
     table.AddRow({TablePrinter::Int(point.params.pool_size),
                   TablePrinter::Fixed(point.recall, 3),
                   TablePrinter::Fixed(point.qps, 0),
@@ -490,6 +541,13 @@ int CmdEval(const Args& args) {
                   TablePrinter::Int(point.truncated_queries)});
   }
   table.Print();
+  if (metrics_out != nullptr) {
+    if (Status s = WriteStringToFile(registry.ToJson() + "\n", metrics_out);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out);
+  }
   return kExitOk;
 }
 
@@ -584,6 +642,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   if (command == "algorithms") return CmdAlgorithms();
+  if (command == "metrics") return CmdMetrics();
   if (command == "generate") return CmdGenerate(args);
   if (command == "build") return CmdBuild(args);
   if (command == "eval") return CmdEval(args);
