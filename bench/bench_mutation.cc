@@ -1,0 +1,335 @@
+// Live mutation under traffic, on an open-loop schedule: a fixed offered
+// mutation rate (churn: paired insert/remove through ServeMutation) runs
+// against a fixed offered query load, both submitted whether or not the
+// engine keeps up — the coordinated-omission-free view of the mutable
+// serving path (docs/MUTATION.md). As churn grows the bench puts numbers
+// on what writers cost readers: completed QPS, recall against the preload
+// ground truth, query and mutation latency tails, and shed rates. Halfway
+// through each point a background CompactAllAsync races the traffic, so
+// every row also covers snapshot-swap behavior, and the run ends with a
+// Commit so the WAL/manifest protocol is on the measured path.
+//
+// Each sweep point prints a table row and emits one machine-readable JSON
+// line:
+//   {"bench":"mutation","algo":"Dynamic:HNSW","mutation_qps":...,
+//    "query_qps":...,"applied_mps":...,"completed_qps":...,"recall":...,
+//    "p50_us":...,"p99_us":...,"mutation_p99_us":...,"query_shed_rate":...,
+//    "mutation_shed_rate":...,"generation":...,"live_size":...}
+// plus one metrics-snapshot line per point (docs/OBSERVABILITY.md):
+//   {"bench":"mutation_metrics","mutation_qps":...,"snapshot":{...}}
+//
+// Knobs: WEAVESS_SCALE, WEAVESS_DATASETS (bench_common.h),
+//   WEAVESS_MUTATION_QPS  comma-separated offered-mutation ladder
+//                         (default 0,1000,4000,16000)
+//   WEAVESS_QUERY_QPS     offered query load (default 8000)
+//   WEAVESS_SUBMITTERS    query submitter threads (default 8)
+//   WEAVESS_CAPACITY      admission capacity (default 16)
+//   WEAVESS_DEADLINE_US   per-query deadline (default 5000, 0 = none)
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "search/serving.h"
+#include "shard/mutable_index.h"
+
+namespace weavess::bench {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const unsigned long long parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+// 0 is a meaningful ladder entry (query-only baseline), so the ladder
+// parser keeps zeros.
+std::vector<uint64_t> MutationQpsLadder() {
+  const char* value = std::getenv("WEAVESS_MUTATION_QPS");
+  std::vector<uint64_t> ladder;
+  if (value != nullptr) {
+    for (const std::string& token : SplitCsv(value)) {
+      ladder.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    }
+  }
+  if (ladder.empty()) ladder = {0, 1000, 4000, 16000};
+  return ladder;
+}
+
+double Percentile(std::vector<uint64_t>& sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const size_t rank = static_cast<size_t>(p * (sample.size() - 1) + 0.5);
+  return static_cast<double>(sample[std::min(rank, sample.size() - 1)]);
+}
+
+// A scratch directory for each sweep point's WAL + manifest.
+std::string FreshBenchDir() {
+  const std::string dir = "/tmp/weavess_bench_mutation";
+  ::mkdir(dir.c_str(), 0755);
+  std::remove(MutableShardedIndex::WalPath(dir).c_str());
+  std::remove(MutableShardedIndex::ManifestPath(dir).c_str());
+  return dir;
+}
+
+struct MutationPoint {
+  uint64_t mutation_qps = 0;
+  double applied_mps = 0.0;
+  double completed_qps = 0.0;
+  double recall = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mutation_p99_us = 0.0;
+  double query_shed_rate = 0.0;
+  double mutation_shed_rate = 0.0;
+  uint64_t generation = 0;
+  uint32_t live_size = 0;
+};
+
+MutationPoint RunOpenLoop(ServingEngine& serving, const Workload& workload,
+                          const GroundTruth& truth, uint64_t mutation_qps,
+                          uint64_t query_qps, uint32_t submitters,
+                          uint64_t deadline_us) {
+  MutableShardedIndex& index = *serving.mutable_index();
+  const uint64_t total_queries = std::clamp<uint64_t>(query_qps / 2, 500, 20000);
+  const double query_period_us = 1e6 / static_cast<double>(query_qps);
+
+  std::atomic<uint64_t> next_query{0};
+  std::atomic<uint64_t> completed{0}, query_shed{0};
+  std::atomic<uint64_t> mutations_submitted{0}, mutations_applied{0};
+  std::atomic<bool> stop_writers{false};
+  std::vector<std::vector<uint64_t>> query_latencies(submitters);
+  std::vector<double> recall_sums(submitters, 0.0);
+  std::vector<uint64_t> mutation_latencies;
+  const auto start = std::chrono::steady_clock::now();
+
+  // One writer on an open-loop schedule: mutation i is due at start +
+  // i/rate. Churn pairs an insert (a clone of a base row) with a removal
+  // of an earlier churn insert, so the live set hovers near the preload
+  // size and the preload ground truth stays meaningful.
+  std::thread writer;
+  if (mutation_qps > 0) {
+    writer = std::thread([&] {
+      const double period_us = 1e6 / static_cast<double>(mutation_qps);
+      std::deque<uint32_t> churn_ids;
+      bool compaction_kicked = false;
+      for (uint64_t i = 0; !stop_writers.load(std::memory_order_relaxed);
+           ++i) {
+        const auto due =
+            start + std::chrono::microseconds(static_cast<uint64_t>(
+                        static_cast<double>(i) * period_us));
+        std::this_thread::sleep_until(due);
+        MutationRequest request;
+        if (churn_ids.size() >= 64 && i % 2 == 1) {
+          request.op = MutationOp::kRemove;
+          request.id = churn_ids.front();
+        } else {
+          request.op = MutationOp::kAdd;
+          request.vector = workload.base.Row(
+              static_cast<uint32_t>(i % workload.base.size()));
+        }
+        mutations_submitted.fetch_add(1, std::memory_order_relaxed);
+        const MutationOutcome out = serving.ServeMutation(request);
+        if (out.status.ok()) {
+          mutations_applied.fetch_add(1, std::memory_order_relaxed);
+          mutation_latencies.push_back(out.latency_us);
+          if (request.op == MutationOp::kAdd) {
+            churn_ids.push_back(out.id);
+          } else {
+            churn_ids.pop_front();
+          }
+        }
+        // Halfway through the query budget, race a full background
+        // compaction against the open-loop traffic.
+        if (!compaction_kicked &&
+            next_query.load(std::memory_order_relaxed) >= total_queries / 2) {
+          compaction_kicked = true;
+          index.CompactAllAsync();
+        }
+      }
+    });
+  }
+
+  const auto submit_loop = [&](uint32_t worker) {
+    SearchParams params;
+    params.k = 10;
+    params.pool_size = 80;
+    for (;;) {
+      const uint64_t i = next_query.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total_queries) break;
+      const auto due =
+          start + std::chrono::microseconds(static_cast<uint64_t>(
+                      static_cast<double>(i) * query_period_us));
+      std::this_thread::sleep_until(due);
+      RequestOptions request;
+      request.params = params;
+      if (deadline_us > 0) {
+        request.deadline_us = serving.clock().NowMicros() + deadline_us;
+      }
+      const uint32_t q = static_cast<uint32_t>(i % workload.queries.size());
+      const ServeOutcome out = serving.Serve(workload.queries.Row(q), request);
+      if (out.status.ok()) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+        query_latencies[worker].push_back(out.latency_us);
+        recall_sums[worker] += Recall(out.ids, truth[q], params.k);
+      } else {
+        query_shed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (uint32_t w = 0; w < submitters; ++w) {
+    threads.emplace_back(submit_loop, w);
+  }
+  for (std::thread& t : threads) t.join();
+  stop_writers.store(true, std::memory_order_relaxed);
+  if (writer.joinable()) writer.join();
+  index.WaitForMaintenance();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Seal the point's churn into a generation: the commit protocol (WAL
+  // flush + manifest swing) is part of what the bench measures.
+  (void)index.Commit();
+
+  std::vector<uint64_t> all;
+  double recall_total = 0.0;
+  for (uint32_t w = 0; w < submitters; ++w) {
+    all.insert(all.end(), query_latencies[w].begin(),
+               query_latencies[w].end());
+    recall_total += recall_sums[w];
+  }
+  MutationPoint point;
+  point.mutation_qps = mutation_qps;
+  point.applied_mps =
+      wall_seconds > 0.0
+          ? static_cast<double>(mutations_applied.load()) / wall_seconds
+          : 0.0;
+  point.completed_qps =
+      wall_seconds > 0.0 ? static_cast<double>(completed.load()) / wall_seconds
+                         : 0.0;
+  point.recall = completed.load() > 0
+                     ? recall_total / static_cast<double>(completed.load())
+                     : 0.0;
+  point.p50_us = Percentile(all, 0.5);
+  point.p99_us = Percentile(all, 0.99);
+  point.mutation_p99_us = Percentile(mutation_latencies, 0.99);
+  point.query_shed_rate = static_cast<double>(query_shed.load()) /
+                          static_cast<double>(total_queries);
+  point.mutation_shed_rate =
+      mutations_submitted.load() > 0
+          ? static_cast<double>(mutations_submitted.load() -
+                                mutations_applied.load()) /
+                static_cast<double>(mutations_submitted.load())
+          : 0.0;
+  point.generation = index.generation();
+  point.live_size = index.live_size();
+  return point;
+}
+
+void Run() {
+  Banner("Mutation: open-loop churn rate vs query QPS/recall/latency",
+         "A fixed offered query load runs against rising insert/remove "
+         "churn through the mutable serving path; background compaction "
+         "races the traffic at every point (docs/MUTATION.md).");
+  const uint32_t submitters =
+      static_cast<uint32_t>(EnvU64("WEAVESS_SUBMITTERS", 8));
+  const uint32_t capacity =
+      static_cast<uint32_t>(EnvU64("WEAVESS_CAPACITY", 16));
+  const uint64_t query_qps = EnvU64("WEAVESS_QUERY_QPS", 8000);
+  const uint64_t deadline_us = EnvU64("WEAVESS_DEADLINE_US", 5000);
+  std::printf("submitters=%u capacity=%u query_qps=%llu deadline_us=%llu\n",
+              submitters, capacity,
+              static_cast<unsigned long long>(query_qps),
+              static_cast<unsigned long long>(deadline_us));
+
+  const std::vector<std::string> datasets = SelectedDatasets();
+  // One dataset: the sweep is about churn, not data shape.
+  const Workload workload = MakeStandIn(datasets.front(), EnvScale());
+  const GroundTruth truth =
+      ComputeGroundTruth(workload.base, workload.queries, 10);
+
+  std::printf("\n%s / Dynamic:HNSW mutable sharded index (n=%u)\n",
+              datasets.front().c_str(), workload.base.size());
+  TablePrinter table({"MutQPS", "AppliedMPS", "DoneQPS", "Recall@10", "p50us",
+                      "p99us", "Mutp99us", "QShed", "MShed", "Gen", "Live"});
+  for (const uint64_t mutation_qps : MutationQpsLadder()) {
+    // A fresh index per point: preload the base set, commit generation 1,
+    // then measure churn against it from a calm engine.
+    MutableIndexOptions options;
+    options.dim = workload.base.dim();
+    options.num_shards = 4;
+    options.m = 8;
+    options.ef_construction = 60;
+    options.seed = 2024;
+    options.num_threads = 2;
+    StatusOr<std::unique_ptr<MutableShardedIndex>> opened =
+        MutableShardedIndex::Open(FreshBenchDir(), options);
+    if (!opened.ok()) {
+      std::printf("open failed: %s\n", opened.status().ToString().c_str());
+      return;
+    }
+    MutableShardedIndex& index = **opened;
+    for (uint32_t row = 0; row < workload.base.size(); ++row) {
+      if (!index.Add(workload.base.Row(row)).ok()) return;
+    }
+    if (!index.Commit().ok()) return;
+
+    ServingConfig config;
+    config.num_threads = 1;  // Serve() runs on the submitter's thread
+    config.admission.capacity = capacity;
+    config.admission.retry_after_us = 500;
+    ServingEngine serving(index, config);
+    const MutationPoint point = RunOpenLoop(
+        serving, workload, truth, mutation_qps, query_qps, submitters,
+        deadline_us);
+    table.AddRow({TablePrinter::Int(point.mutation_qps),
+                  TablePrinter::Fixed(point.applied_mps, 0),
+                  TablePrinter::Fixed(point.completed_qps, 0),
+                  TablePrinter::Fixed(point.recall, 3),
+                  TablePrinter::Fixed(point.p50_us, 0),
+                  TablePrinter::Fixed(point.p99_us, 0),
+                  TablePrinter::Fixed(point.mutation_p99_us, 0),
+                  TablePrinter::Fixed(point.query_shed_rate, 3),
+                  TablePrinter::Fixed(point.mutation_shed_rate, 3),
+                  TablePrinter::Int(point.generation),
+                  TablePrinter::Int(point.live_size)});
+    std::printf(
+        "{\"bench\":\"mutation\",\"algo\":\"Dynamic:HNSW\","
+        "\"mutation_qps\":%llu,\"query_qps\":%llu,\"applied_mps\":%.1f,"
+        "\"completed_qps\":%.1f,\"recall\":%.4f,\"p50_us\":%.1f,"
+        "\"p99_us\":%.1f,\"mutation_p99_us\":%.1f,\"query_shed_rate\":%.4f,"
+        "\"mutation_shed_rate\":%.4f,\"generation\":%llu,\"live_size\":%u}\n",
+        static_cast<unsigned long long>(point.mutation_qps),
+        static_cast<unsigned long long>(query_qps), point.applied_mps,
+        point.completed_qps, point.recall, point.p50_us, point.p99_us,
+        point.mutation_p99_us, point.query_shed_rate,
+        point.mutation_shed_rate,
+        static_cast<unsigned long long>(point.generation), point.live_size);
+    std::printf(
+        "{\"bench\":\"mutation_metrics\",\"mutation_qps\":%llu,"
+        "\"snapshot\":%s}\n",
+        static_cast<unsigned long long>(point.mutation_qps),
+        serving.SnapshotMetrics().c_str());
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

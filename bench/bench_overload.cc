@@ -13,6 +13,10 @@
 // plus one metrics-snapshot line per point (docs/OBSERVABILITY.md):
 //   {"bench":"overload_metrics","algo":...,"offered_qps":...,
 //    "snapshot":{"snapshot_version":...,"counters":{...},...}}
+// and one retry-after hint distribution line per point — the back-pressure
+// signal shed clients are told to honor before re-submitting:
+//   {"bench":"overload_retry_after","algo":...,"offered_qps":...,
+//    "hints":...,"p50_us":...,"p99_us":...,"max_us":...}
 //
 // Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
 //   WEAVESS_OFFERED_QPS  comma-separated offered-QPS ladder
@@ -69,6 +73,10 @@ struct LoadPoint {
   double p99_us = 0.0;
   double degraded_fraction = 0.0;
   uint32_t max_tier = 0;
+  uint64_t retry_hints = 0;
+  double retry_p50_us = 0.0;
+  double retry_p99_us = 0.0;
+  double retry_max_us = 0.0;
 };
 
 // Submits `total` requests on an open-loop schedule: request i is due at
@@ -85,6 +93,7 @@ LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
   std::atomic<uint64_t> next{0};
   std::atomic<uint64_t> completed{0}, shed{0}, degraded{0};
   std::vector<std::vector<uint64_t>> latencies(submitters);
+  std::vector<std::vector<uint64_t>> retry_hints(submitters);
   const auto start = std::chrono::steady_clock::now();
 
   const auto submit_loop = [&](uint32_t worker) {
@@ -114,6 +123,11 @@ LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
         latencies[worker].push_back(out.latency_us);
       } else {
         shed.fetch_add(1, std::memory_order_relaxed);
+        // Overload rejections carry a retry-after hint; deadline expiries
+        // and hard failures do not (retry_after_us == 0).
+        if (out.retry_after_us > 0) {
+          retry_hints[worker].push_back(out.retry_after_us);
+        }
       }
     }
   };
@@ -145,6 +159,16 @@ LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
                                  static_cast<double>(completed.load())
                            : 0.0;
   point.max_tier = serving.lifetime_report().max_tier;
+  std::vector<uint64_t> hints;
+  for (const std::vector<uint64_t>& part : retry_hints) {
+    hints.insert(hints.end(), part.begin(), part.end());
+  }
+  point.retry_hints = hints.size();
+  point.retry_p50_us = Percentile(hints, 0.5);
+  point.retry_p99_us = Percentile(hints, 0.99);
+  point.retry_max_us = hints.empty() ? 0.0
+                                     : static_cast<double>(*std::max_element(
+                                           hints.begin(), hints.end()));
   return point;
 }
 
@@ -206,6 +230,13 @@ void Run() {
           algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
           point.completed_qps, point.shed_rate, point.p50_us, point.p99_us,
           point.degraded_fraction, point.max_tier);
+      std::printf(
+          "{\"bench\":\"overload_retry_after\",\"algo\":\"%s\","
+          "\"offered_qps\":%llu,\"hints\":%llu,\"p50_us\":%.1f,"
+          "\"p99_us\":%.1f,\"max_us\":%.1f}\n",
+          algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
+          static_cast<unsigned long long>(point.retry_hints),
+          point.retry_p50_us, point.retry_p99_us, point.retry_max_us);
       std::printf(
           "{\"bench\":\"overload_metrics\",\"algo\":\"%s\","
           "\"offered_qps\":%llu,\"snapshot\":%s}\n",

@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "core/timer.h"
 
 namespace weavess {
 
@@ -18,15 +19,38 @@ DynamicHnsw::DynamicHnsw(uint32_t dim, const Params& params)
   WEAVESS_CHECK(params.m >= 2);
 }
 
+DynamicHnsw::DynamicHnsw(const DynamicHnsw& other)
+    : dim_(other.dim_),
+      params_(other.params_),
+      level_lambda_(other.level_lambda_),
+      store_(other.store_),
+      links_(other.links_),
+      deleted_(other.deleted_),
+      num_points_(other.num_points_),
+      num_deleted_(other.num_deleted_),
+      entry_point_(other.entry_point_),
+      max_level_(other.max_level_),
+      rng_(other.rng_),
+      build_evals_(other.build_evals_) {}
+
 float DynamicHnsw::Distance(const float* a, uint32_t id,
                             uint64_t* ndc) const {
-  if (ndc != nullptr) ++*ndc;
+  if (ndc != nullptr) {
+    ++*ndc;
+  } else {
+    ++build_evals_;
+  }
   return L2Sqr(a, store_.data() + static_cast<size_t>(id) * dim_, dim_);
 }
 
 const float* DynamicHnsw::Vector(uint32_t id) const {
   WEAVESS_CHECK(id < num_points_);
   return store_.data() + static_cast<size_t>(id) * dim_;
+}
+
+const std::vector<uint32_t>& DynamicHnsw::BaseNeighbors(uint32_t id) const {
+  WEAVESS_CHECK(id < num_points_);
+  return links_[id][0];
 }
 
 uint32_t DynamicHnsw::GreedyStep(const float* query, uint32_t entry,
@@ -49,9 +73,10 @@ uint32_t DynamicHnsw::GreedyStep(const float* query, uint32_t entry,
 }
 
 void DynamicHnsw::SearchLevel(const float* query, uint32_t level,
-                              CandidatePool& pool, uint64_t* ndc,
-                              uint64_t* hops, const SearchBudget* budget,
-                              bool* truncated) {
+                              CandidatePool& pool, VisitedList& visited,
+                              uint64_t* ndc, uint64_t* hops,
+                              const SearchBudget* budget,
+                              bool* truncated) const {
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
     if (budget != nullptr && ndc != nullptr && budget->Exhausted(*ndc)) {
@@ -62,7 +87,7 @@ void DynamicHnsw::SearchLevel(const float* query, uint32_t level,
     pool.MarkChecked(next);
     if (hops != nullptr) ++*hops;
     for (uint32_t neighbor : links_[current][level]) {
-      if (visited_->CheckAndMark(neighbor)) continue;
+      if (visited.CheckAndMark(neighbor)) continue;
       pool.Insert(Neighbor(neighbor, Distance(query, neighbor, ndc)));
     }
   }
@@ -114,7 +139,10 @@ uint32_t DynamicHnsw::Add(const float* vector) {
       -std::log(std::max(rng_.NextDouble(), 1e-12)) * level_lambda_);
   links_.emplace_back();
   links_.back().resize(level + 1);
-  visited_ = std::make_unique<VisitedList>(num_points_);
+  if (visited_ == nullptr || visited_->size() < num_points_) {
+    visited_ = std::make_unique<VisitedList>(
+        std::max<uint32_t>(2 * num_points_, 64));
+  }
 
   if (id == 0) {
     entry_point_ = 0;
@@ -132,7 +160,7 @@ uint32_t DynamicHnsw::Add(const float* vector) {
     CandidatePool pool(params_.ef_construction);
     visited_->MarkVisited(entry);
     pool.Insert(Neighbor(entry, Distance(vector, entry, nullptr)));
-    SearchLevel(vector, l, pool, nullptr, nullptr);
+    SearchLevel(vector, l, pool, *visited_, nullptr, nullptr);
     std::vector<Neighbor> candidates(pool.entries().begin(),
                                      pool.entries().end());
     // RNG heuristic selection against the store.
@@ -176,29 +204,47 @@ bool DynamicHnsw::IsDeleted(uint32_t id) const {
 std::vector<uint32_t> DynamicHnsw::Search(const float* query,
                                           const SearchParams& params,
                                           QueryStats* stats) {
+  if (scratch_ == nullptr ||
+      scratch_->ctx.visited.size() < num_points_) {
+    scratch_ =
+        std::make_unique<SearchScratch>(std::max<uint32_t>(num_points_, 1));
+  }
+  return SearchWith(*scratch_, query, params, stats);
+}
+
+std::vector<uint32_t> DynamicHnsw::SearchWith(SearchScratch& scratch,
+                                              const float* query,
+                                              const SearchParams& params,
+                                              QueryStats* stats) const {
   std::vector<uint32_t> result;
+  if (stats != nullptr) {
+    stats->distance_evals = 0;
+    stats->hops = 0;
+    stats->truncated = false;
+  }
   if (num_points_ == 0 || live_size() == 0) return result;
+  WEAVESS_CHECK(scratch.ctx.visited.size() >= num_points_);
   uint64_t ndc = 0, hops = 0;
   uint32_t entry = entry_point_;
   for (uint32_t l = max_level_; l > 0; --l) {
     entry = GreedyStep(query, entry, l, &ndc);
     ++hops;
   }
-  visited_->Reset();
+  VisitedList& visited = scratch.ctx.visited;
+  visited.Reset();
   // Oversize the pool slightly so tombstones do not crowd out live
   // results.
   const uint32_t slack =
       std::min(num_deleted_, std::max(params.pool_size / 2, 8u));
-  CandidatePool pool(std::max(params.pool_size, params.k) + slack);
-  visited_->MarkVisited(entry);
-  pool.Insert(Neighbor(entry, Distance(query, entry, &ndc)));
-  const SearchBudget budget =
-      SearchBudget::FromLimits(params.max_distance_evals,
-                               params.time_budget_us);
+  scratch.pool.Reset(std::max(params.pool_size, params.k) + slack);
+  visited.MarkVisited(entry);
+  scratch.pool.Insert(Neighbor(entry, Distance(query, entry, &ndc)));
+  const SearchBudget budget = SearchBudget::FromLimits(
+      params.max_distance_evals, params.time_budget_us, params.clock);
   bool truncated = false;
-  SearchLevel(query, 0, pool, &ndc, &hops,
+  SearchLevel(query, 0, scratch.pool, visited, &ndc, &hops,
               budget.unlimited() ? nullptr : &budget, &truncated);
-  for (const Neighbor& candidate : pool.entries()) {
+  for (const Neighbor& candidate : scratch.pool.entries()) {
     if (deleted_[candidate.id]) continue;
     result.push_back(candidate.id);
     if (result.size() == params.k) break;
@@ -220,6 +266,7 @@ std::vector<uint32_t> DynamicHnsw::Compact() {
     rebuilt.Add(Vector(id));
     mapping.push_back(id);
   }
+  rebuilt.build_evals_ += build_evals_;
   *this = std::move(rebuilt);
   return mapping;
 }
@@ -233,6 +280,37 @@ size_t DynamicHnsw::IndexMemoryBytes() const {
     }
   }
   return bytes;
+}
+
+// ------------------------------------------------- registry adapter
+
+void DynamicHnswIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(data.size() > 0);
+  Timer timer;
+  impl_ = std::make_unique<DynamicHnsw>(data.dim(), params_);
+  for (uint32_t row = 0; row < data.size(); ++row) {
+    impl_->Add(data.Row(row));
+  }
+  base_layer_ = Graph(impl_->size());
+  for (uint32_t v = 0; v < impl_->size(); ++v) {
+    base_layer_.MutableNeighbors(v) = impl_->BaseNeighbors(v);
+  }
+  build_stats_.seconds = timer.Seconds();
+  build_stats_.distance_evals = impl_->build_distance_evals();
+}
+
+std::vector<uint32_t> DynamicHnswIndex::SearchWith(
+    SearchScratch& scratch, const float* query, const SearchParams& params,
+    QueryStats* stats) const {
+  return impl_->SearchWith(scratch, query, params, stats);
+}
+
+std::unique_ptr<AnnIndex> CreateDynamicHnsw(const AlgorithmOptions& options) {
+  DynamicHnsw::Params params;
+  params.m = std::max(2u, options.max_degree / 2);
+  params.ef_construction = options.build_pool;
+  params.seed = options.seed;
+  return std::make_unique<DynamicHnswIndex>(params);
 }
 
 }  // namespace weavess

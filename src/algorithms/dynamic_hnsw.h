@@ -4,6 +4,14 @@
 // the natural substrate for it. Deletions are handled by tombstoning:
 // deleted vertices still route (their edges stay navigable) but never
 // enter result sets; Compact() rebuilds to reclaim them.
+//
+// Concurrency contract: mutation (Add/Remove/Compact) requires exclusive
+// access, but SearchWith is const and touches no index state beyond reads,
+// so any number of threads may search one *unchanging* DynamicHnsw
+// concurrently with caller-owned scratch. The mutable serving layer
+// (shard/mutable_shard.h) builds epoch snapshots on top of this: writers
+// clone, mutate the clone, and publish it atomically while readers keep
+// searching the old copy.
 #ifndef WEAVESS_ALGORITHMS_DYNAMIC_HNSW_H_
 #define WEAVESS_ALGORITHMS_DYNAMIC_HNSW_H_
 
@@ -11,12 +19,14 @@
 #include <memory>
 #include <vector>
 
+#include "algorithms/registry.h"
 #include "core/budget.h"
 #include "core/dataset.h"
 #include "core/graph.h"
 #include "core/index.h"
 #include "core/neighbor.h"
 #include "core/rng.h"
+#include "core/search_context.h"
 #include "core/visited_list.h"
 
 namespace weavess {
@@ -32,6 +42,15 @@ class DynamicHnsw {
   /// An empty index over `dim`-dimensional vectors.
   DynamicHnsw(uint32_t dim, const Params& params);
 
+  /// Deep copy of the graph, store, and tombstones. The copy carries the
+  /// same RNG state, so interleaving the same future Adds into original
+  /// and copy produces identical structures — the property the epoch
+  /// publication protocol relies on. Per-call scratch is not copied.
+  DynamicHnsw(const DynamicHnsw& other);
+  DynamicHnsw& operator=(const DynamicHnsw&) = delete;
+  DynamicHnsw(DynamicHnsw&&) = default;
+  DynamicHnsw& operator=(DynamicHnsw&&) = default;
+
   /// Inserts a vector; returns its id (ids are dense, insertion-ordered,
   /// and stable — deletion does not reassign them).
   uint32_t Add(const float* vector);
@@ -43,20 +62,39 @@ class DynamicHnsw {
   bool IsDeleted(uint32_t id) const;
 
   /// k nearest *live* ids. Returns empty when the index is empty or all
-  /// points are deleted.
+  /// points are deleted. Convenience wrapper over SearchWith using scratch
+  /// owned by the index; not safe to call concurrently on one instance.
   std::vector<uint32_t> Search(const float* query, const SearchParams& params,
                                QueryStats* stats = nullptr);
+
+  /// Thread-compatible search against a fixed structure: const, uses only
+  /// the caller's scratch (visited stamps sized to at least size()
+  /// vertices). Honors SearchParams budgets including params.clock, so
+  /// time-budget truncation is deterministic under VirtualClock exactly
+  /// like the static routers.
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const;
 
   /// Stored vector for id (valid for dim() floats).
   const float* Vector(uint32_t id) const;
 
   /// Rebuilds the structure with tombstones physically removed. Returns
-  /// the mapping new_id -> old_id. Invalidates all previous ids.
+  /// the mapping new_id -> old_id. Invalidates all previous ids. The
+  /// rebuild re-adds survivors in ascending old-id order with a fresh RNG
+  /// seeded from Params::seed, so compacting equal states yields
+  /// bit-identical structures (the WAL replay determinism contract of
+  /// docs/MUTATION.md).
   std::vector<uint32_t> Compact();
 
   uint32_t size() const { return num_points_; }
   uint32_t live_size() const { return num_points_ - num_deleted_; }
+  uint32_t num_deleted() const { return num_deleted_; }
   uint32_t dim() const { return dim_; }
+  /// Level-0 adjacency of id (the navigable base layer).
+  const std::vector<uint32_t>& BaseNeighbors(uint32_t id) const;
+  /// Distance evaluations spent by construction so far (Add/Compact).
+  uint64_t build_distance_evals() const { return build_evals_; }
   size_t IndexMemoryBytes() const;
 
  private:
@@ -66,9 +104,9 @@ class DynamicHnsw {
   // pointers when given. When `budget` is non-null and trips, the walk
   // stops with best-so-far pool contents and sets `*truncated`.
   void SearchLevel(const float* query, uint32_t level, CandidatePool& pool,
-                   uint64_t* ndc, uint64_t* hops,
+                   VisitedList& visited, uint64_t* ndc, uint64_t* hops,
                    const SearchBudget* budget = nullptr,
-                   bool* truncated = nullptr);
+                   bool* truncated = nullptr) const;
   void Connect(uint32_t point, uint32_t level,
                const std::vector<Neighbor>& selected);
   uint32_t DegreeBound(uint32_t level) const {
@@ -87,8 +125,45 @@ class DynamicHnsw {
   uint32_t entry_point_ = 0;
   uint32_t max_level_ = 0;
   Rng rng_;
+  // Construction spend: Distance calls with no per-query counter are
+  // build-side by construction (every search path threads a counter), so
+  // they charge here. `mutable` keeps Distance const for the search path.
+  mutable uint64_t build_evals_ = 0;
+  // Construction-side visited stamps (grown geometrically, reused across
+  // Adds) and the lazily sized scratch behind the Search wrapper.
   std::unique_ptr<VisitedList> visited_;
+  std::unique_ptr<SearchScratch> scratch_;
 };
+
+/// AnnIndex adapter: builds a DynamicHnsw by inserting every dataset row in
+/// order, then serves the standard immutable-index contract (const
+/// SearchWith, materialized level-0 graph). Registered as "Dynamic:HNSW" so
+/// the CLI/eval/bench stack can exercise the mutable substrate next to the
+/// 17 static algorithms.
+class DynamicHnswIndex : public AnnIndex {
+ public:
+  explicit DynamicHnswIndex(const DynamicHnsw::Params& params)
+      : impl_(std::make_unique<DynamicHnsw>(1, params)), params_(params) {}
+
+  void Build(const Dataset& data) override;
+  std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
+                                   const SearchParams& params,
+                                   QueryStats* stats = nullptr) const override;
+  const Graph& graph() const override { return base_layer_; }
+  size_t IndexMemoryBytes() const override {
+    return impl_->IndexMemoryBytes();
+  }
+  BuildStats build_stats() const override { return build_stats_; }
+  std::string name() const override { return "Dynamic:HNSW"; }
+
+ private:
+  std::unique_ptr<DynamicHnsw> impl_;
+  DynamicHnsw::Params params_;
+  Graph base_layer_;  // copy of level 0, exposed via graph()
+  BuildStats build_stats_;
+};
+
+std::unique_ptr<AnnIndex> CreateDynamicHnsw(const AlgorithmOptions& options);
 
 }  // namespace weavess
 

@@ -1,6 +1,7 @@
 #include "algorithms/registry.h"
 
 #include "algorithms/dpg.h"
+#include "algorithms/dynamic_hnsw.h"
 #include "algorithms/efanna.h"
 #include "algorithms/fanng.h"
 #include "algorithms/hcnng.h"
@@ -37,10 +38,10 @@ bool IsBaseAlgorithm(const std::string& name) {
 const std::vector<std::string>& AlgorithmNames() {
   static const std::vector<std::string>* const kNames =
       new std::vector<std::string>{
-          "KGraph", "NGT-panng", "NGT-onng", "SPTAG-KDT", "SPTAG-BKT",
-          "NSW",    "IEH",       "FANNG",    "HNSW",      "EFANNA",
-          "DPG",    "NSG",       "HCNNG",    "Vamana",    "NSSG",
-          "k-DR",   "OA"};
+          "KGraph",       "NGT-panng", "NGT-onng", "SPTAG-KDT", "SPTAG-BKT",
+          "NSW",          "IEH",       "FANNG",    "HNSW",      "EFANNA",
+          "DPG",          "NSG",       "HCNNG",    "Vamana",    "NSSG",
+          "k-DR",         "OA",        "Dynamic:HNSW"};
   return *kNames;
 }
 
@@ -69,6 +70,7 @@ std::unique_ptr<AnnIndex> CreateAlgorithm(const std::string& name,
   if (name == "NSSG") return CreateNssg(options);
   if (name == "k-DR") return CreateKdr(options);
   if (name == "OA") return CreateOptimized(options);
+  if (name == "Dynamic:HNSW") return CreateDynamicHnsw(options);
   WEAVESS_CHECK(false && "unknown algorithm name");
   return nullptr;
 }

@@ -48,7 +48,9 @@ struct AlgorithmOptions {
 
 /// Canonical algorithm names, in the paper's presentation order:
 /// KGraph, NGT-panng, NGT-onng, SPTAG-KDT, SPTAG-BKT, NSW, IEH, FANNG,
-/// HNSW, EFANNA, DPG, NSG, HCNNG, Vamana, NSSG, k-DR, OA.
+/// HNSW, EFANNA, DPG, NSG, HCNNG, Vamana, NSSG, k-DR, OA — plus
+/// Dynamic:HNSW, the incrementally built mutable substrate of
+/// docs/MUTATION.md served through the same immutable-index facade.
 const std::vector<std::string>& AlgorithmNames();
 
 /// Creates an unbuilt index by canonical name; WEAVESS_CHECK-fails on an

@@ -17,13 +17,21 @@ StdioWriter::~StdioWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-Status StdioWriter::Open(const std::string& path) {
+Status StdioWriter::Open(const std::string& path, bool append) {
   WEAVESS_CHECK(file_ == nullptr);
-  file_ = std::fopen(path.c_str(), "wb");
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
   if (file_ == nullptr) {
     return Status::IOError(ErrnoMessage("cannot open for writing", path));
   }
   path_ = path;
+  return Status::OK();
+}
+
+Status StdioWriter::Flush() {
+  if (file_ == nullptr) return Status::IOError("writer is not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("flush failed for", path_));
+  }
   return Status::OK();
 }
 

@@ -22,6 +22,11 @@ class Writer {
 
   virtual Status Append(const void* data, size_t n) = 0;
 
+  /// Pushes buffered bytes down to the underlying resource without
+  /// releasing it — the write-ahead log's commit boundary. Default no-op
+  /// for sinks that do not buffer.
+  virtual Status Flush() { return Status::OK(); }
+
   /// Flushes and releases the underlying resource. Must be called to
   /// observe deferred write errors; destructors close silently.
   virtual Status Close() { return Status::OK(); }
@@ -45,8 +50,11 @@ class StdioWriter : public Writer {
   StdioWriter(const StdioWriter&) = delete;
   StdioWriter& operator=(const StdioWriter&) = delete;
 
-  Status Open(const std::string& path);
+  /// Truncates by default; `append` opens at end-of-file instead (the
+  /// write-ahead log reopens its surviving prefix this way after recovery).
+  Status Open(const std::string& path, bool append = false);
   Status Append(const void* data, size_t n) override;
+  Status Flush() override;
   Status Close() override;
 
  private:

@@ -57,6 +57,23 @@ ServingEngine::ServingEngine(const Dataset& data, ServingConfig config)
   WEAVESS_CHECK(config_.num_threads >= 1);
 }
 
+ServingEngine::ServingEngine(MutableShardedIndex& index, ServingConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &SteadyClock()),
+      own_metrics_(config_.metrics != nullptr ? nullptr
+                                              : new MetricsRegistry()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
+      mutable_(&index),
+      pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
+      admission_(config_.admission),
+      ladder_(config_.degradation) {
+  WEAVESS_CHECK(config_.num_threads >= 1);
+  // The index's mutation.* counters aggregate into this engine's registry
+  // so one snapshot covers queries and writes together.
+  index.set_metrics(metrics_);
+}
+
 ServingEngine::ServingEngine(std::unique_ptr<AnnIndex> owned_index,
                              ServingConfig config)
     : config_(std::move(config)),
@@ -265,6 +282,8 @@ ServeOutcome ServingEngine::Execute(const float* query,
   try {
     if (engine_ != nullptr) {
       out.ids = engine_->SearchOne(query, params, &out.stats, request.trace);
+    } else if (mutable_ != nullptr) {
+      out.ids = mutable_->Search(query, params, &out.stats);
     } else {
       out.ids = FallbackSearch(query, params, &out.stats);
     }
@@ -280,8 +299,9 @@ ServeOutcome ServingEngine::Execute(const float* query,
     request.trace->Record(TraceEventKind::kBackendFailure);
   }
   if (out.status.ok() &&
-      (tier > 0 || engine_ == nullptr ||
-       (sharded_ != nullptr && sharded_->num_degraded_shards() > 0))) {
+      (tier > 0 || (engine_ == nullptr && mutable_ == nullptr) ||
+       (sharded_ != nullptr && sharded_->num_degraded_shards() > 0) ||
+       (mutable_ != nullptr && mutable_->num_degraded_shards() > 0))) {
     out.stats.degraded = true;
     if (request.trace != nullptr) {
       request.trace->Record(TraceEventKind::kDegraded, 0, tier);
@@ -387,6 +407,80 @@ ServeBatchResult ServingEngine::ServeBatch(
   return result;
 }
 
+MutationOutcome ServingEngine::ServeMutation(const MutationRequest& request) {
+  const uint64_t t0 = clock_->NowMicros();
+  MutationOutcome out;
+  out.id = request.id;
+  {
+    // Admission decisions in submission order under the same lock as
+    // queries: one total order over reads and writes, so the shed trace is
+    // reproducible at any thread count.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++mutation_lifetime_.submitted;
+    metrics_->GetCounter("mutation.submitted")->Add(1);
+    if (mutable_ == nullptr) {
+      out.status = Status::InvalidArgument(
+          "ServeMutation requires a mutable-index engine");
+      ++mutation_lifetime_.failed;
+      metrics_->GetCounter("mutation.failed")->Add(1);
+      return out;
+    }
+    if (request.deadline_us > 0 && t0 >= request.deadline_us) {
+      out.status = Status::DeadlineExceeded(
+          "deadline exceeded: expired before admission");
+      ++mutation_lifetime_.deadline_exceeded;
+      metrics_->GetCounter("mutation.deadline_exceeded")->Add(1);
+      return out;
+    }
+    Status admitted = admission_.TryAcquire();
+    if (!admitted.ok()) {
+      out.status = std::move(admitted);
+      out.retry_after_us = admission_.retry_after_us();
+      ++mutation_lifetime_.rejected_overload;
+      metrics_->GetCounter("mutation.rejected_overload")->Add(1);
+      return out;
+    }
+    metrics_->GetCounter("mutation.admitted")->Add(1);
+  }
+  // Apply outside mu_: the index serializes writers itself, and holding the
+  // admission lock across a write would stall query admission.
+  if (request.op == MutationOp::kAdd) {
+    StatusOr<uint32_t> id = mutable_->Add(request.vector);
+    if (id.ok()) {
+      out.id = *id;
+    } else {
+      out.status = id.status();
+    }
+  } else {
+    out.status = mutable_->Remove(request.id);
+  }
+  admission_.Release();
+  out.latency_us = clock_->NowMicros() - t0;
+  // Exactly one terminal counter per request — the mutation mirror of the
+  // serving accounting invariant:
+  //   mutation.submitted == applied + rejected_overload
+  //                         + deadline_exceeded + failed.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out.status.ok()) {
+    ++mutation_lifetime_.applied;
+    metrics_->GetCounter("mutation.applied")->Add(1);
+    metrics_->GetHistogram("mutation.latency_us", DefaultLatencyBucketsUs())
+        ->Record(out.latency_us);
+  } else if (out.status.IsDeadlineExceeded()) {
+    ++mutation_lifetime_.deadline_exceeded;
+    metrics_->GetCounter("mutation.deadline_exceeded")->Add(1);
+  } else {
+    ++mutation_lifetime_.failed;
+    metrics_->GetCounter("mutation.failed")->Add(1);
+  }
+  return out;
+}
+
+MutationReport ServingEngine::mutation_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutation_lifetime_;
+}
+
 uint32_t ServingEngine::current_tier() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ladder_.tier();
@@ -405,6 +499,12 @@ std::string ServingEngine::SnapshotMetrics(bool include_timing) const {
   if (sharded_ != nullptr) {
     metrics_->GetGauge("shard.degraded_shards")
         ->Set(sharded_->num_degraded_shards());
+  }
+  if (mutable_ != nullptr) {
+    metrics_->GetGauge("mutation.generation")->Set(mutable_->generation());
+    metrics_->GetGauge("mutation.live_size")->Set(mutable_->live_size());
+    metrics_->GetGauge("mutation.degraded_shards")
+        ->Set(mutable_->num_degraded_shards());
   }
   return metrics_->ToJson(include_timing);
 }

@@ -39,6 +39,7 @@
 #include "search/admission.h"
 #include "search/degradation.h"
 #include "search/engine.h"
+#include "shard/mutable_index.h"
 #include "shard/sharded_index.h"
 
 namespace weavess {
@@ -94,6 +95,44 @@ struct ServeBatchResult {
   ServingReport report;
 };
 
+/// One write admitted through the serving layer (mutable engines only).
+enum class MutationOp : uint8_t { kAdd, kRemove };
+
+struct MutationRequest {
+  MutationOp op = MutationOp::kAdd;
+  /// kAdd: the vector to insert (index dim() floats; caller-owned).
+  const float* vector = nullptr;
+  /// kRemove: the global id to tombstone.
+  uint32_t id = 0;
+  /// Absolute deadline on the serving clock, 0 = none. Checked at
+  /// admission, like queries.
+  uint64_t deadline_us = 0;
+};
+
+struct MutationOutcome {
+  /// OK, kUnavailable ("overloaded: ..."), kDeadlineExceeded, or the
+  /// index's own failure (bad id, log I/O error).
+  Status status;
+  /// The assigned global id for an applied kAdd; echoes the request id for
+  /// kRemove.
+  uint32_t id = 0;
+  /// Back-off hint, set on the admission-reject kUnavailable.
+  uint64_t retry_after_us = 0;
+  /// Admission-to-applied time on the serving clock (applied only).
+  uint64_t latency_us = 0;
+};
+
+/// Mutation-side mirror of ServingReport. The accounting invariant,
+/// asserted by the chaos suite at every snapshot:
+///   submitted == applied + rejected_overload + deadline_exceeded + failed.
+struct MutationReport {
+  uint64_t submitted = 0;
+  uint64_t applied = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t failed = 0;
+};
+
 struct ServingConfig {
   /// Execution streams for ServeBatch (>= 1, counting the caller).
   uint32_t num_threads = 1;
@@ -121,6 +160,12 @@ class ServingEngine {
   /// `data`; every outcome is tagged degraded. This is the mode
   /// FromSavedGraph drops into when the index cannot be loaded.
   ServingEngine(const Dataset& data, ServingConfig config);
+
+  /// Serves a live mutable index (docs/MUTATION.md): queries scatter-gather
+  /// across its epoch snapshots, and ServeMutation admits writes through
+  /// the same bounded in-flight budget as reads. `index` must outlive the
+  /// engine; its `mutation.*` counters land in this engine's registry.
+  ServingEngine(MutableShardedIndex& index, ServingConfig config);
 
   ~ServingEngine();
   ServingEngine(const ServingEngine&) = delete;
@@ -176,8 +221,23 @@ class ServingEngine {
   ServeBatchResult ServeBatch(const std::vector<const float*>& queries,
                               const RequestOptions& request = {});
 
+  /// One write, admitted under the same in-flight budget as queries and
+  /// classified into exactly one terminal `mutation.*` counter. Thread-safe
+  /// and safe to interleave with Serve/ServeBatch: the index applies writes
+  /// under its own writer lock while queries keep reading pinned snapshots.
+  /// On a non-mutable engine the request fails (and is counted failed) —
+  /// the invariant holds on every engine.
+  MutationOutcome ServeMutation(const MutationRequest& request);
+
+  /// The mutable index behind a mutable engine (nullptr otherwise).
+  MutableShardedIndex* mutable_index() const { return mutable_; }
+  /// Totals across every ServeMutation since construction.
+  MutationReport mutation_report() const;
+
   /// True when serving brute-force fallback instead of a graph index.
-  bool fallback_mode() const { return engine_ == nullptr; }
+  bool fallback_mode() const {
+    return engine_ == nullptr && mutable_ == nullptr;
+  }
   uint32_t num_threads() const { return config_.num_threads; }
   uint32_t current_tier() const;
   AdmissionStats admission_stats() const { return admission_.stats(); }
@@ -230,12 +290,14 @@ class ServingEngine {
   const Dataset* fallback_data_ = nullptr;   // fallback mode only
   std::unique_ptr<AnnIndex> owned_index_;    // FromSavedGraph healthy path
   ShardedIndex* sharded_ = nullptr;          // owned_index_, when sharded
-  std::unique_ptr<SearchEngine> engine_;     // null in fallback mode
+  MutableShardedIndex* mutable_ = nullptr;   // mutable-index engines only
+  std::unique_ptr<SearchEngine> engine_;     // null in fallback/mutable mode
   mutable ThreadPool pool_;                  // ServeBatch execution streams
   AdmissionController admission_;
   mutable std::mutex mu_;                    // ladder + lifetime totals
   DegradationLadder ladder_;
   ServingReport lifetime_;
+  MutationReport mutation_lifetime_;         // guarded by mu_
 };
 
 /// Exact top-k ids (ascending distance, ties by id) over the first

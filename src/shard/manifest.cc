@@ -144,6 +144,7 @@ std::string SerializeManifest(const ShardManifest& manifest) {
   std::string body;
   PutString(&body, manifest.algorithm);
   PutString(&body, manifest.partitioner);
+  PutU64(&body, manifest.generation);  // v2 field
   PutU64(&body, manifest.options.seed);
   PutU32(&body, manifest.options.knng_degree);
   PutU32(&body, manifest.options.max_degree);
@@ -193,10 +194,12 @@ StatusOr<ShardManifest> DeserializeManifest(std::string_view bytes) {
                             Hex(computed_header_crc));
   }
   const uint32_t version = GetU32(bytes, 8);
-  if (version != kManifestFormatVersion) {
+  if (version < kMinManifestFormatVersion ||
+      version > kManifestFormatVersion) {
     return Status::NotSupported(
         "shard manifest format version " + std::to_string(version) +
-        "; this build reads version " +
+        "; this build reads versions " +
+        std::to_string(kMinManifestFormatVersion) + ".." +
         std::to_string(kManifestFormatVersion));
   }
   const uint32_t num_shards = GetU32(bytes, 12);
@@ -230,6 +233,10 @@ StatusOr<ShardManifest> DeserializeManifest(std::string_view bytes) {
   WEAVESS_RETURN_IF_ERROR(cursor.ReadString("algorithm", &manifest.algorithm));
   WEAVESS_RETURN_IF_ERROR(
       cursor.ReadString("partitioner", &manifest.partitioner));
+  if (version >= 2) {
+    WEAVESS_RETURN_IF_ERROR(
+        cursor.ReadU64("generation", &manifest.generation));
+  }
   WEAVESS_RETURN_IF_ERROR(cursor.ReadU64("seed", &manifest.options.seed));
   WEAVESS_RETURN_IF_ERROR(
       cursor.ReadU32("knng_degree", &manifest.options.knng_degree));

@@ -6,14 +6,15 @@
 // in brief (everything little-endian, format family of core/graph_io.h):
 //
 //   [ 0..8)   magic "WVSSHRD1"
-//   [ 8..12)  u32 format version (currently 1)
+//   [ 8..12)  u32 format version (currently 2)
 //   [12..16)  u32 num_shards
 //   [16..20)  u32 total_vertices
 //   [20..24)  u32 body length in bytes
 //   [24..28)  u32 CRC32C of bytes [0..28-4)          — header section
 //   then      body bytes,                  u32 CRC   — body section
 //
-// Body: algorithm string, partitioner string, build options (seed and the
+// Body: algorithm string, partitioner string, u64 generation (v2+; v1
+// manifests deserialize with generation 0), build options (seed and the
 // construction knobs), then per shard: relative path string + id list.
 // Deserialization validates structure end to end: the shard id lists must
 // be disjoint and together cover [0, total_vertices) exactly. A corrupt
@@ -34,7 +35,10 @@ namespace weavess {
 
 inline constexpr char kManifestMagic[8] = {'W', 'V', 'S', 'S', 'H', 'R', 'D',
                                            '1'};
-inline constexpr uint32_t kManifestFormatVersion = 1;
+/// Version written by SerializeManifest. Version 2 added the generation
+/// number; version-1 files still load (generation 0).
+inline constexpr uint32_t kManifestFormatVersion = 2;
+inline constexpr uint32_t kMinManifestFormatVersion = 1;
 /// Fixed prologue: magic + version + counts + body length + header CRC.
 inline constexpr size_t kManifestHeaderBytes = 28;
 /// Upper bound on the body section; anything larger is corruption.
@@ -61,6 +65,11 @@ struct ShardManifest {
   /// Rows in the dataset the index was built over; the shard id lists
   /// partition [0, total_vertices) exactly.
   uint32_t total_vertices = 0;
+  /// Generation number of the save (docs/MUTATION.md): 0 for a plain
+  /// static save, the committed mutable-index generation when a snapshot
+  /// of a live index is persisted. Informational for static loads; the
+  /// mutable path cross-checks it against its generation manifest.
+  uint64_t generation = 0;
   std::vector<Entry> shards;
 };
 

@@ -1,0 +1,168 @@
+#include "shard/mutable_shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "core/distance.h"
+
+namespace weavess {
+
+MutableShard::MutableShard(uint32_t dim, const DynamicHnsw::Params& params)
+    : dim_(dim), params_(params) {
+  auto initial = std::make_shared<Snapshot>();
+  initial->index = std::make_shared<const DynamicHnsw>(dim_, params_);
+  initial->local_to_global = std::make_shared<const std::vector<uint32_t>>();
+  published_ = std::move(initial);
+}
+
+std::shared_ptr<const MutableShard::Snapshot> MutableShard::Pin() const {
+  return std::atomic_load_explicit(&published_, std::memory_order_acquire);
+}
+
+void MutableShard::Publish(
+    std::shared_ptr<const DynamicHnsw> index,
+    std::shared_ptr<const std::vector<uint32_t>> local_to_global,
+    bool degraded) {
+  auto next = std::make_shared<Snapshot>();
+  next->index = std::move(index);
+  next->local_to_global = std::move(local_to_global);
+  next->version = ++version_;  // single writer: plain counter is enough
+  next->degraded = degraded;
+  std::atomic_store_explicit(&published_,
+                             std::shared_ptr<const Snapshot>(std::move(next)),
+                             std::memory_order_release);
+}
+
+void MutableShard::Add(uint32_t global_id, const float* vector) {
+  WEAVESS_CHECK(global_to_local_.count(global_id) == 0 &&
+                "global id already lives in this shard");
+  // Readers atomic_load published_, so the writer must too (mixed atomic
+  // and plain access to one shared_ptr is a race).
+  const std::shared_ptr<const Snapshot> pinned = Pin();
+  const Snapshot& current = *pinned;
+  // Clone-on-write: readers keep searching `current.index` untouched while
+  // the clone absorbs the insertion. The copy carries the RNG state, so the
+  // published sequence of structures is identical to a sequential build
+  // over the same mutation order — the WAL-replay determinism contract.
+  auto next_index = std::make_shared<DynamicHnsw>(*current.index);
+  const uint32_t local = next_index->Add(vector);
+  auto next_map =
+      std::make_shared<std::vector<uint32_t>>(*current.local_to_global);
+  WEAVESS_CHECK(local == next_map->size());
+  next_map->push_back(global_id);
+  global_to_local_[global_id] = local;
+  Publish(std::move(next_index), std::move(next_map),
+          current.degraded);
+}
+
+bool MutableShard::Remove(uint32_t global_id) {
+  const auto it = global_to_local_.find(global_id);
+  if (it == global_to_local_.end()) return false;
+  const std::shared_ptr<const Snapshot> pinned = Pin();
+  const Snapshot& current = *pinned;
+  auto next_index = std::make_shared<DynamicHnsw>(*current.index);
+  next_index->Remove(it->second);
+  global_to_local_.erase(it);
+  Publish(std::move(next_index), current.local_to_global, current.degraded);
+  return true;
+}
+
+bool MutableShard::Contains(uint32_t global_id) const {
+  return global_to_local_.count(global_id) != 0;
+}
+
+Status MutableShard::Compact() {
+  const std::shared_ptr<const Snapshot> pinned = Pin();
+  const Snapshot& current = *pinned;
+  if (fault_armed_) {
+    // Simulated rebuild failure: the old structure still serves, but its
+    // quality is no longer trusted — degrade to exact scan until a clean
+    // compaction replaces it.
+    fault_armed_ = false;
+    Publish(current.index, current.local_to_global, /*degraded=*/true);
+    return Status::Unavailable(
+        "compaction failed (injected fault); shard degraded to exact scan");
+  }
+  auto next_index = std::make_shared<DynamicHnsw>(*current.index);
+  // new local id -> old local id; translate the global map through it so a
+  // global id resolves to the same vector before and after the swap.
+  const std::vector<uint32_t> remap = next_index->Compact();
+  auto next_map = std::make_shared<std::vector<uint32_t>>();
+  next_map->reserve(remap.size());
+  for (uint32_t new_local = 0; new_local < remap.size(); ++new_local) {
+    next_map->push_back((*current.local_to_global)[remap[new_local]]);
+  }
+  global_to_local_.clear();
+  global_to_local_.reserve(next_map->size());
+  for (uint32_t local = 0; local < next_map->size(); ++local) {
+    global_to_local_[(*next_map)[local]] = local;
+  }
+  Publish(std::move(next_index), std::move(next_map), /*degraded=*/false);
+  return Status::OK();
+}
+
+std::vector<ScoredId> SearchSnapshot(const MutableShard::Snapshot& snapshot,
+                                     SearchScratch& scratch,
+                                     const float* query,
+                                     const SearchParams& params,
+                                     QueryStats* stats) {
+  const DynamicHnsw& index = *snapshot.index;
+  const std::vector<uint32_t>& to_global = *snapshot.local_to_global;
+  if (stats != nullptr) {
+    stats->distance_evals = 0;
+    stats->hops = 0;
+    stats->truncated = false;
+  }
+  std::vector<ScoredId> list;
+  if (index.live_size() == 0) return list;
+  if (snapshot.degraded) {
+    // Exact scan over the live rows. One evaluation per row makes the eval
+    // budget an exact row cap, mirroring the degraded static shards.
+    uint64_t budget = params.max_distance_evals;
+    uint64_t evals = 0;
+    bool truncated = false;
+    TopKAccumulator best(params.k);
+    for (uint32_t local = 0; local < index.size(); ++local) {
+      if (index.IsDeleted(local)) continue;
+      if (budget > 0 && evals >= budget) {
+        truncated = true;
+        break;
+      }
+      best.Push(L2Sqr(query, index.Vector(local), index.dim()), local);
+      ++evals;
+    }
+    if (stats != nullptr) {
+      stats->distance_evals = evals;
+      stats->truncated = truncated;
+    }
+    for (const ScoredId& entry : best.TakeSorted()) {
+      list.emplace_back(entry.distance, to_global[entry.id]);
+    }
+    return list;
+  }
+  QueryStats local_stats;
+  const std::vector<uint32_t> local_ids =
+      index.SearchWith(scratch, query, params, &local_stats);
+  if (stats != nullptr) {
+    stats->distance_evals = local_stats.distance_evals;
+    stats->hops = local_stats.hops;
+    stats->truncated = local_stats.truncated;
+  }
+  list.reserve(local_ids.size());
+  for (uint32_t local : local_ids) {
+    // Tombstone enforcement at the merge boundary: the graph search already
+    // filtered deleted ids, but the merged result is the serving contract,
+    // so re-check before a candidate can cross into it.
+    if (index.IsDeleted(local)) continue;
+    list.emplace_back(L2Sqr(query, index.Vector(local), index.dim()),
+                      to_global[local]);
+  }
+  // Global ids are assigned in insertion order per shard, but compaction
+  // remaps locals, so (unlike the static shards) local order does not imply
+  // global order — sort explicitly for the k-way merge.
+  std::sort(list.begin(), list.end());
+  return list;
+}
+
+}  // namespace weavess

@@ -1,0 +1,119 @@
+// One shard of the mutable serving path (docs/MUTATION.md): a DynamicHnsw
+// published to readers through epoch snapshots. Writers never modify the
+// structure readers are searching — every mutation clones the published
+// index, applies the change to the clone, and publishes the new snapshot
+// with one atomic pointer store. A query pins a snapshot with one atomic
+// load and keeps it alive via shared_ptr for as long as the search runs,
+// so readers are wait-free with respect to writers and a pinned snapshot
+// keeps resolving pre-compaction ids even while Compact() swaps the shard
+// underneath it.
+//
+// Concurrency contract: Pin() and the snapshot accessors are safe from any
+// thread at any time. The mutators (Add/Remove/Compact/InjectCompactionFault)
+// are writer-side: the owning MutableShardedIndex serializes them under its
+// writer mutex, so MutableShard itself keeps no writer lock.
+#ifndef WEAVESS_SHARD_MUTABLE_SHARD_H_
+#define WEAVESS_SHARD_MUTABLE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "algorithms/dynamic_hnsw.h"
+#include "core/status.h"
+#include "core/topk_merge.h"
+
+namespace weavess {
+
+class MutableShard {
+ public:
+  /// An immutable generation of the shard. Readers hold one by shared_ptr;
+  /// nothing in it changes after publication.
+  struct Snapshot {
+    /// The searchable structure (never null; may be empty).
+    std::shared_ptr<const DynamicHnsw> index;
+    /// Local id -> global id, one entry per index vertex. Survives
+    /// compaction remaps: entry `l` is always the global id of vertex `l`
+    /// in *this* snapshot's index.
+    std::shared_ptr<const std::vector<uint32_t>> local_to_global;
+    /// Monotonic per-shard publication count (0 = the empty initial state).
+    uint64_t version = 0;
+    /// True after a failed compaction: the structure is intact but its
+    /// quality is suspect, so searches fall back to an exact scan over the
+    /// shard's live vectors until the next successful Compact().
+    bool degraded = false;
+  };
+
+  MutableShard(uint32_t dim, const DynamicHnsw::Params& params);
+
+  /// Pins the current snapshot: one atomic load, never blocks, and the
+  /// returned snapshot stays valid (and unchanged) for as long as the
+  /// caller holds it — regardless of concurrent mutation or compaction.
+  std::shared_ptr<const Snapshot> Pin() const;
+
+  // ------------------------------------------------------- writer side
+
+  /// Inserts `vector` as global id `global_id` and publishes the new
+  /// snapshot. The id must not already live in this shard.
+  void Add(uint32_t global_id, const float* vector);
+
+  /// Tombstones `global_id` and publishes. Returns false (and publishes
+  /// nothing) when the id is unknown to this shard or already removed.
+  bool Remove(uint32_t global_id);
+
+  /// Writer-side membership test (live ids only).
+  bool Contains(uint32_t global_id) const;
+
+  /// Rebuilds the shard with tombstones physically removed and publishes
+  /// the compacted snapshot. Readers keep serving the old snapshot for the
+  /// whole rebuild; the swap is the usual single pointer store. On an
+  /// injected fault the shard publishes a degraded snapshot (same
+  /// structure, exact-scan search mode) and returns kUnavailable; the next
+  /// successful Compact clears the degradation.
+  Status Compact();
+
+  /// Arms a one-shot failure for the next Compact() (the chaos suite's
+  /// compaction-crash seam).
+  void InjectCompactionFault() { fault_armed_ = true; }
+
+  // ------------------------------------------------------ observation
+
+  uint32_t dim() const { return dim_; }
+  uint64_t version() const { return Pin()->version; }
+  bool degraded() const { return Pin()->degraded; }
+  uint32_t live_size() const { return Pin()->index->live_size(); }
+
+ private:
+  void Publish(std::shared_ptr<const DynamicHnsw> index,
+               std::shared_ptr<const std::vector<uint32_t>> local_to_global,
+               bool degraded);
+
+  const uint32_t dim_;
+  const DynamicHnsw::Params params_;
+  /// Read via std::atomic_load, replaced via std::atomic_store: the epoch
+  /// publication point.
+  std::shared_ptr<const Snapshot> published_;
+  /// Writer-only reverse map over live ids (tombstoned ids are erased so a
+  /// double Remove is caught here, not in the index).
+  std::unordered_map<uint32_t, uint32_t> global_to_local_;
+  /// Writer-only publication counter behind Snapshot::version.
+  uint64_t version_ = 0;
+  bool fault_armed_ = false;
+};
+
+/// Searches one pinned snapshot and returns up to params.k live candidates
+/// as (distance, global id), sorted ascending — the per-shard leg of the
+/// mutable scatter-gather. A degraded snapshot is served by an exact scan
+/// over its live vectors. Tombstoned ids never appear in the result: the
+/// graph search filters them at extraction and this wrapper re-checks at
+/// the merge boundary. `scratch` must be sized for the snapshot's index.
+std::vector<ScoredId> SearchSnapshot(const MutableShard::Snapshot& snapshot,
+                                     SearchScratch& scratch,
+                                     const float* query,
+                                     const SearchParams& params,
+                                     QueryStats* stats = nullptr);
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SHARD_MUTABLE_SHARD_H_

@@ -269,6 +269,7 @@ Status ShardedIndex::Save(const std::string& prefix) {
   manifest.partitioner = PartitionerName(partitioner_);
   manifest.options = options_;
   manifest.total_vertices = combined_.size();
+  manifest.generation = generation_;
   manifest.shards.resize(shards_.size());
   for (uint32_t s = 0; s < shards_.size(); ++s) {
     manifest.shards[s].path = ShardFileName(stem, s);
@@ -311,6 +312,7 @@ StatusOr<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
   index->algorithm_ = manifest.algorithm;
   index->options_ = manifest.options;
   index->partitioner_ = *kind;
+  index->generation_ = manifest.generation;
   const uint32_t num_shards =
       static_cast<uint32_t>(manifest.shards.size());
   index->shards_.resize(num_shards);

@@ -98,6 +98,12 @@ class ShardedIndex final : public AnnIndex {
     return degraded_count_.load(std::memory_order_acquire);
   }
 
+  /// Generation number stamped into Save()'s manifest and restored by
+  /// Load() (docs/MUTATION.md): 0 for a plain static build, the committed
+  /// generation when the save snapshots a live mutable index.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t generation) { generation_ = generation; }
+
   /// Writes `prefix`.manifest plus one `prefix`.shardN.wvs graph file per
   /// shard (core/graph_io.h format). Every shard must be healthy —
   /// persisting an exact-scan placeholder would launder a degraded shard
@@ -169,6 +175,7 @@ class ShardedIndex final : public AnnIndex {
   std::vector<Shard> shards_;  // sized once; Shard addresses are stable
   Graph combined_;
   BuildStats build_stats_;
+  uint64_t generation_ = 0;
   std::atomic<uint32_t> degraded_count_{0};
   std::vector<ShardCounters> shard_counters_;  // empty until set_metrics
 };

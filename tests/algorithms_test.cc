@@ -1,6 +1,6 @@
 // Integration tests: every algorithm in the registry builds on a synthetic
 // workload and reaches a sane Recall@10, with structural invariants on its
-// graph. Parameterized over all 17 registry names (TEST_P), mirroring the
+// graph. Parameterized over every registry name (TEST_P), mirroring the
 // paper's uniform test environment.
 #include <gtest/gtest.h>
 
@@ -106,13 +106,13 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmFixture,
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {
-                             if (c == '-') c = '_';
+                             if (c == '-' || c == ':') c = '_';
                            }
                            return name;
                          });
 
 TEST(RegistryTest, NamesAreKnownAndConstructible) {
-  EXPECT_EQ(AlgorithmNames().size(), 17u);
+  EXPECT_EQ(AlgorithmNames().size(), 18u);
   for (const std::string& name : AlgorithmNames()) {
     EXPECT_TRUE(IsKnownAlgorithm(name));
     EXPECT_NE(CreateAlgorithm(name), nullptr);

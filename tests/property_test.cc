@@ -195,7 +195,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PropertyFixture,
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {
-                             if (c == '-') c = '_';
+                             if (c == '-' || c == ':') c = '_';
                            }
                            return name;
                          });

@@ -214,6 +214,17 @@ int CmdMetrics() {
       "  shard.<s>.searches / shard.<s>.distance_evals /\n"
       "  shard.<s>.exact_scans / shard.<s>.truncated  per-shard counters\n"
       "  shard.degraded_shards           gauge (snapshot-time)\n"
+      "  mutation.submitted / mutation.admitted\n"
+      "  mutation.applied / mutation.rejected_overload /\n"
+      "  mutation.deadline_exceeded / mutation.failed  terminal counters:\n"
+      "      submitted == applied + rejected_overload\n"
+      "                   + deadline_exceeded + failed\n"
+      "  mutation.adds / mutation.removes / mutation.commits /\n"
+      "  mutation.compactions / mutation.compaction_failures /\n"
+      "  mutation.wal_records            write-path counters\n"
+      "  mutation.latency_us             histogram, applied mutations\n"
+      "  mutation.generation / mutation.live_size /\n"
+      "  mutation.degraded_shards        gauges (snapshot-time)\n"
       "\nempty snapshot (version %u):\n",
       kMetricsSnapshotVersion);
   const MetricsRegistry registry;
