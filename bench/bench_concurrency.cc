@@ -8,11 +8,20 @@
 // scaling column degenerates to ~1.0x — run on a multi-core host to see
 // the intended >1.5x at 4 threads.
 //
+// Each table also emits one machine-readable JSON line recording the
+// distance-kernel dispatch level the run executed under, so thread-scaling
+// numbers stay comparable to the per-level rows in bench/BENCH_kernels.json
+// (docs/KERNELS.md):
+//   {"bench":"concurrency_kernel","algo":...,"dataset":...,"level":...,
+//    "pool":...,"threads":...,"recall":...,"qps":...,"qps_1":...}
+//
 // Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
-// WEAVESS_THREADS (comma-separated thread counts, default 1,2,4,8).
+// WEAVESS_THREADS (comma-separated thread counts, default 1,2,4,8);
+// WEAVESS_FORCE_KERNEL pins the dispatch level (docs/KERNELS.md).
 #include <thread>
 
 #include "bench_common.h"
+#include "core/distance.h"
 #include "search/engine.h"
 
 namespace weavess::bench {
@@ -52,6 +61,8 @@ void Run() {
          "(docs/CONCURRENCY.md), only QPS moves.");
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
+  std::printf("kernel dispatch level: %s\n",
+              KernelLevelName(ActiveKernelLevel()));
   const uint32_t k = 10;
   const std::vector<uint32_t> threads = ThreadLadder();
   for (const std::string& dataset : SelectedDatasets()) {
@@ -72,6 +83,7 @@ void Run() {
       TablePrinter table(
           {"Threads", "Recall@k", "QPS", "Scaling", "NDC", "Trunc"});
       double qps_1 = 0.0;
+      SearchPoint last_point;
       for (uint32_t t : threads) {
         const SearchEngine engine(*index, t);
         // Median-of-3 wall times: one batch is short enough that scheduler
@@ -91,8 +103,16 @@ void Run() {
                           qps_1 > 0.0 ? point.qps / qps_1 : 0.0, 2),
                       TablePrinter::Fixed(point.mean_ndc, 0),
                       TablePrinter::Int(point.truncated_queries)});
+        last_point = point;
       }
       table.Print();
+      std::printf(
+          "{\"bench\":\"concurrency_kernel\",\"algo\":\"%s\","
+          "\"dataset\":\"%s\",\"level\":\"%s\",\"pool\":%u,\"threads\":%u,"
+          "\"recall\":%.4f,\"qps\":%.1f,\"qps_1\":%.1f}\n",
+          algo.c_str(), dataset.c_str(), KernelLevelName(ActiveKernelLevel()),
+          params.pool_size, threads.back(), last_point.recall, last_point.qps,
+          qps_1);
     }
   }
 }

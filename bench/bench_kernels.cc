@@ -1,19 +1,176 @@
-// Google-benchmark microbenchmarks for the hot kernels every algorithm
-// shares: the distance function at the paper's dataset dimensionalities
-// (Table 3), candidate-pool insertion, visited-list stamping, and
-// NN-Descent's inner join step. These quantify the per-NDC cost that the
-// Speedup metric abstracts away.
+// Kernel microbenchmarks: the SIMD dispatch sweep plus google-benchmark
+// timings of the hot primitives every algorithm shares.
+//
+// Before the google benchmarks run, the binary sweeps every dispatch level
+// this CPU supports and emits machine-readable JSON lines
+// (bench/BENCH_kernels.json pins the schema; docs/KERNELS.md):
+//
+//   {"bench":"kernels","mode":"single"|"batch","level":...,"dim":...,
+//    "ns_per_call":...,"speedup_vs_scalar":...}
+//       single-pair L2Sqr and batched one-query-vs-many timings at the
+//       paper's dataset dimensionalities (Table 3), per dispatch level;
+//       speedup_vs_scalar is that level's throughput over the scalar
+//       canonical oracle at the same dim (scalar rows carry 1.0).
+//
+//   {"bench":"kernels_qps","algo":...,"dataset":...,"level":...,"pool":...,
+//    "threads":...,"recall":...,"qps":...,"ndc":...}
+//       end-to-end QPS at a fixed operating point, per dispatch level.
+//       Recall and NDC are identical across levels by the bit-for-bit
+//       kernel contract — only QPS moves; compare against the unsharded
+//       baseline rows in bench/BENCH_sharding.json.
+//
+// Knobs: WEAVESS_SCALE, WEAVESS_DATASETS, WEAVESS_ALGOS (bench_common.h),
+//   WEAVESS_POOL  fixed candidate-pool size L for the QPS sweep (default 80)
+// Pass --benchmark_filter=NONE to emit only the JSON sweep (CI does).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/distance.h"
 #include "core/neighbor.h"
 #include "core/rng.h"
+#include "core/timer.h"
 #include "core/visited_list.h"
+#include "search/engine.h"
 
 namespace weavess {
 namespace {
+
+// ------------------------------------------------------- JSON kernel sweep
+
+std::vector<KernelLevel> SupportedLevels() {
+  std::vector<KernelLevel> levels;
+  for (KernelLevel level : {KernelLevel::kScalar, KernelLevel::kAvx2,
+                            KernelLevel::kAvx512, KernelLevel::kNeon}) {
+    if (KernelLevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+// Times `body` (one pass over `calls` kernel invocations) by repeating it
+// until ~50ms has elapsed; returns nanoseconds per invocation.
+template <typename Body>
+double MeasureNsPerCall(size_t calls, Body&& body) {
+  body();  // warm caches and the dispatch pointer
+  size_t reps = 0;
+  Timer timer;
+  double elapsed = 0.0;
+  while (elapsed < 0.05) {
+    body();
+    ++reps;
+    elapsed = timer.Seconds();
+  }
+  return elapsed * 1e9 / (static_cast<double>(reps) * calls);
+}
+
+void RunKernelSweep() {
+  // 128 rows per dim: larger than one pair (so row addressing and loads are
+  // realistic) yet cache-resident, keeping the measurement compute-bound —
+  // this is kernel speed, not memory bandwidth.
+  constexpr uint32_t kRows = 128;
+  constexpr uint32_t kDims[] = {100, 128, 192, 256, 300, 420, 960, 1369};
+  std::printf("\nKernel dispatch sweep (best level: %s)\n",
+              KernelLevelName(BestSupportedKernelLevel()));
+  const KernelLevel saved = ActiveKernelLevel();
+  for (uint32_t dim : kDims) {
+    Rng rng(dim);
+    std::vector<float> flat(static_cast<size_t>(kRows) * dim);
+    for (auto& v : flat) v = rng.NextFloat();
+    const Dataset data(kRows, dim, flat);
+    std::vector<float> query(dim);
+    for (auto& v : query) v = rng.NextFloat();
+    std::vector<uint32_t> ids(kRows);
+    for (uint32_t i = 0; i < kRows; ++i) {
+      ids[i] = static_cast<uint32_t>(rng.NextBounded(kRows));
+    }
+    std::vector<float> out(kRows);
+
+    double scalar_single = 0.0;
+    double scalar_batch = 0.0;
+    for (KernelLevel level : SupportedLevels()) {
+      SetKernelLevel(level);
+      float sink = 0.0f;
+      const double single = MeasureNsPerCall(kRows, [&] {
+        float acc = 0.0f;
+        for (uint32_t id : ids) {
+          acc += L2Sqr(query.data(), data.Row(id), dim);
+        }
+        sink += acc;
+      });
+      const double batch = MeasureNsPerCall(kRows, [&] {
+        L2SqrBatch(query.data(), data.RowBase(), data.row_stride(),
+                   data.dim(), ids.data(), ids.size(), out.data());
+        sink += out[0];
+      });
+      benchmark::DoNotOptimize(sink);
+      if (level == KernelLevel::kScalar) {
+        scalar_single = single;
+        scalar_batch = batch;
+      }
+      std::printf(
+          "{\"bench\":\"kernels\",\"mode\":\"single\",\"level\":\"%s\","
+          "\"dim\":%u,\"ns_per_call\":%.2f,\"speedup_vs_scalar\":%.2f}\n",
+          KernelLevelName(level), dim, single,
+          single > 0.0 ? scalar_single / single : 0.0);
+      std::printf(
+          "{\"bench\":\"kernels\",\"mode\":\"batch\",\"level\":\"%s\","
+          "\"dim\":%u,\"ns_per_call\":%.2f,\"speedup_vs_scalar\":%.2f}\n",
+          KernelLevelName(level), dim, batch,
+          batch > 0.0 ? scalar_batch / batch : 0.0);
+    }
+  }
+  SetKernelLevel(saved);
+}
+
+void RunQpsSweep() {
+  using bench::EnvScale;
+  using bench::SelectedAlgorithms;
+  using bench::SelectedDatasets;
+  const char* pool_env = std::getenv("WEAVESS_POOL");
+  const uint32_t pool =
+      pool_env != nullptr && std::atoi(pool_env) > 0
+          ? static_cast<uint32_t>(std::atoi(pool_env))
+          : 80;
+  const std::string dataset = SelectedDatasets().front();
+  Workload workload = MakeStandIn(dataset, EnvScale());
+  const GroundTruth truth =
+      ComputeGroundTruth(workload.base, workload.queries, 10);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = pool;
+  const KernelLevel saved = ActiveKernelLevel();
+  for (const std::string& algo : SelectedAlgorithms({"HNSW"})) {
+    // Build once: the kernels are bit-for-bit equivalent across levels, so
+    // every level searches the identical index (kernel_test proves it) and
+    // only wall-clock differs.
+    auto index = CreateAlgorithm(algo, bench::DefaultOptions());
+    index->Build(workload.base);
+    std::printf("\n%s / %s, L=%u (n=%u): QPS per dispatch level\n",
+                dataset.c_str(), algo.c_str(), pool, workload.base.size());
+    for (KernelLevel level : SupportedLevels()) {
+      SetKernelLevel(level);
+      const SearchEngine engine(*index, 1);
+      // One warm pass, then the measured pass.
+      EvaluateSearch(engine, workload.queries, truth, params,
+                     workload.base.size());
+      const SearchPoint point = EvaluateSearch(
+          engine, workload.queries, truth, params, workload.base.size());
+      std::printf(
+          "{\"bench\":\"kernels_qps\",\"algo\":\"%s\",\"dataset\":\"%s\","
+          "\"level\":\"%s\",\"pool\":%u,\"threads\":1,\"recall\":%.4f,"
+          "\"qps\":%.1f,\"ndc\":%.1f}\n",
+          algo.c_str(), dataset.c_str(), KernelLevelName(level), pool,
+          point.recall, point.qps, point.mean_ndc);
+    }
+  }
+  SetKernelLevel(saved);
+}
+
+// ------------------------------------------------ google-benchmark suite
 
 void BM_L2Sqr(benchmark::State& state) {
   const auto dim = static_cast<uint32_t>(state.range(0));
@@ -29,6 +186,44 @@ void BM_L2Sqr(benchmark::State& state) {
 // The eight real-world dimensionalities of Table 3.
 BENCHMARK(BM_L2Sqr)->Arg(100)->Arg(128)->Arg(192)->Arg(256)->Arg(300)
     ->Arg(420)->Arg(960)->Arg(1369);
+
+// Same kernel pinned to the scalar oracle — the on-machine speedup is the
+// ratio of this benchmark to BM_L2Sqr at the same dim.
+void BM_L2SqrScalarOracle(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(dim), b(dim);
+  for (auto& v : a) v = rng.NextFloat();
+  for (auto& v : b) v = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2SqrScalar(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2SqrScalarOracle)->Arg(128)->Arg(256)->Arg(960);
+
+// Batched one-query-vs-many over a cache-straining row set: what the
+// routers' expansion step actually executes (prefetch included).
+void BM_L2SqrBatch(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  constexpr uint32_t kRows = 4096;
+  Rng rng(2);
+  std::vector<float> flat(static_cast<size_t>(kRows) * dim);
+  for (auto& v : flat) v = rng.NextFloat();
+  const Dataset data(kRows, dim, flat);
+  std::vector<float> query(dim);
+  for (auto& v : query) v = rng.NextFloat();
+  std::vector<uint32_t> ids(64);
+  for (auto& id : ids) id = static_cast<uint32_t>(rng.NextBounded(kRows));
+  std::vector<float> out(ids.size());
+  for (auto _ : state) {
+    L2SqrBatch(query.data(), data.RowBase(), data.row_stride(), data.dim(),
+               ids.data(), ids.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_L2SqrBatch)->Arg(128)->Arg(256)->Arg(960);
 
 void BM_CandidatePoolInsert(benchmark::State& state) {
   const auto capacity = static_cast<size_t>(state.range(0));
@@ -73,4 +268,12 @@ BENCHMARK(BM_RngNextBounded);
 }  // namespace
 }  // namespace weavess
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  weavess::RunKernelSweep();
+  weavess::RunQpsSweep();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -132,11 +132,13 @@ void HnswIndex::Build(const Dataset& data) {
     }
   }
 
-  // Materialize layer 0 for the uniform metrics interface.
+  // Materialize layer 0 for the uniform metrics interface, plus a flat CSR
+  // copy that the query-time level-0 search walks.
   base_layer_ = Graph(data.size());
   for (uint32_t v = 0; v < data.size(); ++v) {
     base_layer_.MutableNeighbors(v) = links_[v][0];
   }
+  base_csr_ = CsrGraph(base_layer_);
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
@@ -159,7 +161,10 @@ std::vector<uint32_t> HnswIndex::SearchWith(SearchScratch& scratch,
   CandidatePool& pool = scratch.pool;
   pool.Reset(std::max(params.pool_size, params.k));
   SeedPool({entry}, query, oracle, ctx, pool);
-  SearchLevel(query, 0, oracle, ctx, pool);
+  // Level 0 runs on the flat CSR copy: same best-first expansion order as
+  // SearchLevel(0) over links_, but over contiguous neighbor blocks with
+  // batched (bit-identical) distance evaluation.
+  BestFirstSearch(base_csr_, query, oracle, ctx, pool);
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;
@@ -176,7 +181,7 @@ size_t HnswIndex::IndexMemoryBytes() const {
                level_links.size() * sizeof(uint32_t);
     }
   }
-  return bytes;
+  return bytes + base_csr_.MemoryBytes();
 }
 
 std::unique_ptr<AnnIndex> CreateHnsw(const AlgorithmOptions& options) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algorithms/registry.h"
+#include "core/flat_graph.h"
 #include "core/index.h"
 #include "core/rng.h"
 #include "search/router.h"
@@ -63,6 +64,9 @@ class HnswIndex : public AnnIndex {
   // links_[v][level] = neighbor list of v at that level.
   std::vector<std::vector<std::vector<uint32_t>>> links_;
   Graph base_layer_;  // copy of level 0, exposed via graph()
+  // Flat CSR copy of the base layer: query-time level-0 search walks
+  // contiguous neighbor blocks (Appendix I) with batched distance kernels.
+  CsrGraph base_csr_;
   uint32_t entry_point_ = 0;
   uint32_t max_level_ = 0;
   Rng rng_;

@@ -1,0 +1,65 @@
+// Aligned allocation support for the SIMD distance kernels
+// (docs/KERNELS.md). Dataset rows are padded to kRowAlignment bytes so
+// every Row(i) pointer starts on a cache-line boundary: vector loads never
+// split a cache line and the software prefetcher can address whole rows.
+#ifndef WEAVESS_CORE_ALIGNED_H_
+#define WEAVESS_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace weavess {
+
+/// Alignment guarantee (bytes) for dataset row storage. One x86 cache line;
+/// also the widest vector register (AVX-512) the kernels dispatch to.
+inline constexpr size_t kRowAlignment = 64;
+
+/// Minimal C++17-style allocator handing out kRowAlignment-aligned blocks.
+/// All instantiations compare equal (stateless), so vectors using it are
+/// freely copyable and movable.
+template <typename T, size_t Alignment = kRowAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment % alignof(T) == 0,
+                "alignment must be a multiple of the type's alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t n) {
+    if (p == nullptr) return;
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Float storage whose data() pointer is kRowAlignment-aligned.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_ALIGNED_H_

@@ -4,14 +4,41 @@
 
 namespace weavess {
 
-Dataset::Dataset(uint32_t num, uint32_t dim, std::vector<float> data)
-    : num_(num), dim_(dim), data_(std::move(data)) {
-  WEAVESS_CHECK(data_.size() == static_cast<size_t>(num) * dim);
+namespace {
+
+uint32_t PaddedStride(uint32_t dim) {
+  const uint32_t q = Dataset::kStrideQuantum;
+  return (dim + q - 1) / q * q;
+}
+
+}  // namespace
+
+Dataset::Dataset(uint32_t num, uint32_t dim, const std::vector<float>& data)
+    : Dataset(num, dim, data.data()) {
+  WEAVESS_CHECK(data.size() == static_cast<size_t>(num) * dim);
+}
+
+Dataset::Dataset(uint32_t num, uint32_t dim, const float* src)
+    : num_(num),
+      dim_(dim),
+      stride_(PaddedStride(dim)),
+      data_(static_cast<size_t>(num) * PaddedStride(dim), 0.0f) {
+  WEAVESS_CHECK(num == 0 || src != nullptr);
+  // memcpy per row: src carries no alignment guarantee (fvecs payload
+  // offsets are 4-byte at best; callers may hand in byte-shifted buffers).
+  for (uint32_t i = 0; i < num; ++i) {
+    std::memcpy(data_.data() + static_cast<size_t>(i) * stride_,
+                src + static_cast<size_t>(i) * dim, sizeof(float) * dim);
+  }
 }
 
 Dataset Dataset::Zeros(uint32_t num, uint32_t dim) {
-  return Dataset(num, dim,
-                 std::vector<float>(static_cast<size_t>(num) * dim, 0.0f));
+  Dataset out;
+  out.num_ = num;
+  out.dim_ = dim;
+  out.stride_ = PaddedStride(dim);
+  out.data_.assign(static_cast<size_t>(num) * out.stride_, 0.0f);
+  return out;
 }
 
 Dataset Dataset::Subset(const std::vector<uint32_t>& ids) const {

@@ -1,6 +1,11 @@
 // In-memory vector dataset: the finite set S ⊂ E^d of Definition 2.1. All
 // algorithms in the library index a Dataset and search it with float
 // queries of the same dimension.
+//
+// Storage is row-padded and 64-byte aligned (core/aligned.h): every Row(i)
+// starts on a cache-line boundary so the SIMD distance kernels never split
+// a cache line and prefetched rows land whole. The padding floats are
+// zero-filled and invisible through the API (Row spans dim() floats).
 #ifndef WEAVESS_CORE_DATASET_H_
 #define WEAVESS_CORE_DATASET_H_
 
@@ -9,18 +14,32 @@
 #include <string>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/check.h"
 
 namespace weavess {
 
-/// Row-major dense float matrix holding `size()` vectors of `dim()` floats.
-/// Copyable (a plain value type); moves are cheap.
+/// Row-major dense float matrix holding `size()` vectors of `dim()` floats
+/// at a fixed `row_stride()` ≥ dim(). Copyable (a plain value type); moves
+/// are cheap.
 class Dataset {
  public:
+  static_assert(kRowAlignment % sizeof(float) == 0,
+                "row alignment must cover whole floats");
+  /// Floats per row-alignment unit; row strides are rounded up to this.
+  static constexpr uint32_t kStrideQuantum =
+      static_cast<uint32_t>(kRowAlignment / sizeof(float));
+
   Dataset() = default;
 
-  /// Takes ownership of `data`, which must hold `num * dim` floats.
-  Dataset(uint32_t num, uint32_t dim, std::vector<float> data);
+  /// Copies `data` (which must hold `num * dim` contiguous floats) into
+  /// aligned padded storage.
+  Dataset(uint32_t num, uint32_t dim, const std::vector<float>& data);
+
+  /// Copies `num * dim` floats from `src` into aligned padded storage.
+  /// `src` carries no alignment requirement — fvecs readers and network
+  /// buffers hand in arbitrary byte offsets.
+  Dataset(uint32_t num, uint32_t dim, const float* src);
 
   /// Allocates a zero-filled dataset.
   static Dataset Zeros(uint32_t num, uint32_t dim);
@@ -29,19 +48,33 @@ class Dataset {
   uint32_t dim() const { return dim_; }
   bool empty() const { return num_ == 0; }
 
-  /// Pointer to the i-th vector (valid for `dim()` floats).
+  /// Floats between consecutive rows (dim() rounded up to the alignment
+  /// quantum). The batched distance kernels address rows as
+  /// RowBase() + id * row_stride().
+  uint32_t row_stride() const { return stride_; }
+
+  /// Base pointer of the row storage (64-byte aligned), for the batched
+  /// kernels. Null for an empty dataset.
+  const float* RowBase() const { return data_.data(); }
+
+  /// Pointer to the i-th vector (valid for `dim()` floats, 64-byte
+  /// aligned).
   const float* Row(uint32_t i) const {
     WEAVESS_DCHECK(i < num_);
-    return data_.data() + static_cast<size_t>(i) * dim_;
+    return data_.data() + static_cast<size_t>(i) * stride_;
   }
   float* MutableRow(uint32_t i) {
     WEAVESS_DCHECK(i < num_);
-    return data_.data() + static_cast<size_t>(i) * dim_;
+    return data_.data() + static_cast<size_t>(i) * stride_;
   }
 
-  const std::vector<float>& raw() const { return data_; }
+  /// The padded aligned backing store (size() * row_stride() floats,
+  /// padding zero-filled). Equality of two raws implies equality of the
+  /// logical matrices — padding is deterministic.
+  const AlignedFloatVector& raw() const { return data_; }
 
-  /// Bytes consumed by the vector payload (used in index-size accounting).
+  /// Bytes consumed by the vector storage, padding included (used in
+  /// index-size accounting).
   size_t MemoryBytes() const { return data_.size() * sizeof(float); }
 
   /// Returns a dataset holding the rows listed in `ids`, in order.
@@ -60,7 +93,8 @@ class Dataset {
  private:
   uint32_t num_ = 0;
   uint32_t dim_ = 0;
-  std::vector<float> data_;
+  uint32_t stride_ = 0;
+  AlignedFloatVector data_;
 };
 
 }  // namespace weavess

@@ -1,26 +1,138 @@
+// Dispatch layer over the per-ISA kernels (distance_kernels.cc). The active
+// level is process-global: picked once from the CPU (or the
+// WEAVESS_FORCE_KERNEL override), swappable via SetKernelLevel. Because
+// every level computes the identical canonical reduction, switching levels
+// never changes a result — only how fast it arrives — which is what lets
+// the golden-recall pins hold bit-for-bit at every dispatch level.
 #include "core/distance.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/distance_kernels.h"
 
 namespace weavess {
 
-float L2Sqr(const float* a, const float* b, uint32_t dim) {
-  float sum = 0.0f;
-  for (uint32_t i = 0; i < dim; ++i) {
-    const float diff = a[i] - b[i];
-    sum += diff * diff;
+namespace {
+
+std::atomic<const detail::KernelOps*> g_ops{nullptr};
+std::atomic<KernelLevel> g_level{KernelLevel::kScalar};
+
+// First-use initialization: WEAVESS_FORCE_KERNEL when valid, else the best
+// CPU-supported level. Benignly racy — concurrent first callers compute
+// the same answer.
+const detail::KernelOps* InitDispatch() {
+  KernelLevel level = BestSupportedKernelLevel();
+  if (const char* force = std::getenv("WEAVESS_FORCE_KERNEL")) {
+    KernelLevel parsed;
+    if (!KernelLevelFromName(force, &parsed)) {
+      std::fprintf(stderr,
+                   "weavess: WEAVESS_FORCE_KERNEL='%s' is not a kernel level "
+                   "(scalar|avx2|avx512|neon); using %s\n",
+                   force, KernelLevelName(level));
+    } else if (!KernelLevelSupported(parsed)) {
+      std::fprintf(stderr,
+                   "weavess: WEAVESS_FORCE_KERNEL=%s is not supported on "
+                   "this CPU; using %s\n",
+                   force, KernelLevelName(level));
+    } else {
+      level = parsed;
+    }
   }
-  return sum;
+  const detail::KernelOps* ops = detail::OpsFor(level);
+  g_level.store(level, std::memory_order_relaxed);
+  g_ops.store(ops, std::memory_order_release);
+  return ops;
+}
+
+inline const detail::KernelOps* Ops() {
+  const detail::KernelOps* ops = g_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? ops : InitDispatch();
+}
+
+}  // namespace
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kAvx2:
+      return "avx2";
+    case KernelLevel::kAvx512:
+      return "avx512";
+    case KernelLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool KernelLevelFromName(const char* name, KernelLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512,
+        KernelLevel::kNeon}) {
+    if (std::strcmp(name, KernelLevelName(level)) == 0) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KernelLevelSupported(KernelLevel level) {
+  return detail::OpsFor(level) != nullptr;
+}
+
+KernelLevel BestSupportedKernelLevel() {
+  // Widest first. AVX-512 beats AVX2 beats scalar; NEON is the only
+  // vector tier on ARM.
+  for (KernelLevel level :
+       {KernelLevel::kAvx512, KernelLevel::kAvx2, KernelLevel::kNeon}) {
+    if (detail::OpsFor(level) != nullptr) return level;
+  }
+  return KernelLevel::kScalar;
+}
+
+KernelLevel ActiveKernelLevel() {
+  Ops();  // force first-use initialization
+  return g_level.load(std::memory_order_relaxed);
+}
+
+bool SetKernelLevel(KernelLevel level) {
+  const detail::KernelOps* ops = detail::OpsFor(level);
+  if (ops == nullptr) return false;
+  g_level.store(level, std::memory_order_relaxed);
+  g_ops.store(ops, std::memory_order_release);
+  return true;
+}
+
+float L2Sqr(const float* a, const float* b, uint32_t dim) {
+  return Ops()->l2(a, b, dim);
 }
 
 float Dot(const float* a, const float* b, uint32_t dim) {
-  float sum = 0.0f;
-  for (uint32_t i = 0; i < dim; ++i) sum += a[i] * b[i];
-  return sum;
+  return Ops()->dot(a, b, dim);
 }
 
-float NormSqr(const float* a, uint32_t dim) {
-  float sum = 0.0f;
-  for (uint32_t i = 0; i < dim; ++i) sum += a[i] * a[i];
-  return sum;
+float NormSqr(const float* a, uint32_t dim) { return Ops()->norm(a, dim); }
+
+void L2SqrBatch(const float* query, const float* base, size_t stride,
+                uint32_t dim, const uint32_t* ids, size_t n, float* out) {
+  Ops()->l2_batch(query, base, stride, dim, ids, n, out);
+}
+
+float L2SqrScalar(const float* a, const float* b, uint32_t dim) {
+  return detail::OpsFor(KernelLevel::kScalar)->l2(a, b, dim);
+}
+
+float DotScalar(const float* a, const float* b, uint32_t dim) {
+  return detail::OpsFor(KernelLevel::kScalar)->dot(a, b, dim);
+}
+
+float NormSqrScalar(const float* a, uint32_t dim) {
+  return detail::OpsFor(KernelLevel::kScalar)->norm(a, dim);
 }
 
 }  // namespace weavess

@@ -1,8 +1,14 @@
-// Euclidean distance kernels and the distance-evaluation counter that backs
-// the paper's Speedup metric (Speedup = |S| / NDC, §5.1).
+// Distance kernels and the distance-evaluation counter that backs the
+// paper's Speedup metric (Speedup = |S| / NDC, §5.1).
 //
 // The survey removed SIMD intrinsics from every algorithm for fairness; we
-// likewise use plain scalar loops and let the compiler vectorize.
+// keep that fairness a different way: runtime-dispatched vectorized kernels
+// (AVX2 / AVX-512 / NEON, scalar fallback) that are *bit-for-bit identical*
+// across dispatch levels, so recall, NDC, and traversal order never depend
+// on the machine the binary landed on. Every kernel — the scalar reference
+// included — computes the same canonical 16-lane partial-sum reduction
+// (docs/KERNELS.md); the differential suite in tests/kernel_test.cc pins
+// the equivalence over an exhaustive dim × alignment × dispatch matrix.
 #ifndef WEAVESS_CORE_DISTANCE_H_
 #define WEAVESS_CORE_DISTANCE_H_
 
@@ -13,6 +19,45 @@
 #include "core/dataset.h"
 
 namespace weavess {
+
+// ---------------------------------------------------------------- dispatch
+
+/// Instruction-set tiers the distance kernels dispatch across. Values are
+/// stable (they surface in the `kernel.dispatch` metrics gauge and in
+/// BENCH_kernels.json): 0 scalar, 1 AVX2, 2 AVX-512, 3 NEON.
+enum class KernelLevel : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Lowercase name used by WEAVESS_FORCE_KERNEL, the metrics taxonomy, and
+/// the bench JSON ("scalar", "avx2", "avx512", "neon").
+const char* KernelLevelName(KernelLevel level);
+
+/// Parses a WEAVESS_FORCE_KERNEL value; returns false on an unknown name.
+bool KernelLevelFromName(const char* name, KernelLevel* out);
+
+/// True when the running CPU can execute `level`. kScalar is always true.
+bool KernelLevelSupported(KernelLevel level);
+
+/// The widest supported level — the default dispatch choice.
+KernelLevel BestSupportedKernelLevel();
+
+/// Level the free-function kernels below currently dispatch to. On first
+/// use this initializes from the WEAVESS_FORCE_KERNEL environment variable
+/// when set to a supported level name (unknown or unsupported values warn
+/// on stderr and fall back), else from BestSupportedKernelLevel().
+KernelLevel ActiveKernelLevel();
+
+/// Re-points dispatch at `level`; returns false (and changes nothing) when
+/// the CPU does not support it. Not intended for concurrent use with
+/// in-flight searches: tests and tools set it up front. Because all levels
+/// are bit-for-bit equivalent, switching never changes results — only speed.
+bool SetKernelLevel(KernelLevel level);
+
+// ----------------------------------------------------------------- kernels
 
 /// Squared Euclidean distance between two d-dimensional vectors. All graph
 /// algorithms compare squared distances (monotone in the true distance), so
@@ -29,6 +74,24 @@ float Dot(const float* a, const float* b, uint32_t dim);
 
 /// Squared l2 norm.
 float NormSqr(const float* a, uint32_t dim);
+
+/// Batched one-query-vs-many-points form: out[i] = L2Sqr(query, row ids[i])
+/// where row r starts at `base + r * stride` floats and spans `dim` floats
+/// (stride ≥ dim; dataset rows are alignment-padded). Bit-for-bit equal to
+/// n single-pair calls; the batch form adds software prefetch of upcoming
+/// rows, which is where the gather-heavy search loops win their
+/// memory-level parallelism. `ids` may repeat; n may be 0.
+void L2SqrBatch(const float* query, const float* base, size_t stride,
+                uint32_t dim, const uint32_t* ids, size_t n, float* out);
+
+/// Always-scalar canonical reference implementations, independent of the
+/// dispatch state. These are the oracle the differential kernel tests
+/// compare every dispatched level against.
+float L2SqrScalar(const float* a, const float* b, uint32_t dim);
+float DotScalar(const float* a, const float* b, uint32_t dim);
+float NormSqrScalar(const float* a, uint32_t dim);
+
+// ---------------------------------------------------------------- counting
 
 /// Counts distance evaluations. One DistanceCounter is threaded through each
 /// build or search call; NDC (number of distance computations) per query is
@@ -54,6 +117,17 @@ class DistanceOracle {
   float ToQuery(const float* query, uint32_t id) {
     Count();
     return L2Sqr(query, data_->Row(id), data_->dim());
+  }
+
+  /// Batched query-vs-stored-points distances: out[i] corresponds to
+  /// ids[i]. Counts n evaluations — identical accounting to n ToQuery
+  /// calls — and is bit-for-bit equal to them; the batch form exists for
+  /// the prefetch-friendly inner search loops.
+  void ToQueryBatch(const float* query, const uint32_t* ids, size_t n,
+                    float* out) {
+    if (counter_ != nullptr) counter_->count += n;
+    L2SqrBatch(query, data_->RowBase(), data_->row_stride(), data_->dim(),
+               ids, n, out);
   }
 
   /// Distance between a query and an arbitrary vector (e.g., a tree

@@ -1,0 +1,345 @@
+// Vectorized distance kernels, one implementation per dispatch level, all
+// computing the identical canonical reduction (docs/KERNELS.md):
+//
+//   body = dim rounded down to a multiple of 16
+//   lane[j] += op(a[i+j], b[i+j])          for i = 0,16,32,..; j = 0..15
+//   r8[j] = lane[j] + lane[j+8]            j = 0..7
+//   r4[j] = r8[j]   + r8[j+4]              j = 0..3
+//   r2[j] = r4[j]   + r4[j+2]              j = 0..1
+//   sum   = r2[0]   + r2[1]
+//   sum  += op(a[i], b[i]) sequentially    for the dim % 16 tail
+//
+// Each lane operation is a plain IEEE sub/mul/add (never an FMA — this
+// translation unit is compiled with -ffp-contract=off), so the scalar,
+// AVX2, AVX-512, and NEON forms round identically at every step and return
+// bit-for-bit equal floats. tests/kernel_test.cc enforces this over an
+// exhaustive dim × alignment × dispatch matrix.
+//
+// AVX2 keeps lanes 0..7 and 8..15 in two ymm accumulators; AVX-512 keeps
+// all 16 in one zmm (its first reduction step — add the high 256 bits to
+// the low 256 — is exactly r8[j] = lane[j] + lane[j+8]); NEON keeps four
+// q registers. The tail always runs scalar: masked tail loads would fold
+// tail elements into lanes and change the summation order.
+#include "core/distance_kernels.h"
+
+#include "core/distance.h"
+#include "core/prefetch.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define WEAVESS_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define WEAVESS_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace weavess {
+namespace detail {
+namespace {
+
+// Shared batch skeleton: prefetch a few rows ahead, then evaluate with the
+// level's single-pair kernel, so batch == per-pair bit-for-bit by
+// construction. kLookahead rows ≈ the memory-level parallelism a search
+// loop can realistically keep in flight between pool insertions.
+template <float (*kL2)(const float*, const float*, uint32_t)>
+void L2SqrBatchWith(const float* query, const float* base, size_t stride,
+                    uint32_t dim, const uint32_t* ids, size_t n, float* out) {
+  constexpr size_t kLookahead = 4;
+  const size_t row_bytes = dim * sizeof(float);
+  const size_t warm = n < kLookahead ? n : kLookahead;
+  for (size_t i = 0; i < warm; ++i) {
+    PrefetchRegion(base + ids[i] * stride, row_bytes);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kLookahead < n) {
+      PrefetchRegion(base + ids[i + kLookahead] * stride, row_bytes);
+    }
+    out[i] = kL2(query, base + ids[i] * stride, dim);
+  }
+}
+
+// ------------------------------------------------------------------ scalar
+
+// Canonical tree reduction of the 16 partial sums (see file comment).
+inline float ReduceLanes16(const float* lanes) {
+  float r8[8];
+  for (int j = 0; j < 8; ++j) r8[j] = lanes[j] + lanes[j + 8];
+  float r4[4];
+  for (int j = 0; j < 4; ++j) r4[j] = r8[j] + r8[j + 4];
+  const float r2_0 = r4[0] + r4[2];
+  const float r2_1 = r4[1] + r4[3];
+  return r2_0 + r2_1;
+}
+
+float L2SqrScalarKernel(const float* a, const float* b, uint32_t dim) {
+  float lanes[16] = {};
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    for (uint32_t j = 0; j < 16; ++j) {
+      const float diff = a[i + j] - b[i + j];
+      lanes[j] += diff * diff;
+    }
+  }
+  float sum = ReduceLanes16(lanes);
+  for (; i < dim; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float DotScalarKernel(const float* a, const float* b, uint32_t dim) {
+  float lanes[16] = {};
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    for (uint32_t j = 0; j < 16; ++j) lanes[j] += a[i + j] * b[i + j];
+  }
+  float sum = ReduceLanes16(lanes);
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float NormSqrScalarKernel(const float* a, uint32_t dim) {
+  return DotScalarKernel(a, a, dim);
+}
+
+constexpr KernelOps kScalarOps = {
+    L2SqrScalarKernel,
+    DotScalarKernel,
+    NormSqrScalarKernel,
+    L2SqrBatchWith<L2SqrScalarKernel>,
+};
+
+// -------------------------------------------------------------------- AVX2
+
+#if WEAVESS_KERNELS_X86
+
+// r8 = lo + hi is the canonical lane[j] + lane[j+8] step; the rest mirrors
+// ReduceLanes16's tree exactly.
+__attribute__((target("avx2"))) inline float Reduce16Avx2(__m256 lo,
+                                                          __m256 hi) {
+  const __m256 r8 = _mm256_add_ps(lo, hi);
+  const __m128 r4 =
+      _mm_add_ps(_mm256_castps256_ps128(r8), _mm256_extractf128_ps(r8, 1));
+  const __m128 r2 = _mm_add_ps(r4, _mm_movehl_ps(r4, r4));
+  const __m128 r1 = _mm_add_ss(r2, _mm_shuffle_ps(r2, r2, 0x55));
+  return _mm_cvtss_f32(r1);
+}
+
+__attribute__((target("avx2"))) float L2SqrAvx2(const float* a,
+                                                const float* b,
+                                                uint32_t dim) {
+  __m256 acc_lo = _mm256_setzero_ps();
+  __m256 acc_hi = _mm256_setzero_ps();
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    const __m256 d_lo =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d_hi =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc_lo = _mm256_add_ps(acc_lo, _mm256_mul_ps(d_lo, d_lo));
+    acc_hi = _mm256_add_ps(acc_hi, _mm256_mul_ps(d_hi, d_hi));
+  }
+  float sum = Reduce16Avx2(acc_lo, acc_hi);
+  for (; i < dim; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) float DotAvx2(const float* a, const float* b,
+                                              uint32_t dim) {
+  __m256 acc_lo = _mm256_setzero_ps();
+  __m256 acc_hi = _mm256_setzero_ps();
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    acc_lo = _mm256_add_ps(
+        acc_lo, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc_hi = _mm256_add_ps(
+        acc_hi,
+        _mm256_mul_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8)));
+  }
+  float sum = Reduce16Avx2(acc_lo, acc_hi);
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) float NormSqrAvx2(const float* a,
+                                                  uint32_t dim) {
+  return DotAvx2(a, a, dim);
+}
+
+constexpr KernelOps kAvx2Ops = {
+    L2SqrAvx2,
+    DotAvx2,
+    NormSqrAvx2,
+    L2SqrBatchWith<L2SqrAvx2>,
+};
+
+// ----------------------------------------------------------------- AVX-512
+
+// High 256 bits extracted via the f64x4 form, which needs only AVX-512F
+// (extractf32x8 would require DQ).
+__attribute__((target("avx512f"))) inline float Reduce16Avx512(__m512 acc) {
+  const __m256 lo = _mm512_castps512_ps256(acc);
+  const __m256 hi = _mm256_castpd_ps(
+      _mm512_extractf64x4_pd(_mm512_castps_pd(acc), 1));
+  const __m256 r8 = _mm256_add_ps(lo, hi);
+  const __m128 r4 =
+      _mm_add_ps(_mm256_castps256_ps128(r8), _mm256_extractf128_ps(r8, 1));
+  const __m128 r2 = _mm_add_ps(r4, _mm_movehl_ps(r4, r4));
+  const __m128 r1 = _mm_add_ss(r2, _mm_shuffle_ps(r2, r2, 0x55));
+  return _mm_cvtss_f32(r1);
+}
+
+__attribute__((target("avx512f"))) float L2SqrAvx512(const float* a,
+                                                     const float* b,
+                                                     uint32_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(a + i),
+                                   _mm512_loadu_ps(b + i));
+    acc = _mm512_add_ps(acc, _mm512_mul_ps(d, d));
+  }
+  float sum = Reduce16Avx512(acc);
+  for (; i < dim; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float DotAvx512(const float* a,
+                                                   const float* b,
+                                                   uint32_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    acc = _mm512_add_ps(
+        acc, _mm512_mul_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  float sum = Reduce16Avx512(acc);
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float NormSqrAvx512(const float* a,
+                                                       uint32_t dim) {
+  return DotAvx512(a, a, dim);
+}
+
+constexpr KernelOps kAvx512Ops = {
+    L2SqrAvx512,
+    DotAvx512,
+    NormSqrAvx512,
+    L2SqrBatchWith<L2SqrAvx512>,
+};
+
+#endif  // WEAVESS_KERNELS_X86
+
+// -------------------------------------------------------------------- NEON
+
+#if WEAVESS_KERNELS_NEON
+
+// q0..q3 hold lanes 0-3 / 4-7 / 8-11 / 12-15; q0+q2 and q1+q3 are the
+// canonical lane[j] + lane[j+8] step, then the 8-lane tree as usual.
+// vmulq + vaddq, never vmlaq/vfmaq: fused multiply-add rounds differently.
+inline float Reduce16Neon(float32x4_t q0, float32x4_t q1, float32x4_t q2,
+                          float32x4_t q3) {
+  const float32x4_t r8_lo = vaddq_f32(q0, q2);
+  const float32x4_t r8_hi = vaddq_f32(q1, q3);
+  const float32x4_t r4 = vaddq_f32(r8_lo, r8_hi);
+  const float32x2_t r2 = vadd_f32(vget_low_f32(r4), vget_high_f32(r4));
+  return vget_lane_f32(vpadd_f32(r2, r2), 0);
+}
+
+float L2SqrNeon(const float* a, const float* b, uint32_t dim) {
+  float32x4_t q0 = vdupq_n_f32(0.0f), q1 = q0, q2 = q0, q3 = q0;
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t d1 =
+        vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    const float32x4_t d2 =
+        vsubq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    const float32x4_t d3 =
+        vsubq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+    q0 = vaddq_f32(q0, vmulq_f32(d0, d0));
+    q1 = vaddq_f32(q1, vmulq_f32(d1, d1));
+    q2 = vaddq_f32(q2, vmulq_f32(d2, d2));
+    q3 = vaddq_f32(q3, vmulq_f32(d3, d3));
+  }
+  float sum = Reduce16Neon(q0, q1, q2, q3);
+  for (; i < dim; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float DotNeon(const float* a, const float* b, uint32_t dim) {
+  float32x4_t q0 = vdupq_n_f32(0.0f), q1 = q0, q2 = q0, q3 = q0;
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    q0 = vaddq_f32(q0, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    q1 = vaddq_f32(q1, vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+    q2 = vaddq_f32(q2, vmulq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8)));
+    q3 = vaddq_f32(q3,
+                   vmulq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12)));
+  }
+  float sum = Reduce16Neon(q0, q1, q2, q3);
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float NormSqrNeon(const float* a, uint32_t dim) { return DotNeon(a, a, dim); }
+
+constexpr KernelOps kNeonOps = {
+    L2SqrNeon,
+    DotNeon,
+    NormSqrNeon,
+    L2SqrBatchWith<L2SqrNeon>,
+};
+
+#endif  // WEAVESS_KERNELS_NEON
+
+}  // namespace
+
+const KernelOps* OpsFor(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return &kScalarOps;
+    case KernelLevel::kAvx2:
+#if WEAVESS_KERNELS_X86
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Ops;
+#endif
+      return nullptr;
+    case KernelLevel::kAvx512:
+#if WEAVESS_KERNELS_X86
+      if (__builtin_cpu_supports("avx512f")) return &kAvx512Ops;
+#endif
+      return nullptr;
+    case KernelLevel::kNeon:
+#if WEAVESS_KERNELS_NEON
+      return &kNeonOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+}  // namespace weavess

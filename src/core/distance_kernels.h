@@ -1,0 +1,35 @@
+// Internal seam between the dispatch layer (distance.cc) and the per-ISA
+// kernel implementations (distance_kernels.cc). Every level implements the
+// same canonical 16-lane reduction (docs/KERNELS.md), so the table a level
+// exports is bit-for-bit interchangeable with every other level's.
+#ifndef WEAVESS_CORE_DISTANCE_KERNELS_H_
+#define WEAVESS_CORE_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace weavess {
+
+enum class KernelLevel : uint8_t;  // full definition in core/distance.h
+
+namespace detail {
+
+/// Function table one dispatch level exports. `l2_batch` computes
+/// out[i] = l2(query, base + ids[i] * stride, dim) with row prefetch;
+/// stride ≥ dim because dataset rows are alignment-padded.
+struct KernelOps {
+  float (*l2)(const float* a, const float* b, uint32_t dim);
+  float (*dot)(const float* a, const float* b, uint32_t dim);
+  float (*norm)(const float* a, uint32_t dim);
+  void (*l2_batch)(const float* query, const float* base, size_t stride,
+                   uint32_t dim, const uint32_t* ids, size_t n, float* out);
+};
+
+/// Table for `level`, or nullptr when the level is not compiled into this
+/// binary or the running CPU lacks the instructions. kScalar never fails.
+const KernelOps* OpsFor(KernelLevel level);
+
+}  // namespace detail
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_DISTANCE_KERNELS_H_

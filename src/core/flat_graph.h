@@ -23,6 +23,9 @@ namespace weavess {
 /// ids_[offsets_[v+1]).
 class CsrGraph {
  public:
+  /// Empty graph (zero vertices); indexes assign a real one after Build.
+  CsrGraph() : offsets_(1, 0) {}
+
   explicit CsrGraph(const Graph& graph);
 
   uint32_t size() const {

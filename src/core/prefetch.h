@@ -1,0 +1,35 @@
+// Software-prefetch helpers for the cache-conscious search hot path
+// (docs/KERNELS.md). No-ops where the builtin is unavailable; prefetches
+// are hints only and never change results.
+#ifndef WEAVESS_CORE_PREFETCH_H_
+#define WEAVESS_CORE_PREFETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace weavess {
+
+/// One-cache-line read prefetch into all cache levels.
+inline void PrefetchLine(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Prefetches the first `bytes` of a region, capped at four cache lines —
+/// enough to hide the first-touch miss of a vector row or adjacency block;
+/// the hardware prefetcher follows the sequential remainder.
+inline void PrefetchRegion(const void* p, size_t bytes) {
+  constexpr size_t kLine = 64;
+  constexpr size_t kMaxLines = 4;
+  const auto* base = static_cast<const char*>(p);
+  size_t lines = (bytes + kLine - 1) / kLine;
+  if (lines > kMaxLines) lines = kMaxLines;
+  for (size_t i = 0; i < lines; ++i) PrefetchLine(base + i * kLine);
+}
+
+}  // namespace weavess
+
+#endif  // WEAVESS_CORE_PREFETCH_H_

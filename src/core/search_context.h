@@ -7,6 +7,7 @@
 #define WEAVESS_CORE_SEARCH_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/budget.h"
 #include "core/clock.h"
@@ -63,6 +64,13 @@ struct SearchContext {
   bool truncated = false;
   SearchBudget budget;
   const DistanceCounter* budget_counter = nullptr;
+  /// Scratch for the routers' batched expansion step (search/router.h):
+  /// the unvisited neighbors of the vertex being expanded and their
+  /// batch-evaluated distances. Reused across expansions and queries so
+  /// steady-state search never reallocates; contents are transient within
+  /// one expansion.
+  std::vector<uint32_t> batch_ids;
+  std::vector<float> batch_dists;
   /// Optional per-query trace hook (docs/OBSERVABILITY.md): when non-null,
   /// routers record seed/expand/truncation events into it. Owned by the
   /// caller that armed it (the engine's SearchOne, or a test); BeginQuery

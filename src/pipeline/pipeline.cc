@@ -380,6 +380,9 @@ void PipelineIndex::Build(const Dataset& data) {
                         config_.connect_pool_size, &counter);
   }
 
+  // Flatten the finished adjacency into CSR for the search hot path.
+  search_csr_ = CsrGraph(graph_);
+
   build_stats_.seconds = timer.Seconds();
   build_stats_.distance_evals = counter.count;
 }
@@ -400,19 +403,20 @@ std::vector<uint32_t> PipelineIndex::SearchWith(SearchScratch& scratch,
   seed_provider_->Seed(query, oracle, ctx, pool);
   switch (config_.routing) {
     case RoutingKind::kBestFirst:
-      BestFirstSearch(graph_, query, oracle, ctx, pool);
+      BestFirstSearch(search_csr_, query, oracle, ctx, pool);
       break;
     case RoutingKind::kRange:
-      RangeSearch(graph_, query, oracle, ctx, pool, params.epsilon);
+      RangeSearch(search_csr_, query, oracle, ctx, pool, params.epsilon);
       break;
     case RoutingKind::kBacktrack:
-      BacktrackSearch(graph_, query, oracle, ctx, pool, params.backtrack);
+      BacktrackSearch(search_csr_, query, oracle, ctx, pool,
+                      params.backtrack);
       break;
     case RoutingKind::kGuided:
-      GuidedSearch(graph_, *data_, query, oracle, ctx, pool);
+      GuidedSearch(search_csr_, *data_, query, oracle, ctx, pool);
       break;
     case RoutingKind::kTwoStage:
-      TwoStageSearch(graph_, *data_, query, oracle, ctx, pool);
+      TwoStageSearch(search_csr_, *data_, query, oracle, ctx, pool);
       break;
   }
   if (stats != nullptr) {
@@ -424,7 +428,7 @@ std::vector<uint32_t> PipelineIndex::SearchWith(SearchScratch& scratch,
 }
 
 size_t PipelineIndex::IndexMemoryBytes() const {
-  return graph_.MemoryBytes() +
+  return graph_.MemoryBytes() + search_csr_.MemoryBytes() +
          (seed_provider_ ? seed_provider_->MemoryBytes() : 0);
 }
 

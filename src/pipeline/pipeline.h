@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "core/flat_graph.h"
 #include "core/index.h"
 #include "graph/nn_descent.h"
 #include "search/seed.h"
@@ -152,6 +153,10 @@ class PipelineIndex : public AnnIndex {
   PipelineConfig config_;
   const Dataset* data_ = nullptr;
   Graph graph_;
+  /// Flat CSR copy of graph_ materialized at the end of Build: the search
+  /// hot path iterates contiguous neighbor blocks instead of chasing
+  /// per-vertex vector headers (Appendix I; docs/KERNELS.md).
+  CsrGraph search_csr_;
   /// Root used by C5 connectivity repair; must be a search entry so that
   /// reachability-from-root implies reachability-from-seeds.
   uint32_t connect_root_ = 0;

@@ -32,6 +32,14 @@ SearchEngine::SearchEngine(const AnnIndex& index, uint32_t num_threads,
       pool_(num_threads - 1) {
   WEAVESS_CHECK(num_threads >= 1);
   WEAVESS_CHECK(index.graph().size() > 0);  // must be built
+  if (metrics_ != nullptr) {
+    // Which distance-kernel tier this process dispatches to (stable enum
+    // values of KernelLevel: 0 scalar, 1 avx2, 2 avx512, 3 neon). A gauge,
+    // not a counter: it answers "what ISA is this deployment actually
+    // running" when comparing QPS across hosts (docs/KERNELS.md).
+    metrics_->GetGauge("kernel.dispatch")
+        ->Set(static_cast<uint64_t>(ActiveKernelLevel()));
+  }
   // Pre-populate the free list so steady-state batches allocate nothing.
   free_scratch_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {

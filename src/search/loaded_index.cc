@@ -11,6 +11,7 @@ namespace weavess {
 LoadedGraphIndex::LoadedGraphIndex(Graph graph, const Dataset& data,
                                    std::string metadata)
     : graph_(std::move(graph)),
+      csr_(graph_),
       data_(&data),
       metadata_(std::move(metadata)),
       seeds_(graph_.size(), /*num_seeds=*/10, /*seed=*/2024) {}
@@ -32,7 +33,7 @@ std::vector<uint32_t> LoadedGraphIndex::SearchWith(SearchScratch& scratch,
   CandidatePool& pool = scratch.pool;
   pool.Reset(std::max(params.pool_size, params.k));
   seeds_.Seed(query, oracle, ctx, pool);
-  BestFirstSearch(graph_, query, oracle, ctx, pool);
+  BestFirstSearch(csr_, query, oracle, ctx, pool);
   if (stats != nullptr) {
     stats->distance_evals = counter.count;
     stats->hops = ctx.hops;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/flat_graph.h"
 #include "core/index.h"
 #include "search/seed.h"
 
@@ -32,7 +33,7 @@ class LoadedGraphIndex final : public AnnIndex {
   const Graph& graph() const override { return graph_; }
 
   size_t IndexMemoryBytes() const override {
-    return graph_.MemoryBytes() + seeds_.MemoryBytes();
+    return graph_.MemoryBytes() + csr_.MemoryBytes() + seeds_.MemoryBytes();
   }
 
   BuildStats build_stats() const override { return {}; }
@@ -45,6 +46,9 @@ class LoadedGraphIndex final : public AnnIndex {
 
  private:
   Graph graph_;
+  // Flat CSR copy of graph_ built at load time; the search hot path walks
+  // contiguous neighbor blocks (Appendix I; docs/KERNELS.md).
+  CsrGraph csr_;
   const Dataset* data_;
   std::string metadata_;
   RandomSeedProvider seeds_;

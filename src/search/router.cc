@@ -1,29 +1,6 @@
 #include "search/router.h"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-
 namespace weavess {
-
-namespace {
-
-// Trace helpers: one branch when tracing is off (the common case).
-inline void TraceExpand(SearchContext& ctx, uint32_t vertex) {
-  if (ctx.trace != nullptr) {
-    ctx.trace->Record(TraceEventKind::kExpand, vertex);
-  }
-}
-
-inline void TraceTruncated(SearchContext& ctx) {
-  if (ctx.trace != nullptr) {
-    const uint64_t evals =
-        ctx.budget_counter != nullptr ? ctx.budget_counter->count : 0;
-    ctx.trace->Record(TraceEventKind::kTruncated, 0, evals);
-  }
-}
-
-}  // namespace
 
 void SeedPool(const std::vector<uint32_t>& ids, const float* query,
               DistanceOracle& oracle, SearchContext& ctx,
@@ -33,186 +10,6 @@ void SeedPool(const std::vector<uint32_t>& ids, const float* query,
     if (ctx.trace != nullptr) ctx.trace->Record(TraceEventKind::kSeed, id);
     pool.Insert(Neighbor(id, oracle.ToQuery(query, id)));
   }
-}
-
-void BestFirstSearch(const Graph& graph, const float* query,
-                     DistanceOracle& oracle, SearchContext& ctx,
-                     CandidatePool& pool) {
-  size_t next;
-  while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
-    if (ctx.BudgetExhausted()) {
-      ctx.truncated = true;
-      TraceTruncated(ctx);
-      return;
-    }
-    const uint32_t current = pool[next].id;
-    pool.MarkChecked(next);
-    ++ctx.hops;
-    TraceExpand(ctx, current);
-    for (uint32_t neighbor : graph.Neighbors(current)) {
-      if (ctx.visited.CheckAndMark(neighbor)) continue;
-      const float dist = oracle.ToQuery(query, neighbor);
-      pool.Insert(Neighbor(neighbor, dist));
-    }
-  }
-}
-
-void BacktrackSearch(const Graph& graph, const float* query,
-                     DistanceOracle& oracle, SearchContext& ctx,
-                     CandidatePool& pool, uint32_t backtrack_budget) {
-  // Overflow queue of evaluated-but-unexpanded vertices that did not make
-  // (or fell out of) the pool; backtracking resumes from these.
-  std::priority_queue<Neighbor, std::vector<Neighbor>,
-                      std::greater<Neighbor>>
-      overflow;
-  auto expand = [&](uint32_t current) {
-    ++ctx.hops;
-    TraceExpand(ctx, current);
-    for (uint32_t neighbor : graph.Neighbors(current)) {
-      if (ctx.visited.CheckAndMark(neighbor)) continue;
-      const float dist = oracle.ToQuery(query, neighbor);
-      if (pool.Insert(Neighbor(neighbor, dist)) == CandidatePool::kNpos) {
-        overflow.push(Neighbor(neighbor, dist));
-      }
-    }
-  };
-  size_t next;
-  while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
-    if (ctx.BudgetExhausted()) {
-      ctx.truncated = true;
-      TraceTruncated(ctx);
-      return;
-    }
-    const uint32_t current = pool[next].id;
-    pool.MarkChecked(next);
-    expand(current);
-  }
-  // Converged: backtrack to the closest unexplored vertices seen so far.
-  uint32_t spent = 0;
-  while (spent < backtrack_budget && !overflow.empty()) {
-    if (ctx.BudgetExhausted()) {
-      ctx.truncated = true;
-      TraceTruncated(ctx);
-      return;
-    }
-    const Neighbor candidate = overflow.top();
-    overflow.pop();
-    ++spent;
-    expand(candidate.id);
-    // Expansion may have refilled the pool with unchecked improvements.
-    while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
-      if (ctx.BudgetExhausted()) {
-        ctx.truncated = true;
-        TraceTruncated(ctx);
-        return;
-      }
-      const uint32_t current = pool[next].id;
-      pool.MarkChecked(next);
-      expand(current);
-    }
-  }
-}
-
-void RangeSearch(const Graph& graph, const float* query,
-                 DistanceOracle& oracle, SearchContext& ctx,
-                 CandidatePool& pool, float epsilon) {
-  const float expansion = (1.0f + epsilon) * (1.0f + epsilon);  // squared l2
-  std::priority_queue<Neighbor, std::vector<Neighbor>,
-                      std::greater<Neighbor>>
-      frontier;
-  for (const Neighbor& seed : pool.entries()) frontier.push(seed);
-  while (!frontier.empty()) {
-    if (ctx.BudgetExhausted()) {
-      ctx.truncated = true;
-      TraceTruncated(ctx);
-      return;
-    }
-    const Neighbor current = frontier.top();
-    frontier.pop();
-    const float radius = pool.WorstDistance();
-    if (pool.full() && current.distance > expansion * radius) break;
-    ++ctx.hops;
-    TraceExpand(ctx, current.id);
-    for (uint32_t neighbor : graph.Neighbors(current.id)) {
-      if (ctx.visited.CheckAndMark(neighbor)) continue;
-      const float dist = oracle.ToQuery(query, neighbor);
-      if (dist < expansion * pool.WorstDistance()) {
-        frontier.push(Neighbor(neighbor, dist));
-        pool.Insert(Neighbor(neighbor, dist));
-      }
-    }
-  }
-}
-
-namespace {
-
-// Dominant dimension of the query direction at `row`: the coordinate with
-// the largest |query - row| gap. Guided search only follows neighbors that
-// agree with the query's sign on that coordinate.
-uint32_t DominantDim(const float* row, const float* query, uint32_t dim) {
-  uint32_t best = 0;
-  float best_gap = -1.0f;
-  for (uint32_t d = 0; d < dim; ++d) {
-    const float gap = std::fabs(query[d] - row[d]);
-    if (gap > best_gap) {
-      best_gap = gap;
-      best = d;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
-void GuidedSearch(const Graph& graph, const Dataset& data, const float* query,
-                  DistanceOracle& oracle, SearchContext& ctx,
-                  CandidatePool& pool) {
-  const uint32_t dim = data.dim();
-  size_t next;
-  while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
-    if (ctx.BudgetExhausted()) {
-      ctx.truncated = true;
-      TraceTruncated(ctx);
-      return;
-    }
-    const uint32_t current = pool[next].id;
-    pool.MarkChecked(next);
-    ++ctx.hops;
-    TraceExpand(ctx, current);
-    const float* row = data.Row(current);
-    const uint32_t guide_dim = DominantDim(row, query, dim);
-    const bool query_side = query[guide_dim] >= row[guide_dim];
-    for (uint32_t neighbor : graph.Neighbors(current)) {
-      // Direction filter: skip neighbors on the wrong side of the guide
-      // coordinate once the pool is warm. Coordinate comparisons only — no
-      // distance evaluation is spent on skipped neighbors.
-      if (pool.full()) {
-        const bool neighbor_side =
-            data.Row(neighbor)[guide_dim] >= row[guide_dim];
-        if (neighbor_side != query_side) continue;
-      }
-      if (ctx.visited.CheckAndMark(neighbor)) continue;
-      const float dist = oracle.ToQuery(query, neighbor);
-      pool.Insert(Neighbor(neighbor, dist));
-    }
-  }
-}
-
-void TwoStageSearch(const Graph& graph, const Dataset& data,
-                    const float* query, DistanceOracle& oracle,
-                    SearchContext& ctx, CandidatePool& pool) {
-  // Stage 1: guided search homes in cheaply on the query region.
-  GuidedSearch(graph, data, query, oracle, ctx, pool);
-  if (ctx.truncated) return;  // budget tripped: keep stage-1 best-so-far
-  // Stage 2: re-open the pool entries for full best-first expansion. The
-  // visited set persists, so stage 2 only pays for vertices the direction
-  // filter skipped.
-  CandidatePool refined(pool.capacity());
-  for (const Neighbor& entry : pool.entries()) {
-    refined.Insert(Neighbor(entry.id, entry.distance));
-  }
-  BestFirstSearch(graph, query, oracle, ctx, refined);
-  pool = std::move(refined);
 }
 
 std::vector<uint32_t> ExtractTopK(const CandidatePool& pool, uint32_t k) {

@@ -95,7 +95,24 @@ TEST(DatasetTest, ConstructionAndAccess) {
   EXPECT_EQ(data.size(), 2u);
   EXPECT_EQ(data.dim(), 3u);
   EXPECT_FLOAT_EQ(data.Row(1)[2], 6.0f);
-  EXPECT_EQ(data.MemoryBytes(), 6 * sizeof(float));
+  // Rows are padded out to the 64-byte alignment quantum (16 floats), so
+  // the footprint reflects the stride, not the logical dim.
+  EXPECT_GE(data.row_stride(), data.dim());
+  EXPECT_EQ(data.row_stride() % Dataset::kStrideQuantum, 0u);
+  EXPECT_EQ(data.MemoryBytes(),
+            2ull * data.row_stride() * sizeof(float));
+}
+
+TEST(DatasetTest, RowsAre64ByteAligned) {
+  // Every row start must sit on a 64-byte boundary regardless of dim —
+  // the SIMD kernels and prefetch hints rely on it.
+  for (uint32_t dim : {1u, 3u, 7u, 16u, 17u, 100u, 128u, 257u}) {
+    Dataset data = Dataset::Zeros(5, dim);
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(data.Row(i)) % kRowAlignment, 0u)
+          << "dim=" << dim << " row=" << i;
+    }
+  }
 }
 
 TEST(DatasetTest, ZerosIsZero) {

@@ -1,0 +1,344 @@
+// Differential kernel-test suite (docs/KERNELS.md): proves the vectorized
+// distance kernels bit-for-bit equivalent to the scalar canonical oracle
+// over an exhaustive dim × alignment × dispatch matrix, that the batched
+// form equals per-pair calls, that the golden-recall pins are invariant
+// under every dispatch level, and that results stay thread-count invariant
+// with the kernels in the hot path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/aligned.h"
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/rng.h"
+#include "eval/evaluator.h"
+#include "search/engine.h"
+#include "test_util.h"
+
+namespace weavess {
+namespace {
+
+std::vector<KernelLevel> SupportedLevels() {
+  std::vector<KernelLevel> levels;
+  for (KernelLevel level : {KernelLevel::kScalar, KernelLevel::kAvx2,
+                            KernelLevel::kAvx512, KernelLevel::kNeon}) {
+    if (KernelLevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+// Restores the pre-test dispatch level no matter how the test exits.
+class ScopedKernelLevel {
+ public:
+  explicit ScopedKernelLevel(KernelLevel level)
+      : saved_(ActiveKernelLevel()) {
+    EXPECT_TRUE(SetKernelLevel(level));
+  }
+  ~ScopedKernelLevel() { SetKernelLevel(saved_); }
+
+ private:
+  KernelLevel saved_;
+};
+
+// Fills [out, out + n) with deterministic values of mixed sign/magnitude.
+void FillRandom(float* out, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng.NextGaussian()) *
+             (1.0f + static_cast<float>(i % 7));
+  }
+}
+
+// Sequential double-precision references — an order-independent accuracy
+// bound, NOT the bit-exactness oracle (that is L2SqrScalar).
+double L2SqrDouble(const float* a, const float* b, uint32_t dim) {
+  double sum = 0.0;
+  for (uint32_t d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(a[d]) - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double DotDouble(const float* a, const float* b, uint32_t dim) {
+  double sum = 0.0;
+  for (uint32_t d = 0; d < dim; ++d) {
+    sum += static_cast<double>(a[d]) * b[d];
+  }
+  return sum;
+}
+
+constexpr uint32_t kMaxDim = 257;  // spans >16 full 16-lane blocks + tails
+// Start offsets (in floats) applied to 64-byte aligned buffers: covers
+// aligned, element-misaligned, and cacheline-straddling inputs.
+constexpr size_t kOffsets[] = {0, 1, 2, 3, 5, 8, 13};
+
+TEST(KernelDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(KernelLevelSupported(KernelLevel::kScalar));
+  EXPECT_TRUE(KernelLevelSupported(BestSupportedKernelLevel()));
+}
+
+TEST(KernelDispatchTest, LevelNamesRoundTrip) {
+  for (KernelLevel level : {KernelLevel::kScalar, KernelLevel::kAvx2,
+                            KernelLevel::kAvx512, KernelLevel::kNeon}) {
+    KernelLevel parsed;
+    ASSERT_TRUE(KernelLevelFromName(KernelLevelName(level), &parsed))
+        << KernelLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  KernelLevel parsed;
+  EXPECT_FALSE(KernelLevelFromName("sse9", &parsed));
+  EXPECT_FALSE(KernelLevelFromName("", &parsed));
+  EXPECT_FALSE(KernelLevelFromName(nullptr, &parsed));
+  EXPECT_FALSE(KernelLevelFromName("scalar", nullptr));
+}
+
+TEST(KernelDispatchTest, SetUnsupportedLevelFailsAndKeepsActive) {
+  const KernelLevel active = ActiveKernelLevel();
+  for (KernelLevel level : {KernelLevel::kScalar, KernelLevel::kAvx2,
+                            KernelLevel::kAvx512, KernelLevel::kNeon}) {
+    if (KernelLevelSupported(level)) continue;
+    EXPECT_FALSE(SetKernelLevel(level)) << KernelLevelName(level);
+    EXPECT_EQ(ActiveKernelLevel(), active);
+  }
+}
+
+TEST(KernelDispatchTest, SetSupportedLevelSwitchesActive) {
+  const KernelLevel saved = ActiveKernelLevel();
+  for (KernelLevel level : SupportedLevels()) {
+    ASSERT_TRUE(SetKernelLevel(level));
+    EXPECT_EQ(ActiveKernelLevel(), level);
+  }
+  ASSERT_TRUE(SetKernelLevel(saved));
+}
+
+// The scalar canonical reduction must itself be an accurate l2/dot: within
+// a small relative error of the sequential double-precision reference at
+// every dim. (Bit-exactness of the other levels is proven against scalar.)
+TEST(KernelDifferentialTest, ScalarTracksDoubleReference) {
+  AlignedFloatVector a(kMaxDim), b(kMaxDim);
+  FillRandom(a.data(), a.size(), /*seed=*/11);
+  FillRandom(b.data(), b.size(), /*seed=*/22);
+  for (uint32_t dim = 1; dim <= kMaxDim; ++dim) {
+    const double ref = L2SqrDouble(a.data(), b.data(), dim);
+    const double got = L2SqrScalar(a.data(), b.data(), dim);
+    EXPECT_NEAR(got, ref, 1e-4 * (1.0 + std::fabs(ref))) << "dim=" << dim;
+    const double dref = DotDouble(a.data(), b.data(), dim);
+    const double dgot = DotScalar(a.data(), b.data(), dim);
+    EXPECT_NEAR(dgot, dref, 1e-4 * (1.0 + std::fabs(dref))) << "dim=" << dim;
+  }
+}
+
+// The core differential matrix: every supported level × every dim 1..257 ×
+// every alignment offset must equal the scalar oracle BIT FOR BIT, for
+// l2, dot, and norm. Tail remainders (dim % 16 ∈ 0..15) are all covered.
+TEST(KernelDifferentialTest, AllLevelsBitwiseEqualScalarAcrossDimAndAlignment) {
+  constexpr size_t kMaxOffset = 13;
+  AlignedFloatVector a_buf(kMaxDim + kMaxOffset);
+  AlignedFloatVector b_buf(kMaxDim + kMaxOffset);
+  FillRandom(a_buf.data(), a_buf.size(), /*seed=*/33);
+  FillRandom(b_buf.data(), b_buf.size(), /*seed=*/44);
+  for (KernelLevel level : SupportedLevels()) {
+    if (level == KernelLevel::kScalar) continue;
+    ScopedKernelLevel scoped(level);
+    for (size_t off_a : kOffsets) {
+      for (size_t off_b : kOffsets) {
+        const float* a = a_buf.data() + off_a;
+        const float* b = b_buf.data() + off_b;
+        for (uint32_t dim = 1; dim <= kMaxDim; ++dim) {
+          const float l2 = L2Sqr(a, b, dim);
+          const float l2_ref = L2SqrScalar(a, b, dim);
+          ASSERT_EQ(l2, l2_ref)
+              << KernelLevelName(level) << " l2 dim=" << dim
+              << " off_a=" << off_a << " off_b=" << off_b;
+          const float dot = Dot(a, b, dim);
+          const float dot_ref = DotScalar(a, b, dim);
+          ASSERT_EQ(dot, dot_ref)
+              << KernelLevelName(level) << " dot dim=" << dim
+              << " off_a=" << off_a << " off_b=" << off_b;
+          const float norm = NormSqr(a, dim);
+          const float norm_ref = NormSqrScalar(a, dim);
+          ASSERT_EQ(norm, norm_ref)
+              << KernelLevelName(level) << " norm dim=" << dim
+              << " off_a=" << off_a << " off_b=" << off_b;
+        }
+      }
+    }
+  }
+}
+
+// Batched = per-pair, bit for bit, at every level — including repeated ids
+// and the empty batch. This is what lets the routers batch expansions
+// without perturbing traversal order.
+TEST(KernelDifferentialTest, BatchedEqualsPerPairAtEveryLevel) {
+  for (uint32_t dim : {1u, 7u, 16u, 17u, 100u, 128u, 255u, 256u, 257u}) {
+    const uint32_t n = 64;
+    std::vector<float> flat(static_cast<size_t>(n) * dim);
+    FillRandom(flat.data(), flat.size(), /*seed=*/dim);
+    Dataset data(n, dim, flat);
+    AlignedFloatVector query(dim);
+    FillRandom(query.data(), dim, /*seed=*/1000 + dim);
+
+    // Ids with duplicates and non-monotone order.
+    std::vector<uint32_t> ids;
+    Rng rng(7);
+    for (uint32_t i = 0; i < 96; ++i) {
+      ids.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+    }
+    ids.push_back(0);
+    ids.push_back(n - 1);
+    ids.push_back(0);
+
+    for (KernelLevel level : SupportedLevels()) {
+      ScopedKernelLevel scoped(level);
+      std::vector<float> batched(ids.size());
+      L2SqrBatch(query.data(), data.RowBase(), data.row_stride(), data.dim(),
+                 ids.data(), ids.size(), batched.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const float single = L2Sqr(query.data(), data.Row(ids[i]), dim);
+        ASSERT_EQ(batched[i], single)
+            << KernelLevelName(level) << " dim=" << dim << " i=" << i;
+        const float scalar_ref =
+            L2SqrScalar(query.data(), data.Row(ids[i]), dim);
+        ASSERT_EQ(batched[i], scalar_ref)
+            << KernelLevelName(level) << " dim=" << dim << " i=" << i;
+      }
+      // Empty batch: a no-op that must not touch out.
+      float sentinel = -42.0f;
+      L2SqrBatch(query.data(), data.RowBase(), data.row_stride(), data.dim(),
+                 ids.data(), 0, &sentinel);
+      EXPECT_EQ(sentinel, -42.0f);
+    }
+  }
+}
+
+// DistanceOracle::ToQueryBatch must count exactly n evaluations and return
+// exactly what n ToQuery calls return.
+TEST(KernelDifferentialTest, OracleBatchCountsAndMatches) {
+  const auto tw = ::weavess::testing::MakeTestWorkload(/*num_base=*/200);
+  const Dataset& base = tw.workload.base;
+  const float* query = tw.workload.queries.Row(0);
+  std::vector<uint32_t> ids = {0, 5, 5, 17, 199, 3};
+  DistanceCounter batch_counter;
+  DistanceOracle batch_oracle(base, &batch_counter);
+  std::vector<float> batched(ids.size());
+  batch_oracle.ToQueryBatch(query, ids.data(), ids.size(), batched.data());
+  EXPECT_EQ(batch_counter.count, ids.size());
+  DistanceCounter single_counter;
+  DistanceOracle single_oracle(base, &single_counter);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batched[i], single_oracle.ToQuery(query, ids[i])) << i;
+  }
+  EXPECT_EQ(single_counter.count, batch_counter.count);
+}
+
+// ------------------------------------------------------------ end to end
+
+struct GoldenPin {
+  const char* algo;
+  double recall;
+  double mean_ndc;
+};
+
+// Same pins (and tolerances) as golden_recall_test.cc — re-asserted here
+// under EVERY dispatch level, plus exact cross-level equality: build and
+// search must produce identical recall and identical NDC whether the
+// kernels ran scalar, AVX2, or AVX-512.
+TEST(KernelGoldenTest, PinsBitForBitInvariantAcrossDispatchLevels) {
+  constexpr GoldenPin kPins[] = {{"HNSW", 1.000, 234.175},
+                                 {"NSG", 1.000, 213.675},
+                                 {"KGraph", 1.000, 228.500},
+                                 {"OA", 0.920, 185.325}};
+  constexpr double kRecallTol = 0.02;
+  constexpr double kNdcRelTol = 0.05;
+  const auto tw = ::weavess::testing::MakeTestWorkload();
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 60;
+  for (const GoldenPin& pin : kPins) {
+    bool have_ref = false;
+    double ref_recall = 0.0, ref_ndc = 0.0;
+    for (KernelLevel level : SupportedLevels()) {
+      ScopedKernelLevel scoped(level);
+      auto index = CreateAlgorithm(pin.algo, AlgorithmOptions());
+      index->Build(tw.workload.base);
+      const SearchPoint point =
+          EvaluateSearch(*index, tw.workload.queries, tw.truth, params);
+      EXPECT_NEAR(point.recall, pin.recall, kRecallTol)
+          << pin.algo << " @ " << KernelLevelName(level);
+      EXPECT_NEAR(point.mean_ndc, pin.mean_ndc, pin.mean_ndc * kNdcRelTol)
+          << pin.algo << " @ " << KernelLevelName(level);
+      if (!have_ref) {
+        have_ref = true;
+        ref_recall = point.recall;
+        ref_ndc = point.mean_ndc;
+      } else {
+        // Exact equality, not tolerance: the dispatch level must be
+        // unobservable in results.
+        EXPECT_EQ(point.recall, ref_recall)
+            << pin.algo << " @ " << KernelLevelName(level);
+        EXPECT_EQ(point.mean_ndc, ref_ndc)
+            << pin.algo << " @ " << KernelLevelName(level);
+      }
+    }
+  }
+}
+
+// Per-query result ids must be identical at every dispatch level — a
+// stronger check than recall equality (recall can mask id swaps).
+TEST(KernelGoldenTest, ResultIdsIdenticalAcrossDispatchLevels) {
+  const auto tw = ::weavess::testing::MakeTestWorkload();
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 60;
+  std::vector<std::vector<uint32_t>> reference;
+  bool have_ref = false;
+  for (KernelLevel level : SupportedLevels()) {
+    ScopedKernelLevel scoped(level);
+    auto index = CreateAlgorithm("HNSW", AlgorithmOptions());
+    index->Build(tw.workload.base);
+    std::vector<std::vector<uint32_t>> results;
+    for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+      results.push_back(index->Search(tw.workload.queries.Row(q), params));
+    }
+    if (!have_ref) {
+      have_ref = true;
+      reference = std::move(results);
+    } else {
+      EXPECT_EQ(results, reference) << KernelLevelName(level);
+    }
+  }
+}
+
+// Thread-count invariance survives the kernel hot path: the engine's
+// batched results are identical at 1, 2, and 8 threads under the widest
+// supported level.
+TEST(KernelGoldenTest, ThreadCountInvariantUnderBestLevel) {
+  const auto tw = ::weavess::testing::MakeTestWorkload();
+  ScopedKernelLevel scoped(BestSupportedKernelLevel());
+  auto index = CreateAlgorithm("HNSW", AlgorithmOptions());
+  index->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 60;
+  BatchResult reference;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SearchEngine engine(*index, threads);
+    BatchResult result = engine.SearchBatch(tw.workload.queries, params);
+    if (threads == 1) {
+      reference = std::move(result);
+      continue;
+    }
+    ASSERT_EQ(result.ids, reference.ids) << "threads=" << threads;
+    EXPECT_EQ(result.totals.distance_evals, reference.totals.distance_evals);
+    EXPECT_EQ(result.totals.hops, reference.totals.hops);
+  }
+}
+
+}  // namespace
+}  // namespace weavess

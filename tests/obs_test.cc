@@ -9,8 +9,12 @@
 #include <thread>
 #include <vector>
 
+#include "algorithms/registry.h"
+#include "core/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "search/engine.h"
+#include "test_util.h"
 
 namespace weavess {
 namespace {
@@ -292,6 +296,23 @@ TEST(TraceSinkTest, BoundedCapacityCountsDrops) {
   EXPECT_EQ(sink.dropped(), 0u);
   sink.Record(TraceEventKind::kSeed, 5);
   EXPECT_EQ(sink.events().size(), 1u);
+}
+
+// ---------- kernel.dispatch gauge ----------
+
+TEST(KernelDispatchGaugeTest, EngineExportsActiveKernelLevel) {
+  // A registry-attached engine publishes which distance-kernel ISA tier the
+  // process dispatches to, using KernelLevel's stable numeric values
+  // (docs/KERNELS.md). Deployments compare QPS across hosts against it.
+  const auto tw = ::weavess::testing::MakeTestWorkload(/*num_base=*/300);
+  auto index = CreateAlgorithm("KGraph", AlgorithmOptions());
+  index->Build(tw.workload.base);
+  MetricsRegistry registry;
+  const SearchEngine engine(*index, 1, &registry);
+  EXPECT_EQ(registry.GaugeValue("kernel.dispatch"),
+            static_cast<uint64_t>(ActiveKernelLevel()));
+  // The gauge appears in the versioned JSON snapshot under its stable name.
+  EXPECT_NE(registry.ToJson().find("\"kernel.dispatch\""), std::string::npos);
 }
 
 TEST(TraceSinkTest, KindNamesAreStable) {

@@ -291,5 +291,52 @@ TEST(TopKMergeProperty, EdgeCases) {
   EXPECT_EQ(zero.size(), 0u);
 }
 
+// Randomized kernel property (docs/KERNELS.md): for any dim, any id
+// multiset, and every dispatch level this CPU supports, the batched kernel,
+// the per-pair dispatched kernel, and the always-scalar oracle agree bit
+// for bit. The exhaustive dim × alignment matrix lives in kernel_test.cc;
+// this sweep covers random (dim, n, ids) combinations it does not.
+TEST(KernelProperty, BatchedEqualsPerPairEqualsScalarAtEveryLevel) {
+  std::vector<KernelLevel> levels;
+  for (KernelLevel level : {KernelLevel::kScalar, KernelLevel::kAvx2,
+                            KernelLevel::kAvx512, KernelLevel::kNeon}) {
+    if (KernelLevelSupported(level)) levels.push_back(level);
+  }
+  const KernelLevel saved = ActiveKernelLevel();
+  Rng rng(29);
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t dim = 1 + static_cast<uint32_t>(rng.NextBounded(300));
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBounded(40));
+    std::vector<float> flat(static_cast<size_t>(n) * dim);
+    for (auto& v : flat) {
+      v = static_cast<float>(rng.NextGaussian()) * 3.0f;
+    }
+    Dataset data(n, dim, flat);
+    std::vector<float> query(dim);
+    for (auto& v : query) v = static_cast<float>(rng.NextGaussian());
+    std::vector<uint32_t> ids(1 + rng.NextBounded(64));
+    for (auto& id : ids) id = static_cast<uint32_t>(rng.NextBounded(n));
+    std::vector<float> scalar_ref(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      scalar_ref[i] = L2SqrScalar(query.data(), data.Row(ids[i]), dim);
+    }
+    for (KernelLevel level : levels) {
+      ASSERT_TRUE(SetKernelLevel(level));
+      std::vector<float> batched(ids.size());
+      L2SqrBatch(query.data(), data.RowBase(), data.row_stride(), data.dim(),
+                 ids.data(), ids.size(), batched.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(batched[i], L2Sqr(query.data(), data.Row(ids[i]), dim))
+            << "trial " << trial << " level " << KernelLevelName(level)
+            << " dim " << dim << " i " << i;
+        ASSERT_EQ(batched[i], scalar_ref[i])
+            << "trial " << trial << " level " << KernelLevelName(level)
+            << " dim " << dim << " i " << i;
+      }
+    }
+  }
+  ASSERT_TRUE(SetKernelLevel(saved));
+}
+
 }  // namespace
 }  // namespace weavess

@@ -225,6 +225,8 @@ int CmdMetrics() {
       "  mutation.latency_us             histogram, applied mutations\n"
       "  mutation.generation / mutation.live_size /\n"
       "  mutation.degraded_shards        gauges (snapshot-time)\n"
+      "  kernel.dispatch                 gauge: distance-kernel ISA tier\n"
+      "      (0 scalar, 1 avx2, 2 avx512, 3 neon; docs/KERNELS.md)\n"
       "\nempty snapshot (version %u):\n",
       kMetricsSnapshotVersion);
   const MetricsRegistry registry;
