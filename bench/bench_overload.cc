@@ -24,6 +24,9 @@
 //   WEAVESS_SUBMITTERS   open-loop submitter threads (default 32)
 //   WEAVESS_CAPACITY     admission capacity (default 8)
 //   WEAVESS_DEADLINE_US  per-request deadline (default 5000, 0 = none)
+//   WEAVESS_ZIPF         Zipf exponent for query popularity (default 0 =
+//                        uniform; ~1 = classic query-log skew, hot queries
+//                        dominate the arrival stream)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,6 +45,13 @@ uint64_t EnvU64(const char* name, uint64_t fallback) {
   if (value == nullptr) return fallback;
   const unsigned long long parsed = std::strtoull(value, nullptr, 10);
   return parsed > 0 ? parsed : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = std::strtod(value, nullptr);
+  return parsed >= 0.0 ? parsed : fallback;
 }
 
 std::vector<uint64_t> OfferedQpsLadder() {
@@ -84,7 +94,8 @@ struct LoadPoint {
 // threads sleep until each arrival is due; when the engine cannot keep up
 // the due times slip into the past and arrivals hit admission back to back,
 // which is exactly the pressure the shed/degrade machinery exists for.
-LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
+LoadPoint RunOpenLoop(ServingEngine& serving,
+                      const std::vector<const float*>& queries,
                       uint64_t offered_qps, uint32_t submitters,
                       uint64_t deadline_us) {
   const uint64_t total = std::clamp<uint64_t>(offered_qps / 2, 500, 20000);
@@ -113,8 +124,8 @@ LoadPoint RunOpenLoop(ServingEngine& serving, const Dataset& queries,
       if (deadline_us > 0) {
         request.deadline_us = serving.clock().NowMicros() + deadline_us;
       }
-      const ServeOutcome out = serving.Serve(
-          queries.Row(static_cast<uint32_t>(i % queries.size())), request);
+      const ServeOutcome out =
+          serving.Serve(queries[i % queries.size()], request);
       if (out.status.ok()) {
         completed.fetch_add(1, std::memory_order_relaxed);
         if (out.stats.degraded) {
@@ -182,12 +193,18 @@ void Run() {
   const uint32_t capacity =
       static_cast<uint32_t>(EnvU64("WEAVESS_CAPACITY", 8));
   const uint64_t deadline_us = EnvU64("WEAVESS_DEADLINE_US", 5000);
-  std::printf("submitters=%u capacity=%u deadline_us=%llu\n", submitters,
-              capacity, static_cast<unsigned long long>(deadline_us));
+  const double zipf_s = EnvDouble("WEAVESS_ZIPF", 0.0);
+  std::printf("submitters=%u capacity=%u deadline_us=%llu zipf=%.2f\n",
+              submitters, capacity,
+              static_cast<unsigned long long>(deadline_us), zipf_s);
 
   const std::vector<std::string> datasets = SelectedDatasets();
   // One dataset/algorithm by default: the sweep is about load, not recall.
   Workload workload = MakeStandIn(datasets.front(), EnvScale());
+  // Query popularity: uniform at s=0, hot-query-dominated at s~1. One
+  // 20000-entry arrival stream covers the largest sweep point.
+  const std::vector<const float*> arrivals =
+      MakeSkewedQueries(workload.queries, 20000, zipf_s, /*seed=*/17);
   for (const std::string& algo : SelectedAlgorithms({"HNSW"})) {
     auto index = CreateAlgorithm(algo, DefaultOptions());
     index->Build(workload.base);
@@ -214,8 +231,8 @@ void Run() {
       // A fresh engine per point: each row starts from a calm ladder and
       // zeroed lifetime counters.
       ServingEngine serving(*index, config);
-      const LoadPoint point = RunOpenLoop(serving, workload.queries, offered,
-                                          submitters, deadline_us);
+      const LoadPoint point =
+          RunOpenLoop(serving, arrivals, offered, submitters, deadline_us);
       table.AddRow({TablePrinter::Int(point.offered_qps),
                     TablePrinter::Fixed(point.completed_qps, 0),
                     TablePrinter::Fixed(point.shed_rate, 3),
@@ -226,10 +243,11 @@ void Run() {
       std::printf(
           "{\"bench\":\"overload\",\"algo\":\"%s\",\"offered_qps\":%llu,"
           "\"completed_qps\":%.1f,\"shed_rate\":%.4f,\"p50_us\":%.1f,"
-          "\"p99_us\":%.1f,\"degraded_fraction\":%.4f,\"max_tier\":%u}\n",
+          "\"p99_us\":%.1f,\"degraded_fraction\":%.4f,\"max_tier\":%u,"
+          "\"zipf\":%.2f}\n",
           algo.c_str(), static_cast<unsigned long long>(point.offered_qps),
           point.completed_qps, point.shed_rate, point.p50_us, point.p99_us,
-          point.degraded_fraction, point.max_tier);
+          point.degraded_fraction, point.max_tier, zipf_s);
       std::printf(
           "{\"bench\":\"overload_retry_after\",\"algo\":\"%s\","
           "\"offered_qps\":%llu,\"hints\":%llu,\"p50_us\":%.1f,"

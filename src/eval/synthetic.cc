@@ -206,4 +206,37 @@ double EstimateLid(const Dataset& data, uint32_t sample_size, uint32_t k,
   return 1.0 / (inv_sum / counted);
 }
 
+ZipfSampler::ZipfSampler(uint32_t n, double s, uint64_t seed)
+    : s_(s), rng_(seed) {
+  WEAVESS_CHECK(n >= 1);
+  WEAVESS_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+    cdf_[r] = total;
+  }
+  for (uint32_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall at the tail
+}
+
+uint32_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+std::vector<const float*> MakeSkewedQueries(const Dataset& queries,
+                                            uint32_t count, double s,
+                                            uint64_t seed) {
+  WEAVESS_CHECK(queries.size() >= 1);
+  ZipfSampler sampler(queries.size(), s, seed);
+  std::vector<const float*> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.push_back(queries.Row(sampler.Next()));
+  }
+  return out;
+}
+
 }  // namespace weavess

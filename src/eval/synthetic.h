@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/rng.h"
 
 namespace weavess {
 
@@ -59,6 +60,35 @@ Workload MakeStandIn(const std::string& name, double scale = 1.0);
 /// score LID reported in Table 3.
 double EstimateLid(const Dataset& data, uint32_t sample_size = 200,
                    uint32_t k = 20, uint64_t seed = 7);
+
+/// Zipf(s) sampler over ranks 0..n-1: P(rank r) ∝ 1/(r+1)^s. s = 0 is
+/// uniform; s ≈ 1 is the classic web/query-log skew. Deterministic for a
+/// fixed seed (core/rng.h), via binary search on the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s, uint64_t seed);
+
+  /// Next rank, in [0, n). Hot ranks (small values) dominate as s grows.
+  uint32_t Next();
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1
+  double s_;
+  Rng rng_;
+};
+
+/// A skewed serving workload: `count` queries resampled from `queries`
+/// with Zipf(s) popularity over the query rows. With s = 0 every row is
+/// equally likely; realistic serving traffic (bench_overload,
+/// bench_replication) uses s ≈ 1, where a handful of hot queries dominate
+/// — the regime that stresses per-replica cache affinity and makes routing
+/// hot spots visible. Row pointers alias `queries`; it must outlive them.
+std::vector<const float*> MakeSkewedQueries(const Dataset& queries,
+                                            uint32_t count, double s,
+                                            uint64_t seed);
 
 }  // namespace weavess
 

@@ -29,6 +29,11 @@ enum class TraceEventKind : uint8_t {
   kBackendFailure = 6,  // backend threw; query failed
   kShardSearch = 7,     // id = shard, value = shard distance evals
   kShardFallback = 8,   // id = shard served by exact scan (degraded or tiny)
+  kRoute = 9,           // id = primary replica chosen by rendezvous routing
+  kFailover = 10,       // id = replica retried, value = attempt number (>= 1)
+  kHedge = 11,          // id = replica the hedged second-send went to
+  kHealthChange = 12,   // id = replica, value = new HealthState (0/1/2)
+  kProbe = 13,          // id = replica probed, value = 1 success / 0 failure
 };
 
 inline const char* TraceEventKindName(TraceEventKind kind) {
@@ -51,6 +56,16 @@ inline const char* TraceEventKindName(TraceEventKind kind) {
       return "shard_search";
     case TraceEventKind::kShardFallback:
       return "shard_fallback";
+    case TraceEventKind::kRoute:
+      return "route";
+    case TraceEventKind::kFailover:
+      return "failover";
+    case TraceEventKind::kHedge:
+      return "hedge";
+    case TraceEventKind::kHealthChange:
+      return "health_change";
+    case TraceEventKind::kProbe:
+      return "probe";
   }
   return "unknown";
 }

@@ -5,16 +5,25 @@
 namespace weavess {
 
 AdmissionController::AdmissionController(const AdmissionConfig& config)
-    : config_(config) {}
+    : config_(config), capacity_(config.capacity) {}
 
-Status AdmissionController::TryAcquire() {
+uint64_t AdmissionController::HintLocked() const {
+  // Depth-scaled back-off: with d requests already in flight the caller is
+  // d deep in the retry queue, so the hint grows linearly with d. At drain
+  // (capacity 0, nothing in flight) this is exactly the configured base.
+  return config_.retry_after_us * (uint64_t{stats_.in_flight} + 1);
+}
+
+Status AdmissionController::TryAcquire(uint64_t* retry_after_hint) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (stats_.in_flight >= config_.capacity) {
+  if (stats_.in_flight >= capacity_) {
     ++stats_.rejected;
+    const uint64_t hint = HintLocked();
+    if (retry_after_hint != nullptr) *retry_after_hint = hint;
     return Status::Unavailable(
         "overloaded: " + std::to_string(stats_.in_flight) + "/" +
-        std::to_string(config_.capacity) + " requests in flight, retry in " +
-        std::to_string(config_.retry_after_us) + "us");
+        std::to_string(capacity_) + " requests in flight, retry in " +
+        std::to_string(hint) + "us");
   }
   ++stats_.in_flight;
   ++stats_.admitted;
@@ -28,6 +37,21 @@ void AdmissionController::Release() {
   std::lock_guard<std::mutex> lock(mu_);
   WEAVESS_CHECK(stats_.in_flight > 0 && "Release without matching TryAcquire");
   --stats_.in_flight;
+}
+
+void AdmissionController::set_capacity(uint32_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+uint32_t AdmissionController::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+uint64_t AdmissionController::retry_after_hint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HintLocked();
 }
 
 uint32_t AdmissionController::in_flight() const {

@@ -22,8 +22,11 @@ struct AdmissionConfig {
   /// every request is rejected, which lets an operator bleed a replica dry
   /// without tearing down the engine.
   uint32_t capacity = 64;
-  /// Back-off hint attached to every rejection (message and
-  /// ServeOutcome::retry_after_us).
+  /// Base back-off hint. The hint attached to a rejection scales with the
+  /// current in-flight depth — retry_after_us * (in_flight + 1) — so a
+  /// barely-full engine asks for a short back-off while a deeply saturated
+  /// one pushes retries further out (docs/SERVING.md). A drained engine
+  /// (capacity 0, nothing in flight) hints exactly the base value.
   uint64_t retry_after_us = 1000;
 };
 
@@ -39,20 +42,32 @@ class AdmissionController {
   explicit AdmissionController(const AdmissionConfig& config);
 
   /// Takes one in-flight slot. On overload returns kUnavailable whose
-  /// message starts with "overloaded:" and names the retry-after hint.
-  Status TryAcquire();
+  /// message starts with "overloaded:" and names the depth-scaled
+  /// retry-after hint; `retry_after_hint`, when non-null, receives the same
+  /// value (computed under the same lock as the decision).
+  Status TryAcquire(uint64_t* retry_after_hint = nullptr);
 
   /// Returns a slot taken by a successful TryAcquire.
   void Release();
 
-  uint32_t capacity() const { return config_.capacity; }
+  /// Live capacity change. Lowering below the current in-flight count is
+  /// legal: nothing is evicted, new requests are rejected until completions
+  /// bleed the depth back under the new bound. 0 drains the engine.
+  void set_capacity(uint32_t capacity);
+
+  uint32_t capacity() const;
   uint64_t retry_after_us() const { return config_.retry_after_us; }
+  /// The hint a rejection issued right now would carry.
+  uint64_t retry_after_hint() const;
   uint32_t in_flight() const;
   AdmissionStats stats() const;
 
  private:
+  uint64_t HintLocked() const;
+
   const AdmissionConfig config_;
   mutable std::mutex mu_;
+  uint32_t capacity_;  // guarded by mu_; seeded from config_.capacity
   AdmissionStats stats_;
 };
 

@@ -1,0 +1,102 @@
+#include "search/health.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace weavess {
+
+HealthTracker::HealthTracker(const HealthConfig& config) : config_(config) {
+  WEAVESS_CHECK(config_.suspect_after >= 1);
+  WEAVESS_CHECK(config_.quarantine_after >= 1);
+  WEAVESS_CHECK(config_.recover_after >= 1);
+  WEAVESS_CHECK(config_.probe_successes >= 1);
+  WEAVESS_CHECK(config_.probe_interval_us >= 1);
+}
+
+void HealthTracker::EnterQuarantine(uint64_t now_us) {
+  state_ = HealthState::kQuarantined;
+  failure_streak_ = 0;
+  success_streak_ = 0;
+  probe_streak_ = 0;
+  probe_backoff_us_ = config_.probe_interval_us;
+  next_probe_us_ = now_us + probe_backoff_us_;
+  ++quarantine_count_;
+}
+
+bool HealthTracker::OnSuccess(uint64_t now_us, uint64_t latency_us) {
+  if (config_.latency_suspect_us > 0 &&
+      latency_us >= config_.latency_suspect_us) {
+    // Slow is a failure mode: a replica that answers correctly but blows
+    // the latency target still sheds traffic via the same hysteresis.
+    return OnFailure(now_us);
+  }
+  failure_streak_ = 0;
+  if (state_ == HealthState::kSuspect) {
+    if (++success_streak_ >= config_.recover_after) {
+      state_ = HealthState::kHealthy;
+      success_streak_ = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HealthTracker::OnFailure(uint64_t now_us) {
+  success_streak_ = 0;
+  ++failure_streak_;
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (failure_streak_ >= config_.suspect_after) {
+        state_ = HealthState::kSuspect;
+        failure_streak_ = 0;
+        return true;
+      }
+      return false;
+    case HealthState::kSuspect:
+      if (failure_streak_ >= config_.quarantine_after) {
+        EnterQuarantine(now_us);
+        return true;
+      }
+      return false;
+    case HealthState::kQuarantined:
+      // Stray sample from an attempt planned before quarantine landed;
+      // quarantine is already the floor.
+      return false;
+  }
+  return false;
+}
+
+bool HealthTracker::ProbeDue(uint64_t now_us) const {
+  return state_ == HealthState::kQuarantined && now_us >= next_probe_us_;
+}
+
+bool HealthTracker::OnProbeSuccess() {
+  if (state_ != HealthState::kQuarantined) return false;
+  if (++probe_streak_ >= config_.probe_successes) {
+    // Released to suspect, not healthy: the replica re-earns full trust
+    // through recover_after live successes.
+    state_ = HealthState::kSuspect;
+    probe_streak_ = 0;
+    failure_streak_ = 0;
+    success_streak_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void HealthTracker::OnProbeFailure(uint64_t now_us) {
+  if (state_ != HealthState::kQuarantined) return;
+  probe_streak_ = 0;
+  probe_backoff_us_ =
+      std::min(probe_backoff_us_ * 2, config_.probe_backoff_max_us);
+  next_probe_us_ = now_us + probe_backoff_us_;
+}
+
+void HealthTracker::OnRepair(uint64_t now_us) {
+  if (state_ != HealthState::kQuarantined) return;
+  probe_backoff_us_ = config_.probe_interval_us;
+  next_probe_us_ = now_us;
+}
+
+}  // namespace weavess

@@ -1,0 +1,116 @@
+// Per-replica health state machine for the replicated serving tier
+// (docs/SERVING.md). A HealthTracker folds a replica's outcome stream —
+// successes, failures, deadline sheds, over-latency completions — into one
+// of three states with hysteresis, exactly like the degradation ladder
+// folds queue depth into a quality tier:
+//
+//            suspect_after failures        quarantine_after failures
+//   healthy ------------------------> suspect ----------------------+
+//      ^                                 |  ^                       |
+//      |        recover_after successes  |  | probe_successes       v
+//      +---------------------------------+  +---------------- quarantined
+//                                                 (probes only, with
+//                                                  exponential backoff)
+//
+// The tracker is a pure function of the event sequence fed to it: the
+// ReplicaSet feeds events sequentially, in submission order, under one
+// lock, so for a fixed fault schedule the state trajectory — and therefore
+// the routing/failover trace — is bit-for-bit identical at any thread
+// count (tests/replica_chaos_test.cc). Time enters only through the
+// explicit now_us arguments, so a VirtualClock makes probe scheduling
+// deterministic too.
+#ifndef WEAVESS_SEARCH_HEALTH_H_
+#define WEAVESS_SEARCH_HEALTH_H_
+
+#include <cstdint>
+
+namespace weavess {
+
+enum class HealthState : uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+};
+
+inline const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+struct HealthConfig {
+  /// Consecutive failure samples that demote healthy -> suspect.
+  uint32_t suspect_after = 2;
+  /// Consecutive failure samples (counted from entering suspect) that
+  /// demote suspect -> quarantined.
+  uint32_t quarantine_after = 3;
+  /// Consecutive successes that promote suspect -> healthy.
+  uint32_t recover_after = 2;
+  /// Consecutive successful probes that release quarantined -> suspect
+  /// (the replica then re-earns healthy through live traffic).
+  uint32_t probe_successes = 1;
+  /// A completion at or above this latency counts as a failure sample
+  /// (slow is a failure mode too). 0 disables latency accounting.
+  uint64_t latency_suspect_us = 0;
+  /// Delay before the first probe of a quarantined replica; doubles on
+  /// every failed probe up to probe_backoff_max_us.
+  uint64_t probe_interval_us = 1000;
+  uint64_t probe_backoff_max_us = 64000;
+};
+
+class HealthTracker {
+ public:
+  explicit HealthTracker(const HealthConfig& config);
+
+  /// Feeds one completed-request sample. A completion slower than
+  /// latency_suspect_us is folded into OnFailure. Returns true when the
+  /// state changed.
+  bool OnSuccess(uint64_t now_us, uint64_t latency_us);
+
+  /// Feeds one failed/shed/timed-out sample. `now_us` schedules the first
+  /// probe if this sample tips the replica into quarantine. Returns true
+  /// when the state changed.
+  bool OnFailure(uint64_t now_us);
+
+  /// True when the replica is quarantined and its next probe is due.
+  bool ProbeDue(uint64_t now_us) const;
+
+  /// Outcome of a probe query against a quarantined replica. A successful
+  /// probe streak of probe_successes releases the replica to suspect
+  /// (returns true); a failure doubles the probe backoff.
+  bool OnProbeSuccess();
+  void OnProbeFailure(uint64_t now_us);
+
+  /// Out-of-band repair completed (RepairShard / reload): make the next
+  /// probe due immediately so the replica can re-earn traffic without
+  /// waiting out the backoff. No state change by itself — health is earned
+  /// through probes and live successes, never declared.
+  void OnRepair(uint64_t now_us);
+
+  HealthState state() const { return state_; }
+  uint64_t next_probe_us() const { return next_probe_us_; }
+  /// Total healthy/suspect -> quarantined transitions.
+  uint64_t quarantine_count() const { return quarantine_count_; }
+
+ private:
+  void EnterQuarantine(uint64_t now_us);
+
+  const HealthConfig config_;
+  HealthState state_ = HealthState::kHealthy;
+  uint32_t failure_streak_ = 0;
+  uint32_t success_streak_ = 0;
+  uint32_t probe_streak_ = 0;
+  uint64_t next_probe_us_ = 0;
+  uint64_t probe_backoff_us_ = 0;
+  uint64_t quarantine_count_ = 0;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_SEARCH_HEALTH_H_

@@ -236,10 +236,11 @@ bool ServingEngine::AdmitLocked(const RequestOptions& request,
     RecordOutcomeLocked(*outcome, batch_report);
     return false;
   }
-  Status admitted = admission_.TryAcquire();
+  uint64_t retry_hint = 0;
+  Status admitted = admission_.TryAcquire(&retry_hint);
   if (!admitted.ok()) {
     outcome->status = std::move(admitted);
-    outcome->retry_after_us = admission_.retry_after_us();
+    outcome->retry_after_us = retry_hint;
     if (request.trace != nullptr) {
       request.trace->Record(TraceEventKind::kShedOverload, 0,
                             outcome->retry_after_us);
@@ -432,10 +433,11 @@ MutationOutcome ServingEngine::ServeMutation(const MutationRequest& request) {
       metrics_->GetCounter("mutation.deadline_exceeded")->Add(1);
       return out;
     }
-    Status admitted = admission_.TryAcquire();
+    uint64_t retry_hint = 0;
+    Status admitted = admission_.TryAcquire(&retry_hint);
     if (!admitted.ok()) {
       out.status = std::move(admitted);
-      out.retry_after_us = admission_.retry_after_us();
+      out.retry_after_us = retry_hint;
       ++mutation_lifetime_.rejected_overload;
       metrics_->GetCounter("mutation.rejected_overload")->Add(1);
       return out;

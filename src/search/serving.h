@@ -241,6 +241,10 @@ class ServingEngine {
   uint32_t num_threads() const { return config_.num_threads; }
   uint32_t current_tier() const;
   AdmissionStats admission_stats() const { return admission_.stats(); }
+  /// Live admission-capacity change (0 = drain mode). Nothing in flight is
+  /// evicted; new requests are rejected until completions bring the depth
+  /// back under the new bound. Safe to call while traffic is running.
+  void SetCapacity(uint32_t capacity) { admission_.set_capacity(capacity); }
   /// Totals across every Serve/ServeBatch since construction.
   ServingReport lifetime_report() const;
   const Clock& clock() const { return *clock_; }

@@ -461,6 +461,104 @@ TEST(ChaosTest, DeadlineShedAtDequeueBeforeExecution) {
       << "an admission-expired request must not consume a slot";
 }
 
+TEST(ChaosTest, DeadlineExpiringExactlyAtDequeueIsShed) {
+  // Boundary semantics: the dequeue check is `now >= deadline`, so a query
+  // whose deadline lands exactly on its dequeue instant is shed — a
+  // deadline is a time by which the answer must exist, not a time at which
+  // starting is still acceptable.
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock clock(1000);
+  ChaosConfig chaos;
+  chaos.clock = &clock;
+  chaos.query_cost_us = 50;
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &clock;
+  config.num_threads = 1;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.deadline_us = 1000 + 100;
+
+  // q0 dequeues at 1000, completes at 1050; q1 dequeues at 1050, completes
+  // at 1100; q2 dequeues at exactly 1100 == deadline.
+  const ServeBatchResult result = serving.ServeBatch(
+      std::vector<const float*>{tw.workload.queries.Row(0),
+                                tw.workload.queries.Row(1),
+                                tw.workload.queries.Row(2)},
+      request);
+  ASSERT_TRUE(result.outcomes[0].status.ok());
+  ASSERT_TRUE(result.outcomes[1].status.ok());
+  EXPECT_EQ(clock.NowMicros(), request.deadline_us);
+  const ServeOutcome& boundary = result.outcomes[2];
+  EXPECT_TRUE(boundary.status.IsDeadlineExceeded())
+      << boundary.status.ToString();
+  EXPECT_NE(boundary.status.message().find("dequeue"), std::string::npos);
+  EXPECT_EQ(index.queries_seen(), 2u)
+      << "the boundary query must not reach the backend";
+  EXPECT_EQ(result.report.shed_deadline, 1u);
+}
+
+TEST(ChaosTest, DrainModeRacesInFlightCompletionsCleanly) {
+  // Lame-ducking a live engine: capacity drops to 0 while queries are
+  // wedged in the backend. New work is rejected with the depth-scaled
+  // retry hint; the in-flight queries complete unharmed and release past
+  // the lowered cap; the drained engine hints exactly the base interval.
+  const TestWorkload& tw = SharedWorkload();
+  VirtualClock clock(1'000'000);
+  Gate gate;
+  ChaosConfig chaos;
+  chaos.clock = &clock;
+  chaos.stall = &gate;
+  ChaosIndex index(SharedIndex(), chaos);
+
+  ServingConfig config;
+  config.clock = &clock;
+  config.admission.capacity = 2;
+  config.admission.retry_after_us = 100;
+  ServingEngine serving(index, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+
+  ServeOutcome first, second;
+  std::thread t1(
+      [&] { first = serving.Serve(tw.workload.queries.Row(0), request); });
+  std::thread t2(
+      [&] { second = serving.Serve(tw.workload.queries.Row(1), request); });
+  gate.AwaitWaiters(2);
+
+  serving.SetCapacity(0);  // drain starts while both queries are in flight
+  const ServeOutcome during =
+      serving.Serve(tw.workload.queries.Row(2), request);
+  EXPECT_TRUE(during.status.IsUnavailable()) << during.status.ToString();
+  EXPECT_EQ(during.retry_after_us, 300u)  // 100 * (2 in flight + 1)
+      << during.status.ToString();
+
+  gate.Open();
+  t1.join();
+  t2.join();
+  // The completions raced the capacity change and still released cleanly.
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_EQ(serving.admission_stats().in_flight, 0u);
+
+  // Fully drained: still rejecting, with the base hint.
+  const ServeOutcome after =
+      serving.Serve(tw.workload.queries.Row(3), request);
+  EXPECT_TRUE(after.status.IsUnavailable());
+  EXPECT_EQ(after.retry_after_us, 100u);
+
+  // Undrain: the engine serves again.
+  serving.SetCapacity(2);
+  EXPECT_TRUE(serving.Serve(tw.workload.queries.Row(4), request).status.ok());
+  const ServingReport report = serving.lifetime_report();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.shed_overload, 2u);
+}
+
 TEST(ChaosTest, FailingBackendIsUnavailableAndIsolated) {
   const TestWorkload& tw = SharedWorkload();
   ChaosConfig chaos;

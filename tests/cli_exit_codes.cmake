@@ -62,6 +62,26 @@ file(WRITE "${bad}" "this is not a weavess graph file, padded well past ")
 file(APPEND "${bad}" "the 32-byte header so only the magic check can fail")
 run_cli(3 verify --graph ${bad})
 
+# --- replica sets: build writes N copies + a WVSSREPL1 manifest, verify
+# walks the manifest recursively, eval routes through a ReplicaSet
+# (docs/SERVING.md replication).
+set(ridx "${WORKDIR}/ridx")
+run_cli(0 build --base ${prefix}.base.fvecs --algo KGraph --save ${ridx}
+        --replicas 3)
+run_cli(0 verify --graph ${ridx}.replicas)
+run_cli(0 eval --base ${prefix}.base.fvecs --query ${prefix}.query.fvecs
+        --gt ${prefix}.gt.ivecs --algo KGraph --pools 10 --replicas 3
+        --threads 2 --hedge-us 2000)
+run_cli(1 build --base ${prefix}.base.fvecs --algo KGraph --replicas 2)
+# A replica file that vanished is an I/O failure at its recorded CRC check.
+file(REMOVE "${ridx}.replica1.wvs")
+run_cli(2 verify --graph ${ridx}.replicas)
+# A replica-set manifest with the right magic but mangled contents is
+# corruption — it is the root of trust, so this one is fatal.
+set(badrepl "${WORKDIR}/bad.replicas")
+file(WRITE "${badrepl}" "WVSSREPL1 corrupted well beyond the magic bytes")
+run_cli(3 verify --graph ${badrepl})
+
 # --- exit 4 (overload): serving mode with --capacity 0 is drain mode —
 # every query is deterministically shed, which the CLI reports as overload.
 # A nonzero capacity on the same inputs must still succeed.

@@ -2,6 +2,8 @@
 // ground truth, recall, sweep drivers, and the table printer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -334,6 +336,85 @@ TEST(DefaultPoolLadderTest, AscendingAndCoversPaperRange) {
   }
   EXPECT_LE(ladder.front(), 16u);
   EXPECT_GE(ladder.back(), 2000u);
+}
+
+// ------------------------------------------------------- zipfian workloads
+
+TEST(ZipfSamplerTest, DeterministicUnderSeedAndInRange) {
+  ZipfSampler a(100, 1.0, 7);
+  ZipfSampler b(100, 1.0, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t rank = a.Next();
+    EXPECT_LT(rank, 100u);
+    EXPECT_EQ(rank, b.Next());
+  }
+  // A different seed gives a different sequence.
+  ZipfSampler c(100, 1.0, 8);
+  bool differs = false;
+  ZipfSampler a2(100, 1.0, 7);
+  for (int i = 0; i < 1000 && !differs; ++i) {
+    differs = (a2.Next() != c.Next());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ZipfSamplerTest, SkewGrowsWithExponent) {
+  // s = 0 is uniform; s = 1 concentrates on the head; s = 2 more so. Count
+  // how often the hottest rank appears in 10k draws.
+  const auto head_share = [](double s) {
+    ZipfSampler sampler(50, s, 11);
+    uint32_t head = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      if (sampler.Next() == 0) ++head;
+    }
+    return head;
+  };
+  const uint32_t uniform = head_share(0.0);
+  const uint32_t classic = head_share(1.0);
+  const uint32_t steep = head_share(2.0);
+  // Uniform: ~200 of 10k. Zipf(1) over 50 ranks: ~2200. Zipf(2): ~6200.
+  EXPECT_LT(uniform, 400u);
+  EXPECT_GT(classic, uniform * 4);
+  EXPECT_GT(steep, classic);
+}
+
+TEST(ZipfSamplerTest, UniformExponentCoversAllRanks) {
+  ZipfSampler sampler(20, 0.0, 3);
+  std::vector<uint32_t> hits(20, 0);
+  for (int i = 0; i < 4000; ++i) ++hits[sampler.Next()];
+  for (uint32_t r = 0; r < 20; ++r) {
+    EXPECT_GT(hits[r], 0u) << "rank " << r << " never drawn at s=0";
+  }
+}
+
+TEST(SkewedQueriesTest, RowsAliasTheSourceDataset) {
+  SyntheticSpec spec;
+  spec.num_base = 50;
+  spec.num_queries = 10;
+  spec.dim = 8;
+  const Workload workload = GenerateSynthetic(spec, "zipf");
+  const std::vector<const float*> skewed =
+      MakeSkewedQueries(workload.queries, 200, 1.0, 5);
+  ASSERT_EQ(skewed.size(), 200u);
+  // Every pointer is one of the source query rows, and the hot row
+  // dominates: resampling changes popularity, never the vectors.
+  std::vector<uint32_t> hits(workload.queries.size(), 0);
+  for (const float* row : skewed) {
+    bool found = false;
+    for (uint32_t q = 0; q < workload.queries.size(); ++q) {
+      if (row == workload.queries.Row(q)) {
+        ++hits[q];
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+  EXPECT_GT(*std::max_element(hits.begin(), hits.end()),
+            *std::min_element(hits.begin(), hits.end()))
+      << "Zipf(1) popularity should be visibly skewed across 10 rows";
+  // Deterministic under the seed.
+  EXPECT_EQ(MakeSkewedQueries(workload.queries, 200, 1.0, 5), skewed);
 }
 
 }  // namespace

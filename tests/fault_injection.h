@@ -162,6 +162,11 @@ struct ChaosConfig {
   /// Failing backend: queries served successfully before every subsequent
   /// search throws (simulates a wedged or corrupted shard at query time).
   uint32_t fail_after = UINT32_MAX;
+  /// Kill switch: while *broken is true every search throws immediately.
+  /// Unlike fail_after (a count over an interleaving-dependent arrival
+  /// order), a switch the test flips between bursts is deterministic at
+  /// any thread count (replica_chaos_test.cc).
+  std::atomic<bool>* broken = nullptr;
   /// Stalled worker: every search blocks here until the gate opens.
   Gate* stall = nullptr;
 };
@@ -182,6 +187,10 @@ class ChaosIndex : public AnnIndex {
                                    const SearchParams& params,
                                    QueryStats* stats) const override {
     if (config_.stall != nullptr) config_.stall->Wait();
+    if (config_.broken != nullptr &&
+        config_.broken->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("injected backend failure (killed)");
+    }
     const uint32_t served =
         served_.fetch_add(1, std::memory_order_relaxed);
     if (served >= config_.fail_after) {

@@ -80,6 +80,66 @@ TEST(AdmissionTest, RejectionNamesRetryHint) {
       << rejected.message();
 }
 
+TEST(AdmissionTest, RetryHintScalesWithInFlightDepth) {
+  // The adaptive back-off contract (docs/SERVING.md): the hint is
+  // retry_after_us * (in_flight + 1), so the deeper the congestion a
+  // rejected client saw, the longer it waits before retrying — and drain
+  // mode (capacity 0, nothing in flight) hints exactly the base.
+  AdmissionConfig config;
+  config.capacity = 2;
+  config.retry_after_us = 100;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.retry_after_hint(), 100u);  // idle: base hint
+
+  ASSERT_TRUE(admission.TryAcquire().ok());
+  EXPECT_EQ(admission.retry_after_hint(), 200u);  // depth 1
+  ASSERT_TRUE(admission.TryAcquire().ok());
+  EXPECT_EQ(admission.retry_after_hint(), 300u);  // depth 2 (saturated)
+
+  uint64_t hint = 0;
+  const Status rejected = admission.TryAcquire(&hint);
+  EXPECT_TRUE(rejected.IsUnavailable());
+  EXPECT_EQ(hint, 300u);
+  EXPECT_NE(rejected.message().find("retry in 300us"), std::string::npos)
+      << rejected.message();
+
+  // Releases shrink the hint back toward the base.
+  admission.Release();
+  EXPECT_EQ(admission.retry_after_hint(), 200u);
+  admission.Release();
+  EXPECT_EQ(admission.retry_after_hint(), 100u);
+}
+
+TEST(AdmissionTest, LiveCapacityChangeDrainsAndRestores) {
+  AdmissionConfig config;
+  config.capacity = 2;
+  config.retry_after_us = 50;
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.TryAcquire().ok());
+  ASSERT_TRUE(admission.TryAcquire().ok());
+
+  // Lowering capacity below in-flight is legal: the in-flight queries keep
+  // their slots; only new admissions see the new limit.
+  admission.set_capacity(0);
+  EXPECT_EQ(admission.capacity(), 0u);
+  uint64_t hint = 0;
+  EXPECT_TRUE(admission.TryAcquire(&hint).IsUnavailable());
+  EXPECT_EQ(hint, 150u);  // 50 * (2 in flight + 1)
+  EXPECT_EQ(admission.stats().in_flight, 2u);
+
+  // The racing in-flight completions release cleanly past the new cap.
+  admission.Release();
+  admission.Release();
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+  // Fully drained: the hint is exactly the base again.
+  EXPECT_EQ(admission.retry_after_hint(), 50u);
+  EXPECT_TRUE(admission.TryAcquire().IsUnavailable());
+
+  // Restoring capacity reopens admission.
+  admission.set_capacity(1);
+  EXPECT_TRUE(admission.TryAcquire().ok());
+}
+
 // --------------------------------------------------------------- the ladder
 
 DegradationConfig TwoTierConfig() {

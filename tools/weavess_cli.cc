@@ -7,12 +7,17 @@
 //
 //   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.wvs]
 //                     [--shards S] [--partitioner random|kmeans]
+//                     [--replicas R]
 //       Builds the named index and prints construction stats (Fig. 5/6 and
 //       Table 4 metrics for a single run). --save persists the graph in the
 //       checksummed format of docs/PERSISTENCE.md. For --algo Sharded:NAME
 //       the dataset is partitioned (--shards shards, --partitioner policy)
 //       and --save PREFIX writes PREFIX.manifest plus one PREFIX.shardN.wvs
-//       graph file per shard (docs/SHARDING.md).
+//       graph file per shard (docs/SHARDING.md). --replicas R with --save
+//       PREFIX additionally writes R replica copies (PREFIX.replicaN.wvs,
+//       or PREFIX.replicaN.manifest + shards when sharded) plus a
+//       WVSSREPL1 replica-set manifest PREFIX.replicas recording each
+//       copy's CRC32C (docs/SERVING.md).
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
@@ -34,7 +39,13 @@
 //       exits 4 (overload). --algo Sharded:NAME with --shards/--partitioner
 //       sweeps the scatter-gather index instead; --shard-sweep 1,2,4,8
 //       switches to a shard-count sweep (EvaluateSharding) at fixed pool
-//       size, one row per shard count.
+//       size, one row per shard count. --replicas R routes each point
+//       through an R-way ReplicaSet (docs/SERVING.md replication):
+//       rendezvous routing, health tracking, bounded failover
+//       (--max-failover, default 2) and optional hedged second-sends
+//       (--hedge-us, default 0 = off); the table adds the terminal
+//       accounting (routed / completed / failed-over / hedge-won / failed)
+//       and quarantine counts.
 //
 //   weavess_cli verify --graph FILE
 //       Checks magic, format version, and every section CRC of a saved
@@ -42,7 +53,11 @@
 //       shard-manifest magic is verified as a manifest instead: header and
 //       body CRCs, the disjoint-cover invariant, and then every referenced
 //       shard graph file in turn — a corrupt shard is reported per shard
-//       and the worst failure decides the exit code.
+//       and the worst failure decides the exit code. A file starting with
+//       the replica-set magic WVSSREPL1 is verified as a replica-set
+//       manifest: header and body CRCs, then every replica's recorded
+//       file CRC32C against the bytes on disk, then each replica file by
+//       its own kind (graph or shard manifest), recursively.
 //
 //   weavess_cli algorithms
 //       Lists the 17 registry names.
@@ -76,8 +91,10 @@
 #include "graph/exact_knng.h"
 #include "obs/metrics.h"
 #include "search/engine.h"
+#include "search/replica_set.h"
 #include "shard/manifest.h"
 #include "shard/partitioner.h"
+#include "shard/replica_manifest.h"
 #include "shard/sharded_index.h"
 
 namespace {
@@ -225,6 +242,18 @@ int CmdMetrics() {
       "  mutation.latency_us             histogram, applied mutations\n"
       "  mutation.generation / mutation.live_size /\n"
       "  mutation.degraded_shards        gauges (snapshot-time)\n"
+      "  replica.routed / replica.completed / replica.failed_over /\n"
+      "  replica.hedge_won / replica.failed           terminal counters:\n"
+      "      routed == completed + failed_over + hedge_won + failed\n"
+      "  replica.failover_attempts / replica.hedges /\n"
+      "  replica.probes / replica.probe_failures /\n"
+      "  replica.quarantines / replica.repairs        tier-wide counters\n"
+      "  replica.<r>.routed / replica.<r>.attempts /\n"
+      "  replica.<r>.attempt_failures / replica.<r>.probes /\n"
+      "  replica.<r>.quarantines         per-replica counters\n"
+      "  replica.<r>.state               gauge: 0 healthy, 1 suspect,\n"
+      "      2 quarantined (search/health.h)\n"
+      "  replica.count / replica.quarantined          gauges (snapshot-time)\n"
       "  kernel.dispatch                 gauge: distance-kernel ISA tier\n"
       "      (0 scalar, 1 avx2, 2 avx512, 3 neon; docs/KERNELS.md)\n"
       "\nempty snapshot (version %u):\n",
@@ -319,6 +348,43 @@ Status ValidateShardFlags(const AlgorithmOptions& options) {
   return ParsePartitioner(options.partitioner).status();
 }
 
+/// Final path component, used to record replica files relative to the
+/// replica-set manifest that sits in the same directory.
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Writes `replicas` copies of the built index next to `prefix` plus the
+/// WVSSREPL1 replica-set manifest recording each copy's CRC32C
+/// (shard/replica_manifest.h).
+Status SaveReplicaSet(AnnIndex& index, const char* algo,
+                      const std::string& prefix, uint32_t replicas) {
+  ReplicaManifest manifest;
+  auto* sharded = dynamic_cast<ShardedIndex*>(&index);
+  for (uint32_t r = 0; r < replicas; ++r) {
+    const std::string replica_prefix =
+        prefix + ".replica" + std::to_string(r);
+    ReplicaManifest::Entry entry;
+    std::string file;  // the CRC-recorded root file of this replica
+    if (sharded != nullptr) {
+      if (Status s = sharded->Save(replica_prefix); !s.ok()) return s;
+      file = replica_prefix + ".manifest";
+      entry.kind = ReplicaManifest::Kind::kShardManifest;
+    } else {
+      file = replica_prefix + ".wvs";
+      if (Status s = index.graph().Save(file, algo); !s.ok()) return s;
+      entry.kind = ReplicaManifest::Kind::kGraph;
+    }
+    StatusOr<uint32_t> crc = FileCrc32c(file);
+    if (!crc.ok()) return crc.status();
+    entry.path = Basename(file);
+    entry.file_crc32c = *crc;
+    manifest.replicas.push_back(std::move(entry));
+  }
+  return SaveReplicaManifest(manifest, prefix + ".replicas");
+}
+
 int CmdBuild(const Args& args) {
   const char* base_path = args.Get("base");
   const char* algo = args.Get("algo");
@@ -330,8 +396,13 @@ int CmdBuild(const Args& args) {
   }
   const AlgorithmOptions options = OptionsFrom(args);
   const uint32_t gq_k = args.GetU32("gq", 0);
+  const uint32_t replicas = args.GetU32("replicas", 0);
   if (!args.status().ok()) return Fail(args.status());
   if (Status s = ValidateShardFlags(options); !s.ok()) return Fail(s);
+  if (replicas > 0 && args.Get("save") == nullptr) {
+    return Fail(
+        Status::InvalidArgument("--replicas requires --save PREFIX"));
+  }
   StatusOr<Dataset> base_or = ReadFvecs(base_path);
   if (!base_or.ok()) return Fail(base_or.status());
   const Dataset& base = *base_or;
@@ -360,6 +431,13 @@ int CmdBuild(const Args& args) {
     } else {
       if (Status s = index->graph().Save(save, algo); !s.ok()) return Fail(s);
       std::printf("graph saved to %s (algorithm metadata: %s)\n", save, algo);
+    }
+    if (replicas > 0) {
+      if (Status s = SaveReplicaSet(*index, algo, save, replicas); !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("replica set saved to %s.replicas (%u replica(s))\n", save,
+                  replicas);
     }
   }
   return kExitOk;
@@ -423,6 +501,9 @@ int CmdEval(const Args& args) {
     serving_config.degradation.enter_depth = std::max(1u, capacity * 3 / 4);
     serving_config.degradation.exit_depth = capacity / 4;
   }
+  const uint32_t replicas = args.GetU32("replicas", 0);
+  const uint32_t max_failover = args.GetU32("max-failover", 2);
+  const uint64_t hedge_us = args.GetU64("hedge-us", 0);
   if (pools.empty() || !args.status().ok()) {
     return Fail(args.status().ok()
                     ? Status::InvalidArgument("--pools list is empty")
@@ -478,6 +559,80 @@ int CmdEval(const Args& args) {
   auto index = CreateAlgorithm(algo, options);
   index->Build(base);
   std::printf("built %s in %.2fs\n", algo, index->build_stats().seconds);
+  if (replicas > 0) {
+    // Replicated serving sweep: every point routes the query set through a
+    // fresh R-way ReplicaSet (search/replica_set.h) so each row starts from
+    // calm health trackers, like the fresh-engine-per-point serving sweep.
+    MetricsRegistry registry;
+    ReplicaSetConfig set_config;
+    set_config.num_threads = options.num_threads;
+    set_config.dim = base.dim();
+    set_config.max_failover = max_failover;
+    set_config.hedge_after_us = hedge_us;
+    set_config.metrics = &registry;
+    ServingConfig per_replica;  // engine threads stay 1; the set fans out
+    per_replica.admission.capacity = serving_config.admission.capacity;
+    per_replica.admission.retry_after_us =
+        serving_config.admission.retry_after_us;
+    std::printf(
+        "replicated serving: %u replica(s), %u thread(s), max failover %u, "
+        "hedge %llu us, deadline %llu us\n",
+        replicas, set_config.num_threads, max_failover,
+        static_cast<unsigned long long>(hedge_us),
+        static_cast<unsigned long long>(deadline_us));
+    TablePrinter table({"L", "Recall@k", "Routed", "OK", "FailedOv",
+                        "HedgeWon", "Failed", "Quar"});
+    std::string snapshot;
+    uint64_t total_ok = 0;
+    uint64_t total_failed = 0;
+    for (uint32_t pool : pools) {
+      ReplicaSet set(set_config);
+      for (uint32_t r = 0; r < replicas; ++r) {
+        set.AddReplica(*index, per_replica);
+      }
+      RequestOptions request;
+      request.params = base_params;
+      request.params.k = k;
+      request.params.pool_size = pool;
+      if (deadline_us > 0) {
+        request.deadline_us = set.clock().NowMicros() + deadline_us;
+      }
+      const ReplicaBatchResult result = set.ServeBatch(queries, request);
+      double recall_sum = 0.0;
+      uint64_t ok = 0;
+      for (uint32_t q = 0; q < queries.size(); ++q) {
+        const RoutedOutcome& out = result.outcomes[q];
+        if (!out.outcome.status.ok()) continue;
+        recall_sum += Recall(out.outcome.ids, truth[q], k);
+        ++ok;
+      }
+      total_ok += ok;
+      total_failed += result.report.failed;
+      table.AddRow({TablePrinter::Int(pool),
+                    TablePrinter::Fixed(ok > 0 ? recall_sum / ok : 0.0, 3),
+                    TablePrinter::Int(result.report.routed),
+                    TablePrinter::Int(result.report.completed),
+                    TablePrinter::Int(result.report.failed_over),
+                    TablePrinter::Int(result.report.hedge_won),
+                    TablePrinter::Int(result.report.failed),
+                    TablePrinter::Int(result.report.quarantines)});
+      snapshot = set.SnapshotMetrics();
+    }
+    table.Print();
+    if (metrics_out != nullptr) {
+      if (Status s = WriteStringToFile(snapshot + "\n", metrics_out);
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("metrics snapshot written to %s\n", metrics_out);
+    }
+    if (total_ok == 0 && total_failed > 0) {
+      return Fail(Status::Unavailable(
+          "replicated serving: every query failed; relax --deadline-us or "
+          "check the replicas"));
+    }
+    return kExitOk;
+  }
   if (serving_mode) {
     MetricsRegistry registry;
     serving_config.metrics = &registry;  // aggregated across sweep points
@@ -608,6 +763,65 @@ int VerifyManifest(const char* manifest_path) {
   return Fail(worst);
 }
 
+/// Verifies a WVSSREPL1 replica-set manifest: its own header/body CRCs,
+/// then every replica's recorded file CRC32C against the bytes on disk,
+/// then each replica file by its own kind — a graph file's section CRCs or
+/// a shard manifest's full recursive check. Every replica is checked even
+/// after a failure, and the first failure decides the exit code.
+int VerifyReplicaManifest(const char* manifest_path) {
+  std::printf("verify %s (replica-set manifest)\n", manifest_path);
+  StatusOr<ReplicaManifest> manifest_or = LoadReplicaManifest(manifest_path);
+  if (!manifest_or.ok()) return Fail(manifest_or.status());
+  const ReplicaManifest& manifest = *manifest_or;
+  std::printf("  format v%u, %zu replica(s)\n  manifest OK\n",
+              kReplicaManifestFormatVersion, manifest.replicas.size());
+  int worst = kExitOk;
+  for (uint32_t r = 0; r < manifest.replicas.size(); ++r) {
+    const ReplicaManifest::Entry& entry = manifest.replicas[r];
+    const std::string path = ResolveShardPath(manifest_path, entry.path);
+    const char* kind = entry.kind == ReplicaManifest::Kind::kShardManifest
+                           ? "shard manifest"
+                           : "graph";
+    StatusOr<uint32_t> crc = FileCrc32c(path);
+    Status status = crc.status();
+    if (status.ok() && *crc != entry.file_crc32c) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "file CRC32C 0x%08x does not match recorded 0x%08x",
+                    *crc, entry.file_crc32c);
+      status = Status::Corruption(detail);
+    }
+    if (!status.ok()) {
+      std::printf("  replica %u %s (%s): %s\n", r, path.c_str(), kind,
+                  status.ToString().c_str());
+      if (worst == kExitOk) worst = ExitCodeFor(status);
+      // Still descend: the per-kind check reports *where* the rot is.
+    } else {
+      std::printf("  replica %u %s (%s): CRC32C 0x%08x OK\n", r,
+                  path.c_str(), kind, entry.file_crc32c);
+    }
+    const int kind_exit = entry.kind == ReplicaManifest::Kind::kShardManifest
+                              ? VerifyManifest(path.c_str())
+                              : [&] {
+                                  const GraphFileReport report =
+                                      VerifyGraphFile(path);
+                                  std::printf(
+                                      "  replica %u graph file: %s\n", r,
+                                      report.status.ok()
+                                          ? "all sections OK"
+                                          : report.status.ToString().c_str());
+                                  return report.status.ok()
+                                             ? kExitOk
+                                             : ExitCodeFor(report.status);
+                                }();
+    if (worst == kExitOk) worst = kind_exit;
+  }
+  if (worst == kExitOk) {
+    std::printf("  all %zu replica(s) OK\n", manifest.replicas.size());
+  }
+  return worst;
+}
+
 int CmdVerify(const Args& args) {
   const char* graph_path = args.Get("graph");
   if (graph_path == nullptr) {
@@ -620,6 +834,7 @@ int CmdVerify(const Args& args) {
   if (Status s = ReadFileToString(graph_path, &head); !s.ok()) {
     return Fail(s);
   }
+  if (IsReplicaManifestBytes(head)) return VerifyReplicaManifest(graph_path);
   if (IsManifestBytes(head)) return VerifyManifest(graph_path);
   const GraphFileReport report = VerifyGraphFile(graph_path);
   std::printf("verify %s\n", graph_path);
