@@ -1,0 +1,134 @@
+// Quantized-search frontier: QPS vs Recall@10 for float-precision graph
+// traversal against SQ8 two-stage search (quantized traversal + exact
+// rescore, docs/QUANTIZATION.md). The workload is the Msong stand-in
+// (420-dimensional, low intrinsic dimensionality) scaled up until float
+// rows outgrow the fast caches — the regime quantization is for: one-byte
+// codes keep ~4x more vectors per cache/DRAM byte, so quantized traversal
+// stays cache-resident long after float traversal goes memory-bound. Low
+// intrinsic dimensionality also mirrors real embedding corpora, where
+// nearest-neighbor contrast is large relative to SQ8 rounding noise and
+// the exact-rescore stage recovers float-level recall. (On small
+// cache-resident workloads the 4x density buys nothing and SQ8 is a wash;
+// see docs/QUANTIZATION.md for that measurement.) Emits one JSON line per
+// sweep point plus a memory line per algorithm:
+//
+//   {"bench":"quant","algo":...,"variant":"float"|"sq8","rescore_factor":F,
+//    "pool":L,"recall":R,"qps":Q,"ndc":N}
+//   {"bench":"quant_memory","algo":...,"float_bytes":...,"code_bytes":...,
+//    "ratio":...}
+//
+// Knobs beyond bench_common.h:
+//   WEAVESS_RESCORE_FACTORS  comma-separated rescore factors for the SQ8
+//                            sweeps (default 1,2,4,8; 4 is the serving
+//                            default in SearchParams)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "quant/quantized_index.h"
+
+namespace weavess::bench {
+namespace {
+
+constexpr uint32_t kRecallAtK = 10;
+
+std::vector<uint32_t> RescoreFactors() {
+  std::vector<uint32_t> factors;
+  const char* value = std::getenv("WEAVESS_RESCORE_FACTORS");
+  for (const std::string& token :
+       SplitCsv(value != nullptr ? value : "1,2,4,8")) {
+    const long parsed = std::atol(token.c_str());
+    if (parsed > 0) factors.push_back(static_cast<uint32_t>(parsed));
+  }
+  return factors;
+}
+
+void EmitPoint(const std::string& algo, const char* variant,
+               uint32_t rescore_factor, const SearchPoint& point) {
+  std::printf(
+      "{\"bench\":\"quant\",\"algo\":\"%s\",\"variant\":\"%s\","
+      "\"rescore_factor\":%u,\"pool\":%u,\"recall\":%.4f,\"qps\":%.1f,"
+      "\"ndc\":%.1f}\n",
+      algo.c_str(), variant, rescore_factor, point.params.pool_size,
+      point.recall, point.qps, point.mean_ndc);
+  std::fflush(stdout);
+}
+
+void Run() {
+  Banner("Quantization: QPS vs Recall@10, float traversal vs SQ8 rescore",
+         "Two-stage SQ8 search (quantized traversal + exact rescore) against "
+         "full-precision traversal on a memory-bound embedding workload "
+         "(docs/QUANTIZATION.md).");
+  const double scale = EnvScale();
+
+  // Msong stand-in at 16x its laptop base size: dim 420 (1728-byte padded
+  // float rows vs 448-byte code rows), ~48k vectors at the default scale —
+  // ~80 MB of float rows against ~21 MB of codes, so float traversal pays
+  // DRAM latency per candidate while codes ride the caches.
+  const Workload workload = MakeStandIn("Msong", 16.0 * scale);
+  std::printf("\n%s (n=%u, dim=%u)\n", workload.name.c_str(),
+              workload.base.size(), workload.base.dim());
+  std::printf(
+      "{\"bench\":\"quant_workload\",\"name\":\"%s\",\"n\":%u,\"dim\":%u}\n",
+      workload.name.c_str(), workload.base.size(), workload.base.dim());
+  std::fflush(stdout);
+  const GroundTruth truth =
+      ComputeGroundTruth(workload.base, workload.queries, kRecallAtK,
+                         /*num_threads=*/4);
+  // Both variants converge to recall ~1.0 well inside this ladder on the
+  // Msong stand-in; the bench ladder's 320/640 rungs would only re-measure
+  // the flat top of the curve at DRAM-bound cost.
+  const std::vector<uint32_t> pool_ladder = {10, 20, 40, 80, 160};
+
+  for (const std::string& algo : SelectedAlgorithms({"HNSW"})) {
+    std::unique_ptr<AnnIndex> float_index =
+        CreateAlgorithm(algo, DefaultOptions());
+    float_index->Build(workload.base);
+    std::unique_ptr<AnnIndex> sq8_index =
+        CreateAlgorithm("SQ8:" + algo, DefaultOptions());
+    sq8_index->Build(workload.base);
+
+    const auto* quantized =
+        dynamic_cast<const QuantizedIndex*>(sq8_index.get());
+    const size_t float_bytes = workload.base.MemoryBytes();
+    const size_t code_bytes =
+        quantized != nullptr ? quantized->CodeMemoryBytes() : 0;
+    std::printf(
+        "{\"bench\":\"quant_memory\",\"algo\":\"%s\",\"float_bytes\":%zu,"
+        "\"code_bytes\":%zu,\"ratio\":%.2f}\n",
+        algo.c_str(), float_bytes, code_bytes,
+        code_bytes > 0 ? static_cast<double>(float_bytes) /
+                             static_cast<double>(code_bytes)
+                       : 0.0);
+    std::fflush(stdout);
+
+    for (const SearchPoint& point :
+         SweepPoolSizes(*float_index, workload.queries, truth, kRecallAtK,
+                        pool_ladder)) {
+      EmitPoint(algo, "float", 0, point);
+    }
+    for (const uint32_t factor : RescoreFactors()) {
+      SearchParams base_params;
+      base_params.rescore_factor = factor;
+      for (const SearchPoint& point :
+           SweepPoolSizes(*sq8_index, workload.queries, truth, kRecallAtK,
+                          pool_ladder, base_params)) {
+        EmitPoint(algo, "sq8", factor, point);
+      }
+    }
+    std::printf("swept %-10s float + sq8\n", algo.c_str());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace weavess::bench
+
+int main() {
+  weavess::bench::Run();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "algorithms/sptag.h"
 #include "algorithms/vamana.h"
 #include "core/check.h"
+#include "quant/quantized_index.h"
 #include "shard/sharded_index.h"
 
 namespace weavess {
@@ -25,6 +26,8 @@ namespace {
 
 constexpr char kShardedPrefix[] = "Sharded:";
 constexpr size_t kShardedPrefixLen = sizeof(kShardedPrefix) - 1;
+constexpr char kQuantizedPrefix[] = "SQ8:";
+constexpr size_t kQuantizedPrefixLen = sizeof(kQuantizedPrefix) - 1;
 
 bool IsBaseAlgorithm(const std::string& name) {
   for (const std::string& known : AlgorithmNames()) {
@@ -53,6 +56,12 @@ std::unique_ptr<AnnIndex> CreateAlgorithm(const std::string& name,
                   "Sharded: wraps a base algorithm name (no nesting)");
     return std::make_unique<ShardedIndex>(inner, options);
   }
+  if (name.rfind(kQuantizedPrefix, 0) == 0) {
+    const std::string inner = name.substr(kQuantizedPrefixLen);
+    WEAVESS_CHECK(IsBaseAlgorithm(inner) &&
+                  "SQ8: wraps a base algorithm name (no nesting)");
+    return std::make_unique<QuantizedIndex>(inner, options);
+  }
   if (name == "KGraph") return CreateKGraph(options);
   if (name == "NGT-panng") return CreateNgtPanng(options);
   if (name == "NGT-onng") return CreateNgtOnng(options);
@@ -78,6 +87,9 @@ std::unique_ptr<AnnIndex> CreateAlgorithm(const std::string& name,
 bool IsKnownAlgorithm(const std::string& name) {
   if (name.rfind(kShardedPrefix, 0) == 0) {
     return IsBaseAlgorithm(name.substr(kShardedPrefixLen));
+  }
+  if (name.rfind(kQuantizedPrefix, 0) == 0) {
+    return IsBaseAlgorithm(name.substr(kQuantizedPrefixLen));
   }
   return IsBaseAlgorithm(name);
 }

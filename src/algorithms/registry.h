@@ -57,12 +57,15 @@ const std::vector<std::string>& AlgorithmNames();
 /// unknown name (use IsKnownAlgorithm to probe). "Sharded:<name>" wraps a
 /// base algorithm in the partitioned scatter-gather index of
 /// shard/sharded_index.h (options.num_shards / options.partitioner);
-/// sharding does not nest, so the inner name must be a base name.
+/// "SQ8:<name>" wraps one in the two-stage quantized index of
+/// quant/quantized_index.h (traverse on SQ8 codes, rescore with exact
+/// floats — docs/QUANTIZATION.md). Neither wrapper nests, so the inner
+/// name must be a base name.
 std::unique_ptr<AnnIndex> CreateAlgorithm(
     const std::string& name, const AlgorithmOptions& options = {});
 
 /// True for every base name in AlgorithmNames() plus their "Sharded:<name>"
-/// wrappers.
+/// and "SQ8:<name>" wrappers.
 bool IsKnownAlgorithm(const std::string& name);
 
 }  // namespace weavess

@@ -123,6 +123,17 @@ void L2SqrBatch(const float* query, const float* base, size_t stride,
   Ops()->l2_batch(query, base, stride, dim, ids, n, out);
 }
 
+uint32_t L2SqrSQ8(const uint8_t* query_code, const uint8_t* code,
+                  uint32_t dim) {
+  return Ops()->l2_sq8(query_code, code, dim);
+}
+
+void L2SqrSQ8Batch(const uint8_t* query_code, const uint8_t* codes,
+                   size_t stride_bytes, uint32_t dim, const uint32_t* ids,
+                   size_t n, float* out) {
+  Ops()->l2_sq8_batch(query_code, codes, stride_bytes, dim, ids, n, out);
+}
+
 float L2SqrScalar(const float* a, const float* b, uint32_t dim) {
   return detail::OpsFor(KernelLevel::kScalar)->l2(a, b, dim);
 }
@@ -133,6 +144,11 @@ float DotScalar(const float* a, const float* b, uint32_t dim) {
 
 float NormSqrScalar(const float* a, uint32_t dim) {
   return detail::OpsFor(KernelLevel::kScalar)->norm(a, dim);
+}
+
+uint32_t L2SqrSQ8Scalar(const uint8_t* query_code, const uint8_t* code,
+                        uint32_t dim) {
+  return detail::OpsFor(KernelLevel::kScalar)->l2_sq8(query_code, code, dim);
 }
 
 }  // namespace weavess

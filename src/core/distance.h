@@ -84,12 +84,35 @@ float NormSqr(const float* a, uint32_t dim);
 void L2SqrBatch(const float* query, const float* base, size_t stride,
                 uint32_t dim, const uint32_t* ids, size_t n, float* out);
 
+/// Symmetric quantized squared L2 in code space: Σ_d (qcode[d] - code[d])²
+/// over two SQ8 code rows — the query is encoded once per search with the
+/// same per-dimension codec (QuantizedDataset::EncodeQuery), so traversal
+/// ranks candidates by squared distance in the codec's normalized space.
+/// Pure integer arithmetic: exact, associative, and therefore bit-for-bit
+/// identical across every dispatch level by construction — no reduction-
+/// order discipline needed, unlike the float kernels (docs/QUANTIZATION.md).
+/// The uint32 sum cannot overflow below dim 66052 (dim * 255²).
+uint32_t L2SqrSQ8(const uint8_t* query_code, const uint8_t* code,
+                  uint32_t dim);
+
+/// Batched quantized form: out[i] = (float)L2SqrSQ8(query_code, codes +
+/// ids[i] * stride_bytes, dim). The float conversion (round-to-nearest,
+/// deterministic) happens here so candidate pools consume quantized and
+/// exact distances through one type. Same prefetching contract as
+/// L2SqrBatch; code rows stride in bytes because codes are one byte per
+/// dimension.
+void L2SqrSQ8Batch(const uint8_t* query_code, const uint8_t* codes,
+                   size_t stride_bytes, uint32_t dim, const uint32_t* ids,
+                   size_t n, float* out);
+
 /// Always-scalar canonical reference implementations, independent of the
 /// dispatch state. These are the oracle the differential kernel tests
 /// compare every dispatched level against.
 float L2SqrScalar(const float* a, const float* b, uint32_t dim);
 float DotScalar(const float* a, const float* b, uint32_t dim);
 float NormSqrScalar(const float* a, uint32_t dim);
+uint32_t L2SqrSQ8Scalar(const uint8_t* query_code, const uint8_t* code,
+                        uint32_t dim);
 
 // ---------------------------------------------------------------- counting
 

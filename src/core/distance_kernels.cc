@@ -20,6 +20,11 @@
 // the low 256 — is exactly r8[j] = lane[j] + lane[j+8]); NEON keeps four
 // q registers. The tail always runs scalar: masked tail loads would fold
 // tail elements into lanes and change the summation order.
+//
+// The SQ8 kernels are the exception to all of the above: they compute the
+// symmetric code-space distance Σ (qcode[d] - code[d])² in pure integer
+// arithmetic, which is exact and associative — every width and summation
+// order yields the identical uint32, so they need no canonical reduction.
 #include "core/distance_kernels.h"
 
 #include "core/distance.h"
@@ -57,6 +62,28 @@ void L2SqrBatchWith(const float* query, const float* base, size_t stride,
       PrefetchRegion(base + ids[i + kLookahead] * stride, row_bytes);
     }
     out[i] = kL2(query, base + ids[i] * stride, dim);
+  }
+}
+
+// SQ8 batch skeleton, same shape as L2SqrBatchWith but striding over byte
+// rows. Code rows are 4× denser than float rows, so the prefetch window
+// covers dim bytes, not dim floats. The integer sum converts to float here
+// (round-to-nearest, identical on every ISA) so pools consume one type.
+template <uint32_t (*kSq8)(const uint8_t*, const uint8_t*, uint32_t)>
+void L2SqrSQ8BatchWith(const uint8_t* query_code, const uint8_t* codes,
+                       size_t stride_bytes, uint32_t dim, const uint32_t* ids,
+                       size_t n, float* out) {
+  constexpr size_t kLookahead = 4;
+  const size_t warm = n < kLookahead ? n : kLookahead;
+  for (size_t i = 0; i < warm; ++i) {
+    PrefetchRegion(codes + ids[i] * stride_bytes, dim);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kLookahead < n) {
+      PrefetchRegion(codes + ids[i + kLookahead] * stride_bytes, dim);
+    }
+    out[i] = static_cast<float>(
+        kSq8(query_code, codes + ids[i] * stride_bytes, dim));
   }
 }
 
@@ -107,11 +134,28 @@ float NormSqrScalarKernel(const float* a, uint32_t dim) {
   return DotScalarKernel(a, a, dim);
 }
 
+// Symmetric code-space distance: Σ (qcode[d] - code[d])² in uint32. Integer
+// addition is associative, so unlike the float kernels above the vector
+// forms may pick any lane width/order and still match this loop bit-for-bit.
+// No overflow below dim 66052: each diff² ≤ 255² = 65025.
+uint32_t L2SqrSQ8ScalarKernel(const uint8_t* query_code, const uint8_t* code,
+                              uint32_t dim) {
+  uint32_t sum = 0;
+  for (uint32_t i = 0; i < dim; ++i) {
+    const int32_t diff = static_cast<int32_t>(query_code[i]) -
+                         static_cast<int32_t>(code[i]);
+    sum += static_cast<uint32_t>(diff * diff);
+  }
+  return sum;
+}
+
 constexpr KernelOps kScalarOps = {
     L2SqrScalarKernel,
     DotScalarKernel,
     NormSqrScalarKernel,
     L2SqrBatchWith<L2SqrScalarKernel>,
+    L2SqrSQ8ScalarKernel,
+    L2SqrSQ8BatchWith<L2SqrSQ8ScalarKernel>,
 };
 
 // -------------------------------------------------------------------- AVX2
@@ -176,11 +220,44 @@ __attribute__((target("avx2"))) float NormSqrAvx2(const float* a,
   return DotAvx2(a, a, dim);
 }
 
+// 16 codes per iteration: one 16-byte load per operand, widen u8 → i16,
+// subtract, then vpmaddwd squares-and-pairs into 8 epi32 partials. Integer
+// throughout, so the result equals the scalar loop exactly. Lane totals stay
+// below 2³¹ for any dim the uint32 contract admits (each vpmaddwd term is
+// ≤ 2·255²).
+__attribute__((target("avx2"))) uint32_t L2SqrSQ8Avx2(
+    const uint8_t* query_code, const uint8_t* code, uint32_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    const __m256i q = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(query_code + i)));
+    const __m256i c = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i)));
+    const __m256i diff = _mm256_sub_epi16(q, c);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(diff, diff));
+  }
+  const __m128i r4 = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                   _mm256_extracti128_si256(acc, 1));
+  const __m128i r2 = _mm_add_epi32(r4, _mm_shuffle_epi32(r4, 0x4e));
+  const __m128i r1 = _mm_add_epi32(r2, _mm_shuffle_epi32(r2, 0xb1));
+  uint32_t sum = static_cast<uint32_t>(_mm_cvtsi128_si32(r1));
+  for (; i < dim; ++i) {
+    const int32_t diff = static_cast<int32_t>(query_code[i]) -
+                         static_cast<int32_t>(code[i]);
+    sum += static_cast<uint32_t>(diff * diff);
+  }
+  return sum;
+}
+
 constexpr KernelOps kAvx2Ops = {
     L2SqrAvx2,
     DotAvx2,
     NormSqrAvx2,
     L2SqrBatchWith<L2SqrAvx2>,
+    L2SqrSQ8Avx2,
+    L2SqrSQ8BatchWith<L2SqrSQ8Avx2>,
 };
 
 // ----------------------------------------------------------------- AVX-512
@@ -238,11 +315,17 @@ __attribute__((target("avx512f"))) float NormSqrAvx512(const float* a,
   return DotAvx512(a, a, dim);
 }
 
+// The AVX-512 table reuses the AVX2 SQ8 kernel: 512-bit vpmaddwd requires
+// AVX-512BW, which the avx512f dispatch baseline does not guarantee, and
+// every avx512f CPU executes the AVX2 form (integer results are identical
+// at any width regardless).
 constexpr KernelOps kAvx512Ops = {
     L2SqrAvx512,
     DotAvx512,
     NormSqrAvx512,
     L2SqrBatchWith<L2SqrAvx512>,
+    L2SqrSQ8Avx2,
+    L2SqrSQ8BatchWith<L2SqrSQ8Avx2>,
 };
 
 #endif  // WEAVESS_KERNELS_X86
@@ -306,11 +389,38 @@ float DotNeon(const float* a, const float* b, uint32_t dim) {
 
 float NormSqrNeon(const float* a, uint32_t dim) { return DotNeon(a, a, dim); }
 
+// 16 codes per iteration: vabdq_u8 absolute differences, vmull_u8 squares
+// (|diff|² == diff², so unsigned widening multiply is exact), vpadalq_u16
+// pairwise-accumulates into u32 lanes. Integer throughout — equal to the
+// scalar loop at every dim.
+uint32_t L2SqrSQ8Neon(const uint8_t* query_code, const uint8_t* code,
+                      uint32_t dim) {
+  uint32x4_t acc = vdupq_n_u32(0);
+  const uint32_t body = dim & ~15u;
+  uint32_t i = 0;
+  for (; i < body; i += 16) {
+    const uint8x16_t ad = vabdq_u8(vld1q_u8(query_code + i),
+                                   vld1q_u8(code + i));
+    acc = vpadalq_u16(acc, vmull_u8(vget_low_u8(ad), vget_low_u8(ad)));
+    acc = vpadalq_u16(acc, vmull_u8(vget_high_u8(ad), vget_high_u8(ad)));
+  }
+  const uint32x2_t r2 = vadd_u32(vget_low_u32(acc), vget_high_u32(acc));
+  uint32_t sum = vget_lane_u32(vpadd_u32(r2, r2), 0);
+  for (; i < dim; ++i) {
+    const int32_t diff = static_cast<int32_t>(query_code[i]) -
+                         static_cast<int32_t>(code[i]);
+    sum += static_cast<uint32_t>(diff * diff);
+  }
+  return sum;
+}
+
 constexpr KernelOps kNeonOps = {
     L2SqrNeon,
     DotNeon,
     NormSqrNeon,
     L2SqrBatchWith<L2SqrNeon>,
+    L2SqrSQ8Neon,
+    L2SqrSQ8BatchWith<L2SqrSQ8Neon>,
 };
 
 #endif  // WEAVESS_KERNELS_NEON

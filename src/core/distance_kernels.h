@@ -17,12 +17,25 @@ namespace detail {
 /// Function table one dispatch level exports. `l2_batch` computes
 /// out[i] = l2(query, base + ids[i] * stride, dim) with row prefetch;
 /// stride ≥ dim because dataset rows are alignment-padded.
+///
+/// `l2_sq8` is the symmetric quantized form: squared L2 between two SQ8
+/// code rows (the query encoded once per search), Σ (qcode[d] - code[d])²
+/// in pure integer arithmetic — exact and associative, so every level is
+/// bit-for-bit equal without the float kernels' reduction-order rules.
+/// `l2_sq8_batch` mirrors `l2_batch` with a byte stride between code rows
+/// and converts each integer sum to float (deterministically) for the
+/// candidate pools.
 struct KernelOps {
   float (*l2)(const float* a, const float* b, uint32_t dim);
   float (*dot)(const float* a, const float* b, uint32_t dim);
   float (*norm)(const float* a, uint32_t dim);
   void (*l2_batch)(const float* query, const float* base, size_t stride,
                    uint32_t dim, const uint32_t* ids, size_t n, float* out);
+  uint32_t (*l2_sq8)(const uint8_t* query_code, const uint8_t* code,
+                     uint32_t dim);
+  void (*l2_sq8_batch)(const uint8_t* query_code, const uint8_t* codes,
+                       size_t stride_bytes, uint32_t dim, const uint32_t* ids,
+                       size_t n, float* out);
 };
 
 /// Table for `level`, or nullptr when the level is not compiled into this

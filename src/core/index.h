@@ -27,6 +27,12 @@ struct SearchParams {
   float epsilon = 0.10f;
   /// Extra post-convergence expansions (FANNG's backtracking).
   uint32_t backtrack = 100;
+  /// Two-stage rescoring breadth for quantized indexes (`SQ8:<Algo>`): the
+  /// traversal runs on SQ8 codes and the closest rescore_factor * k
+  /// quantized candidates are re-ranked with exact float distances before
+  /// the final top-k (docs/QUANTIZATION.md). Clamped to ≥ 1; ignored by
+  /// float indexes.
+  uint32_t rescore_factor = 4;
   /// Graceful-degradation budgets (0 = unlimited). When a budget trips, the
   /// search stops where it is, returns its best-so-far results, and sets
   /// QueryStats::truncated — a disconnected or adversarial graph cannot
@@ -45,6 +51,12 @@ struct SearchParams {
 struct QueryStats {
   uint64_t distance_evals = 0;
   uint64_t hops = 0;
+  /// NDC split for quantized two-stage search: evaluations spent on SQ8
+  /// codes during traversal vs exact float evaluations spent re-ranking
+  /// the candidate pool. distance_evals is their sum for quantized
+  /// indexes; both stay 0 for float indexes.
+  uint64_t quantized_evals = 0;
+  uint64_t rescore_evals = 0;
   /// True when a SearchParams budget tripped and the results are the
   /// best-so-far prefix of the walk rather than a converged search.
   bool truncated = false;

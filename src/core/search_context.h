@@ -71,6 +71,10 @@ struct SearchContext {
   /// one expansion.
   std::vector<uint32_t> batch_ids;
   std::vector<float> batch_dists;
+  /// Per-query encoded query for quantized traversal (quant/
+  /// quantized_index.cc): dim bytes, re-encoded at the start of each
+  /// quantized search. Lives here so steady-state search never reallocates.
+  std::vector<uint8_t> query_code;
   /// Optional per-query trace hook (docs/OBSERVABILITY.md): when non-null,
   /// routers record seed/expand/truncation events into it. Owned by the
   /// caller that armed it (the engine's SearchOne, or a test); BeginQuery

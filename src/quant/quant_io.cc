@@ -1,0 +1,315 @@
+#include "quant/quant_io.h"
+
+#include <cstring>
+#include <tuple>
+
+#include "core/crc32c.h"
+
+namespace weavess {
+
+namespace {
+
+// Explicit little-endian encoding, same discipline as graph_io.cc: the
+// format is byte-defined, not struct-defined.
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xFF);
+  bytes[1] = static_cast<char>((v >> 8) & 0xFF);
+  bytes[2] = static_cast<char>((v >> 16) & 0xFF);
+  bytes[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(bytes, 4);
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+uint32_t GetU32(std::string_view bytes, size_t offset) {
+  const auto* p = reinterpret_cast<const uint8_t*>(bytes.data() + offset);
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+float GetF32(std::string_view bytes, size_t offset) {
+  const uint32_t bits = GetU32(bytes, offset);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+Status CorruptionAt(uint64_t byte_offset, const std::string& what) {
+  return Status::Corruption(what + " at byte offset " +
+                            std::to_string(byte_offset));
+}
+
+// Section sizes derived from the (validated) header fields.
+struct Layout {
+  uint64_t mins_begin;
+  uint64_t floats_len;  // dim * 4, shared by mins and scales
+  uint64_t scales_begin;
+  uint64_t codes_begin;
+  uint64_t codes_len;  // num * stride
+  uint64_t total;      // expected file size
+
+  static Layout For(uint64_t num, uint64_t dim, uint64_t stride) {
+    Layout l;
+    l.mins_begin = kQuantizedHeaderBytes;
+    l.floats_len = dim * 4;
+    l.scales_begin = l.mins_begin + l.floats_len + 4;
+    l.codes_begin = l.scales_begin + l.floats_len + 4;
+    l.codes_len = num * stride;
+    l.total = l.codes_begin + l.codes_len + 4;
+    return l;
+  }
+};
+
+Status CheckHeader(std::string_view bytes, uint32_t* version, uint32_t* num,
+                   uint32_t* dim, uint32_t* stride,
+                   std::vector<QuantSectionReport>* report) {
+  if (bytes.size() < kQuantizedHeaderBytes) {
+    return Status::Corruption(
+        "file too small: " + std::to_string(bytes.size()) +
+        " bytes, a quantized-codes file needs at least " +
+        std::to_string(kQuantizedHeaderBytes));
+  }
+  if (std::memcmp(bytes.data(), kQuantizedMagic, sizeof(kQuantizedMagic)) !=
+      0) {
+    return CorruptionAt(0, "bad magic (not a weavess quantized-codes file)");
+  }
+  const uint32_t stored_crc = GetU32(bytes, kQuantizedHeaderBytes - 4);
+  const uint32_t computed_crc = Crc32c(bytes.data(), kQuantizedHeaderBytes - 4);
+  if (report != nullptr) {
+    report->push_back({"header", 0, kQuantizedHeaderBytes - 4, stored_crc,
+                       computed_crc, stored_crc == computed_crc});
+  }
+  if (stored_crc != computed_crc) {
+    return CorruptionAt(kQuantizedHeaderBytes - 4,
+                        "header CRC mismatch: stored " + Hex(stored_crc) +
+                            ", computed " + Hex(computed_crc));
+  }
+  *version = GetU32(bytes, 8);
+  if (*version != kQuantizedFormatVersion) {
+    return Status::NotSupported(
+        "quantized-codes format version " + std::to_string(*version) +
+        "; this build reads version " +
+        std::to_string(kQuantizedFormatVersion));
+  }
+  *num = GetU32(bytes, 12);
+  *dim = GetU32(bytes, 16);
+  *stride = GetU32(bytes, 20);
+  if (*dim == 0 || *dim > kMaxQuantizedDim) {
+    return CorruptionAt(16, "dimension " + std::to_string(*dim) +
+                                " outside [1, " +
+                                std::to_string(kMaxQuantizedDim) + "]");
+  }
+  if (*stride != QuantizedDataset::PaddedStride(*dim)) {
+    return CorruptionAt(
+        20, "code stride " + std::to_string(*stride) + " does not match " +
+                std::to_string(QuantizedDataset::PaddedStride(*dim)) +
+                " (dim " + std::to_string(*dim) + " padded to alignment)");
+  }
+  return Status::OK();
+}
+
+Status CheckSection(std::string_view bytes, const char* name, uint64_t begin,
+                    uint64_t len, std::vector<QuantSectionReport>* report) {
+  const uint32_t stored_crc = GetU32(bytes, begin + len);
+  const uint32_t computed_crc = Crc32c(bytes.data() + begin, len);
+  if (report != nullptr) {
+    report->push_back(
+        {name, begin, len, stored_crc, computed_crc,
+         stored_crc == computed_crc});
+  }
+  if (stored_crc != computed_crc) {
+    return CorruptionAt(begin + len,
+                        std::string(name) + " section CRC mismatch: stored " +
+                            Hex(stored_crc) + ", computed " +
+                            Hex(computed_crc));
+  }
+  return Status::OK();
+}
+
+// Shared by DeserializeQuantized and VerifyQuantizedBytes: structural
+// validation of the whole byte buffer, materializing the codes when
+// `codes_out` is non-null.
+Status ParseQuantized(std::string_view bytes, QuantizedDataset* codes_out,
+                      uint32_t* version_out, uint32_t* num_out,
+                      uint32_t* dim_out, uint32_t* stride_out,
+                      std::vector<QuantSectionReport>* report) {
+  uint32_t version = 0, num = 0, dim = 0, stride = 0;
+  WEAVESS_RETURN_IF_ERROR(
+      CheckHeader(bytes, &version, &num, &dim, &stride, report));
+  if (version_out != nullptr) *version_out = version;
+  if (num_out != nullptr) *num_out = num;
+  if (dim_out != nullptr) *dim_out = dim;
+  if (stride_out != nullptr) *stride_out = stride;
+
+  // Overflow guard: the code matrix must fit in the file before any
+  // num * stride arithmetic is trusted (stride ≥ 64 once the header
+  // validated, so the division is safe).
+  if (num > bytes.size() / stride) {
+    return CorruptionAt(12, "code count " + std::to_string(num) +
+                                " cannot fit in a " +
+                                std::to_string(bytes.size()) + "-byte file");
+  }
+  const Layout layout = Layout::For(num, dim, stride);
+  if (layout.total != bytes.size()) {
+    return Status::Corruption(
+        "file size mismatch: header promises " + std::to_string(layout.total) +
+        " bytes (" + std::to_string(num) + " rows of " +
+        std::to_string(stride) + " code bytes, dim " + std::to_string(dim) +
+        "), file has " + std::to_string(bytes.size()));
+  }
+
+  // In verify mode (report != nullptr) keep checking later sections after
+  // a failure so the CLI can print a complete per-section diagnosis.
+  Status section_status =
+      CheckSection(bytes, "mins", layout.mins_begin, layout.floats_len,
+                   report);
+  if (!section_status.ok() && report == nullptr) return section_status;
+  for (const auto& [name, begin, len] :
+       {std::tuple("scales", layout.scales_begin, layout.floats_len),
+        std::tuple("codes", layout.codes_begin, layout.codes_len)}) {
+    const Status s = CheckSection(bytes, name, begin, len, report);
+    if (section_status.ok()) section_status = s;
+    if (!section_status.ok() && report == nullptr) return section_status;
+  }
+  WEAVESS_RETURN_IF_ERROR(section_status);
+
+  // Scales must be non-negative finite reals — a negative or NaN scale
+  // would silently invert or poison every distance.
+  for (uint32_t d = 0; d < dim; ++d) {
+    const uint64_t pos = layout.scales_begin + static_cast<uint64_t>(d) * 4;
+    const float scale = GetF32(bytes, pos);
+    if (!(scale >= 0.0f) || scale != scale || scale > 3.0e38f) {
+      return CorruptionAt(pos, "scale for dimension " + std::to_string(d) +
+                                   " is not a non-negative finite float");
+    }
+    const uint64_t min_pos = layout.mins_begin + static_cast<uint64_t>(d) * 4;
+    const float min = GetF32(bytes, min_pos);
+    if (min != min) {
+      return CorruptionAt(min_pos,
+                          "min for dimension " + std::to_string(d) + " is NaN");
+    }
+  }
+
+  if (codes_out != nullptr) {
+    AlignedFloatVector mins(dim), scales(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      mins[d] = GetF32(bytes, layout.mins_begin + static_cast<uint64_t>(d) * 4);
+      scales[d] =
+          GetF32(bytes, layout.scales_begin + static_cast<uint64_t>(d) * 4);
+    }
+    AlignedByteVector code_bytes(layout.codes_len);
+    std::memcpy(code_bytes.data(), bytes.data() + layout.codes_begin,
+                layout.codes_len);
+    *codes_out = QuantizedDataset(num, dim, std::move(code_bytes),
+                                  std::move(mins), std::move(scales));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsQuantizedBytes(std::string_view bytes) {
+  return bytes.size() >= sizeof(kQuantizedMagic) &&
+         std::memcmp(bytes.data(), kQuantizedMagic,
+                     sizeof(kQuantizedMagic)) == 0;
+}
+
+std::string SerializeQuantized(const QuantizedDataset& codes) {
+  WEAVESS_CHECK(codes.dim() >= 1 && codes.dim() <= kMaxQuantizedDim &&
+                "only non-degenerate code matrices serialize");
+  const Layout layout =
+      Layout::For(codes.size(), codes.dim(), codes.code_stride());
+
+  std::string out;
+  out.reserve(layout.total);
+
+  // Header.
+  out.append(kQuantizedMagic, sizeof(kQuantizedMagic));
+  PutU32(&out, kQuantizedFormatVersion);
+  PutU32(&out, codes.size());
+  PutU32(&out, codes.dim());
+  PutU32(&out, codes.code_stride());
+  PutU32(&out, Crc32c(out.data(), out.size()));
+
+  // Mins.
+  const size_t mins_begin = out.size();
+  for (uint32_t d = 0; d < codes.dim(); ++d) PutF32(&out, codes.mins()[d]);
+  PutU32(&out, Crc32c(out.data() + mins_begin, out.size() - mins_begin));
+
+  // Scales.
+  const size_t scales_begin = out.size();
+  for (uint32_t d = 0; d < codes.dim(); ++d) PutF32(&out, codes.scales()[d]);
+  PutU32(&out, Crc32c(out.data() + scales_begin, out.size() - scales_begin));
+
+  // Codes (padding included — the stride is part of the format).
+  const size_t codes_begin = out.size();
+  out.append(reinterpret_cast<const char*>(codes.CodeBase()),
+             codes.raw().size());
+  PutU32(&out, Crc32c(out.data() + codes_begin, out.size() - codes_begin));
+
+  WEAVESS_CHECK(out.size() == layout.total);
+  return out;
+}
+
+StatusOr<QuantizedDataset> DeserializeQuantized(std::string_view bytes) {
+  QuantizedDataset codes;
+  WEAVESS_RETURN_IF_ERROR(ParseQuantized(bytes, &codes, nullptr, nullptr,
+                                         nullptr, nullptr, nullptr));
+  return codes;
+}
+
+Status SaveQuantizedToWriter(const QuantizedDataset& codes, Writer& writer) {
+  const std::string bytes = SerializeQuantized(codes);
+  WEAVESS_RETURN_IF_ERROR(writer.Append(bytes.data(), bytes.size()));
+  return writer.Close();
+}
+
+StatusOr<QuantizedDataset> LoadQuantizedFromReader(Reader& reader) {
+  std::string bytes;
+  WEAVESS_RETURN_IF_ERROR(ReadAll(reader, &bytes));
+  return DeserializeQuantized(bytes);
+}
+
+Status SaveQuantized(const QuantizedDataset& codes, const std::string& path) {
+  StdioWriter writer;
+  WEAVESS_RETURN_IF_ERROR(writer.Open(path));
+  return SaveQuantizedToWriter(codes, writer);
+}
+
+StatusOr<QuantizedDataset> LoadQuantized(const std::string& path) {
+  std::string bytes;
+  WEAVESS_RETURN_IF_ERROR(ReadFileToString(path, &bytes));
+  return DeserializeQuantized(bytes);
+}
+
+QuantFileReport VerifyQuantizedBytes(std::string_view bytes) {
+  QuantFileReport report;
+  report.status =
+      ParseQuantized(bytes, nullptr, &report.version, &report.num,
+                     &report.dim, &report.code_stride, &report.sections);
+  return report;
+}
+
+QuantFileReport VerifyQuantizedFile(const std::string& path) {
+  std::string bytes;
+  const Status read = ReadFileToString(path, &bytes);
+  if (!read.ok()) {
+    QuantFileReport report;
+    report.status = read;
+    return report;
+  }
+  return VerifyQuantizedBytes(bytes);
+}
+
+}  // namespace weavess

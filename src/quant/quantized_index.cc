@@ -1,0 +1,150 @@
+#include "quant/quantized_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algorithms/registry.h"
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "quant/quantized_oracle.h"
+#include "search/router.h"
+
+namespace weavess {
+
+QuantizedIndex::QuantizedIndex(const std::string& inner_name,
+                               const AlgorithmOptions& options)
+    : inner_name_(inner_name),
+      options_(std::make_unique<AlgorithmOptions>(options)),
+      num_seeds_(options.num_seeds > 0 ? options.num_seeds : 10),
+      seed_(options.seed) {}
+
+QuantizedIndex::QuantizedIndex(Graph graph, QuantizedDataset codes,
+                               const Dataset& data, std::string metadata)
+    : owned_graph_(std::move(graph)),
+      metadata_(std::move(metadata)),
+      graph_view_(&owned_graph_),
+      csr_(std::make_unique<CsrGraph>(owned_graph_)),
+      codes_(std::move(codes)),
+      data_(&data) {
+  WEAVESS_CHECK(codes_.size() == owned_graph_.size() &&
+                codes_.size() == data.size() && codes_.dim() == data.dim() &&
+                "codes must cover the graph's vertices and the dataset");
+}
+
+QuantizedIndex::~QuantizedIndex() = default;
+
+void QuantizedIndex::Build(const Dataset& data) {
+  WEAVESS_CHECK(graph_view_ == nullptr && "index is already built");
+  WEAVESS_CHECK(options_ != nullptr && "load-path indexes are already built");
+  inner_ = CreateAlgorithm(inner_name_, *options_);
+  inner_->Build(data);
+  codes_ = SQ8Codec::Train(data).Encode(data);
+  graph_view_ = &inner_->graph();
+  csr_ = std::make_unique<CsrGraph>(*graph_view_);
+  data_ = &data;
+}
+
+const Graph& QuantizedIndex::graph() const {
+  WEAVESS_CHECK(graph_view_ != nullptr && "index is not built");
+  return *graph_view_;
+}
+
+size_t QuantizedIndex::IndexMemoryBytes() const {
+  size_t bytes = codes_.MemoryBytes();
+  if (inner_ != nullptr) {
+    bytes += inner_->IndexMemoryBytes();
+  } else {
+    bytes += owned_graph_.MemoryBytes();
+  }
+  if (csr_ != nullptr) bytes += csr_->MemoryBytes();
+  return bytes;
+}
+
+BuildStats QuantizedIndex::build_stats() const {
+  return inner_ != nullptr ? inner_->build_stats() : BuildStats{};
+}
+
+std::string QuantizedIndex::name() const {
+  if (!inner_name_.empty()) return "SQ8:" + inner_name_;
+  return metadata_.empty() ? "SQ8:LoadedGraph" : "SQ8:" + metadata_;
+}
+
+std::vector<uint32_t> QuantizedIndex::SearchWith(SearchScratch& scratch,
+                                                 const float* query,
+                                                 const SearchParams& params,
+                                                 QueryStats* stats) const {
+  WEAVESS_CHECK(graph_view_ != nullptr && "index is not built");
+  SearchContext& ctx = scratch.ctx;
+  ctx.BeginQuery();
+
+  // Stage 1: best-first traversal over SQ8 codes. The query is encoded
+  // once with the stored codec, so every traversal evaluation is a pure
+  // uint8 comparison; the search budget arms against quantized evaluations
+  // — they are the traversal's work.
+  ctx.query_code.resize(codes_.dim());
+  codes_.EncodeQuery(query, ctx.query_code.data());
+  DistanceCounter quantized_counter;
+  QuantizedOracle quantized(codes_, ctx.query_code.data(),
+                            &quantized_counter);
+  ctx.ArmBudget(params.max_distance_evals, params.time_budget_us,
+                &quantized_counter, params.clock);
+  const uint32_t k = params.k;
+  const uint32_t rescore_factor = std::max<uint32_t>(1, params.rescore_factor);
+  const uint64_t rescore_want64 = static_cast<uint64_t>(rescore_factor) * k;
+  const uint32_t rescore_want = static_cast<uint32_t>(
+      std::min<uint64_t>(rescore_want64, codes_.size()));
+  // The pool must hold the rescore breadth, else the widened candidates
+  // would be evicted before stage 2 sees them.
+  CandidatePool& pool = scratch.pool;
+  pool.Reset(std::max({params.pool_size, rescore_want, k}));
+
+  // Query-hash-derived random seeds, evaluated at quantized distance —
+  // the same derivation RandomSeedProvider uses, so a repeated query on
+  // any thread sees identical entries.
+  const uint32_t want_seeds = std::min(num_seeds_, codes_.size());
+  Rng rng(HashBytes(query, codes_.dim() * sizeof(float), seed_));
+  const std::vector<uint32_t> seed_ids =
+      rng.SampleDistinct(codes_.size(), want_seeds);
+  SeedPool(seed_ids, query, quantized, ctx, pool);
+  BestFirstSearch(*csr_, query, quantized, ctx, pool);
+
+  // Stage 2: exact float rescoring of the closest rescore_want quantized
+  // candidates. Rescore work is accounted separately (rescore_evals) and
+  // runs even when the traversal budget tripped — the best-so-far pool
+  // still deserves exact ranking.
+  DistanceCounter rescore_counter;
+  DistanceOracle exact(*data_, &rescore_counter);
+  const auto& entries = pool.entries();
+  const size_t want = std::min<size_t>(entries.size(), rescore_want);
+  ctx.batch_ids.clear();
+  for (size_t i = 0; i < want; ++i) ctx.batch_ids.push_back(entries[i].id);
+  ctx.batch_dists.resize(want);
+  exact.ToQueryBatch(query, ctx.batch_ids.data(), want,
+                     ctx.batch_dists.data());
+  std::vector<Neighbor> rescored;
+  rescored.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    rescored.emplace_back(ctx.batch_ids[i], ctx.batch_dists[i]);
+  }
+  // Neighbor orders by (distance, id): equal exact distances tie-break on
+  // id, keeping the final ranking deterministic.
+  std::sort(rescored.begin(), rescored.end());
+
+  if (stats != nullptr) {
+    stats->quantized_evals = quantized_counter.count;
+    stats->rescore_evals = rescore_counter.count;
+    stats->distance_evals = quantized_counter.count + rescore_counter.count;
+    stats->hops = ctx.hops;
+    stats->truncated = ctx.truncated;
+  }
+  std::vector<uint32_t> result;
+  result.reserve(std::min<size_t>(k, rescored.size()));
+  for (size_t i = 0; i < rescored.size() && i < k; ++i) {
+    result.push_back(rescored[i].id);
+  }
+  return result;
+}
+
+}  // namespace weavess

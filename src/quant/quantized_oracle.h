@@ -1,0 +1,66 @@
+// Quantized counterpart of DistanceOracle: bundles an SQ8 code matrix, the
+// query's own code row, the symmetric code-space metric, and the evaluation
+// counter. The routers are templated on the oracle type, so graph traversal
+// runs unchanged over quantized distances — only the per-candidate
+// evaluation swaps from float rows to code rows. The float query argument
+// the routers pass through is ignored; the oracle compares against the
+// pre-encoded query code (QuantizedDataset::EncodeQuery, done once per
+// search), which is what makes the hot loop pure uint8 arithmetic.
+#ifndef WEAVESS_QUANT_QUANTIZED_ORACLE_H_
+#define WEAVESS_QUANT_QUANTIZED_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/distance.h"
+#include "quant/sq8.h"
+
+namespace weavess {
+
+/// Distance oracle over SQ8 codes. Evaluations count into the same
+/// DistanceCounter machinery as float evaluations (they arm the search
+/// budget during quantized traversal); QueryStats reports them separately
+/// as quantized_evals.
+class QuantizedOracle {
+ public:
+  /// `query_code` is the dim()-byte encoded query; it must outlive the
+  /// oracle (the index keeps it in per-query scratch).
+  QuantizedOracle(const QuantizedDataset& codes, const uint8_t* query_code,
+                  DistanceCounter* counter)
+      : codes_(&codes), query_code_(query_code), counter_(counter) {}
+
+  /// Symmetric code-space distance between the encoded query and stored
+  /// code row id, as a float (exact integer sum, converted once).
+  float ToQuery(const float* /*query*/, uint32_t id) {
+    Count();
+    return static_cast<float>(
+        L2SqrSQ8(query_code_, codes_->Code(id), codes_->dim()));
+  }
+
+  /// Batched form: out[i] corresponds to ids[i]; counts n evaluations and
+  /// is bit-for-bit equal to n ToQuery calls (the batch adds prefetch).
+  void ToQueryBatch(const float* /*query*/, const uint32_t* ids, size_t n,
+                    float* out) {
+    if (counter_ != nullptr) counter_->count += n;
+    L2SqrSQ8Batch(query_code_, codes_->CodeBase(), codes_->code_stride(),
+                  codes_->dim(), ids, n, out);
+  }
+
+  const QuantizedDataset& codes() const { return *codes_; }
+  uint32_t dim() const { return codes_->dim(); }
+  uint32_t size() const { return codes_->size(); }
+  uint64_t evaluations() const { return counter_ ? counter_->count : 0; }
+
+ private:
+  void Count() {
+    if (counter_ != nullptr) ++counter_->count;
+  }
+
+  const QuantizedDataset* codes_;
+  const uint8_t* query_code_;
+  DistanceCounter* counter_;
+};
+
+}  // namespace weavess
+
+#endif  // WEAVESS_QUANT_QUANTIZED_ORACLE_H_

@@ -63,7 +63,7 @@ SearchParams DegradationLadder::Apply(uint32_t tier,
                                       const SearchParams& request) const {
   if (tier == 0) return request;
   WEAVESS_CHECK(tier < num_tiers());
-  const SearchParams& cap = config_.tiers[tier - 1];
+  const SearchParams& cap = config_.tiers[tier - 1].params;
   SearchParams merged = request;
   if (cap.pool_size > 0) {
     // Never degrade the pool below k: a pool smaller than k cannot hold a
@@ -75,6 +75,12 @@ SearchParams DegradationLadder::Apply(uint32_t tier,
       MinLimit(request.max_distance_evals, cap.max_distance_evals);
   merged.time_budget_us = MinLimit(request.time_budget_us, cap.time_budget_us);
   return merged;
+}
+
+ServeMode DegradationLadder::ModeFor(uint32_t tier) const {
+  if (tier == 0) return ServeMode::kExact;
+  WEAVESS_CHECK(tier < num_tiers());
+  return config_.tiers[tier - 1].mode;
 }
 
 }  // namespace weavess

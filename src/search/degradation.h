@@ -20,13 +20,38 @@
 
 namespace weavess {
 
+/// Serving backend a degradation tier routes to. The ladder steps through
+/// quality *and* backend: exact graph traversal first, then (when a
+/// quantized index is configured) SQ8-code traversal with exact rescoring,
+/// then the brute-force scan of last resort (docs/QUANTIZATION.md).
+enum class ServeMode : uint8_t {
+  kExact = 0,       // float-row graph traversal (the full-quality backend)
+  kQuantized = 1,   // SQ8-code traversal + exact rescore
+  kBruteForce = 2,  // linear exact scan (always available, never wrong)
+};
+
+/// One degraded step: the SearchParams caps plus the backend to serve on.
+/// Implicitly constructible from SearchParams so existing configs that
+/// list bare caps keep meaning "exact backend, tighter knobs".
+struct DegradationTier {
+  SearchParams params;
+  ServeMode mode = ServeMode::kExact;
+
+  DegradationTier() = default;
+  DegradationTier(const SearchParams& params_in)  // NOLINT(runtime/explicit)
+      : params(params_in) {}
+  DegradationTier(const SearchParams& params_in, ServeMode mode_in)
+      : params(params_in), mode(mode_in) {}
+};
+
 struct DegradationConfig {
   /// Quality tiers, best first: tiers[0] is full quality and is implicit —
   /// entries here describe the *degraded* steps (tier 1, tier 2, ...). Each
   /// entry's pool_size / max_distance_evals / time_budget_us cap the
   /// request's own values (tightest wins; 0 fields leave the request
-  /// untouched). An empty list disables degradation.
-  std::vector<SearchParams> tiers;
+  /// untouched), and its mode selects the serving backend for that step.
+  /// An empty list disables degradation.
+  std::vector<DegradationTier> tiers;
   /// Queue depth (admission in-flight count) at or above which a sample
   /// counts as overload pressure.
   uint32_t enter_depth = 48;
@@ -68,6 +93,9 @@ class DegradationLadder {
   /// pool_size / max_distance_evals / time_budget_us; k and everything else
   /// are the request's). Tier 0 returns `request` unchanged.
   SearchParams Apply(uint32_t tier, const SearchParams& request) const;
+
+  /// Serving backend for `tier` (tier 0 is always kExact).
+  ServeMode ModeFor(uint32_t tier) const;
 
  private:
   void RecordPressure(bool overloaded, bool calm);

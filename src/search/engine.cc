@@ -2,6 +2,7 @@
 
 #include "core/check.h"
 #include "core/timer.h"
+#include "quant/quantized_index.h"
 
 namespace weavess {
 
@@ -39,6 +40,14 @@ SearchEngine::SearchEngine(const AnnIndex& index, uint32_t num_threads,
     // running" when comparing QPS across hosts (docs/KERNELS.md).
     metrics_->GetGauge("kernel.dispatch")
         ->Set(static_cast<uint64_t>(ActiveKernelLevel()));
+    if (const auto* quantized =
+            dynamic_cast<const QuantizedIndex*>(&index_)) {
+      // Resident SQ8 code bytes (codes + per-dimension scales): the memory
+      // side of the quantization trade, next to the QPS side in quant.*
+      // counters (docs/QUANTIZATION.md).
+      metrics_->GetGauge("quant.code_bytes")
+          ->Set(quantized->CodeMemoryBytes());
+    }
   }
   // Pre-populate the free list so steady-state batches allocate nothing.
   free_scratch_.reserve(num_threads);
@@ -87,6 +96,8 @@ BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
   for (uint32_t q = 0; q < n; ++q) {
     out.totals.distance_evals += out.stats[q].distance_evals;
     out.totals.hops += out.stats[q].hops;
+    out.totals.quantized_evals += out.stats[q].quantized_evals;
+    out.totals.rescore_evals += out.stats[q].rescore_evals;
     if (out.stats[q].truncated) ++out.totals.truncated_queries;
     if (out.stats[q].degraded) ++out.totals.degraded_queries;
   }
@@ -107,6 +118,22 @@ BatchResult SearchEngine::SearchBatch(const std::vector<const float*>& queries,
         metrics_->GetHistogram("search.ndc", DefaultNdcBuckets());
     for (uint32_t q = 0; q < n; ++q) {
       ndc->Record(out.stats[q].distance_evals);
+    }
+    if (out.totals.quantized_evals > 0 || out.totals.rescore_evals > 0) {
+      // Quantized two-stage split, only materialized when the index
+      // actually traverses codes — float-only deployments keep a clean
+      // search.* namespace.
+      metrics_->GetCounter("quant.quantized_evals")
+          ->Add(out.totals.quantized_evals);
+      metrics_->GetCounter("quant.rescore_evals")
+          ->Add(out.totals.rescore_evals);
+      Histogram* rescore =
+          metrics_->GetHistogram("quant.rescore_pool", DefaultNdcBuckets());
+      for (uint32_t q = 0; q < n; ++q) {
+        if (out.stats[q].rescore_evals > 0) {
+          rescore->Record(out.stats[q].rescore_evals);
+        }
+      }
     }
     metrics_->AddTiming("search.batch_wall_seconds",
                         out.totals.wall_seconds);

@@ -37,6 +37,11 @@ namespace weavess {
 struct BatchStats {
   uint64_t distance_evals = 0;
   uint64_t hops = 0;
+  /// Quantized-index split of distance_evals (zero for float indexes):
+  /// code-space traversal evaluations vs exact float rescore evaluations
+  /// (docs/QUANTIZATION.md).
+  uint64_t quantized_evals = 0;
+  uint64_t rescore_evals = 0;
   uint32_t truncated_queries = 0;
   uint32_t degraded_queries = 0;
   /// Wall time of the whole batch (the only intentionally nondeterministic

@@ -2,16 +2,6 @@
 
 namespace weavess {
 
-void SeedPool(const std::vector<uint32_t>& ids, const float* query,
-              DistanceOracle& oracle, SearchContext& ctx,
-              CandidatePool& pool) {
-  for (uint32_t id : ids) {
-    if (ctx.visited.CheckAndMark(id)) continue;
-    if (ctx.trace != nullptr) ctx.trace->Record(TraceEventKind::kSeed, id);
-    pool.Insert(Neighbor(id, oracle.ToQuery(query, id)));
-  }
-}
-
 std::vector<uint32_t> ExtractTopK(const CandidatePool& pool, uint32_t k) {
   return pool.TopIds(k);
 }

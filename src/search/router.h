@@ -31,9 +31,18 @@
 namespace weavess {
 
 /// Evaluates `ids` against the query and inserts them into the pool,
-/// marking them visited. The common entry step for all routers.
+/// marking them visited. The common entry step for all routers. Templated
+/// on the oracle (DistanceOracle over float rows or QuantizedOracle over
+/// SQ8 codes) like the routers themselves.
+template <typename OracleT>
 void SeedPool(const std::vector<uint32_t>& ids, const float* query,
-              DistanceOracle& oracle, SearchContext& ctx, CandidatePool& pool);
+              OracleT& oracle, SearchContext& ctx, CandidatePool& pool) {
+  for (uint32_t id : ids) {
+    if (ctx.visited.CheckAndMark(id)) continue;
+    if (ctx.trace != nullptr) ctx.trace->Record(TraceEventKind::kSeed, id);
+    pool.Insert(Neighbor(id, oracle.ToQuery(query, id)));
+  }
+}
 
 /// Copies the pool's closest k ids into a result vector.
 std::vector<uint32_t> ExtractTopK(const CandidatePool& pool, uint32_t k);
@@ -58,7 +67,8 @@ inline void TraceTruncated(SearchContext& ctx) {
 // Evaluates the ids gathered in ctx.batch_ids with one batched kernel call,
 // leaving distances in ctx.batch_dists (bit-for-bit equal to per-id
 // ToQuery calls, same NDC accounting).
-inline void EvalGathered(const float* query, DistanceOracle& oracle,
+template <typename OracleT>
+inline void EvalGathered(const float* query, OracleT& oracle,
                          SearchContext& ctx) {
   ctx.batch_dists.resize(ctx.batch_ids.size());
   oracle.ToQueryBatch(query, ctx.batch_ids.data(), ctx.batch_ids.size(),
@@ -67,9 +77,9 @@ inline void EvalGathered(const float* query, DistanceOracle& oracle,
 
 // Gathers the not-yet-visited neighbors (marking them visited) into
 // ctx.batch_ids and batch-evaluates them. Returns the gathered count.
-template <typename Range>
+template <typename Range, typename OracleT>
 inline size_t GatherAndEval(const Range& neighbors, const float* query,
-                            DistanceOracle& oracle, SearchContext& ctx) {
+                            OracleT& oracle, SearchContext& ctx) {
   ctx.batch_ids.clear();
   for (uint32_t neighbor : neighbors) {
     if (ctx.visited.CheckAndMark(neighbor)) continue;
@@ -110,11 +120,12 @@ inline uint32_t DominantDim(const float* row, const float* query,
 
 /// Best-first search (Algorithm 1): iteratively expands the closest
 /// unchecked pool entry until the pool stops improving. The pool must
-/// already contain the seeds. Each expansion counts one hop.
-template <typename GraphT>
-void BestFirstSearch(const GraphT& graph, const float* query,
-                     DistanceOracle& oracle, SearchContext& ctx,
-                     CandidatePool& pool) {
+/// already contain the seeds. Each expansion counts one hop. Generic over
+/// the oracle: the same traversal runs on float rows (DistanceOracle) or
+/// SQ8 codes (QuantizedOracle) — only the per-candidate metric changes.
+template <typename GraphT, typename OracleT>
+void BestFirstSearch(const GraphT& graph, const float* query, OracleT& oracle,
+                     SearchContext& ctx, CandidatePool& pool) {
   size_t next;
   while ((next = pool.NextUnchecked()) != CandidatePool::kNpos) {
     if (ctx.BudgetExhausted()) {
@@ -145,10 +156,10 @@ void BestFirstSearch(const GraphT& graph, const float* query,
 /// FANNG-style best-first with backtracking: after convergence, up to
 /// `backtrack_budget` additional already-seen vertices (kept in an overflow
 /// queue) are expanded, trading time for accuracy.
-template <typename GraphT>
-void BacktrackSearch(const GraphT& graph, const float* query,
-                     DistanceOracle& oracle, SearchContext& ctx,
-                     CandidatePool& pool, uint32_t backtrack_budget) {
+template <typename GraphT, typename OracleT>
+void BacktrackSearch(const GraphT& graph, const float* query, OracleT& oracle,
+                     SearchContext& ctx, CandidatePool& pool,
+                     uint32_t backtrack_budget) {
   // Overflow queue of evaluated-but-unexpanded vertices that did not make
   // (or fell out of) the pool; backtracking resumes from these.
   std::priority_queue<Neighbor, std::vector<Neighbor>,
@@ -206,10 +217,9 @@ void BacktrackSearch(const GraphT& graph, const float* query,
 /// NGT's range search: the frontier is unbounded and a neighbor enters it
 /// while δ(n, q) < (1+ε)·r, where r is the current worst result distance.
 /// Larger ε escapes local optima at the cost of search time (§4.2 C7).
-template <typename GraphT>
-void RangeSearch(const GraphT& graph, const float* query,
-                 DistanceOracle& oracle, SearchContext& ctx,
-                 CandidatePool& pool, float epsilon) {
+template <typename GraphT, typename OracleT>
+void RangeSearch(const GraphT& graph, const float* query, OracleT& oracle,
+                 SearchContext& ctx, CandidatePool& pool, float epsilon) {
   const float expansion = (1.0f + epsilon) * (1.0f + epsilon);  // squared l2
   std::priority_queue<Neighbor, std::vector<Neighbor>,
                       std::greater<Neighbor>>

@@ -7,6 +7,8 @@
 #include "core/distance.h"
 #include "core/graph_io.h"
 #include "core/topk_merge.h"
+#include "quant/quant_io.h"
+#include "quant/quantized_index.h"
 #include "search/loaded_index.h"
 
 namespace weavess {
@@ -37,6 +39,10 @@ ServingEngine::ServingEngine(const AnnIndex& index, ServingConfig config)
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : own_metrics_.get()),
       engine_(std::make_unique<SearchEngine>(index, 1, metrics_)),
+      quant_engine_(config_.quantized_index != nullptr
+                        ? std::make_unique<SearchEngine>(
+                              *config_.quantized_index, 1, metrics_)
+                        : nullptr),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -51,6 +57,10 @@ ServingEngine::ServingEngine(const Dataset& data, ServingConfig config)
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : own_metrics_.get()),
       fallback_data_(&data),
+      quant_engine_(config_.quantized_index != nullptr
+                        ? std::make_unique<SearchEngine>(
+                              *config_.quantized_index, 1, metrics_)
+                        : nullptr),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -65,6 +75,10 @@ ServingEngine::ServingEngine(MutableShardedIndex& index, ServingConfig config)
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : own_metrics_.get()),
       mutable_(&index),
+      quant_engine_(config_.quantized_index != nullptr
+                        ? std::make_unique<SearchEngine>(
+                              *config_.quantized_index, 1, metrics_)
+                        : nullptr),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -84,6 +98,10 @@ ServingEngine::ServingEngine(std::unique_ptr<AnnIndex> owned_index,
                                           : own_metrics_.get()),
       owned_index_(std::move(owned_index)),
       engine_(std::make_unique<SearchEngine>(*owned_index_, 1, metrics_)),
+      quant_engine_(config_.quantized_index != nullptr
+                        ? std::make_unique<SearchEngine>(
+                              *config_.quantized_index, 1, metrics_)
+                        : nullptr),
       pool_(config_.num_threads > 0 ? config_.num_threads - 1 : 0),
       admission_(config_.admission),
       ladder_(config_.degradation) {
@@ -113,6 +131,53 @@ ServingEngine::Opened ServingEngine::FromSavedGraph(const std::string& path,
     opened.load_status = graph_or.status();
     opened.engine = std::make_unique<ServingEngine>(data, std::move(config));
   }
+  return opened;
+}
+
+ServingEngine::Opened ServingEngine::FromSavedGraphWithCodes(
+    const std::string& graph_path, const std::string& codes_path,
+    const Dataset& data, ServingConfig config) {
+  Opened opened;
+  std::string metadata;
+  StatusOr<Graph> graph_or = LoadGraph(graph_path, &metadata);
+  if (graph_or.ok() && graph_or->size() != data.size()) {
+    graph_or = Status::Corruption(
+        "graph/dataset mismatch: graph has " +
+        std::to_string(graph_or->size()) + " vertices, dataset has " +
+        std::to_string(data.size()) + " rows");
+  }
+  if (!graph_or.ok()) {
+    // No usable graph: same whole-index brute-force fallback as
+    // FromSavedGraph — a broken codes file cannot make things worse.
+    opened.load_status = graph_or.status();
+    opened.engine = std::make_unique<ServingEngine>(data, std::move(config));
+    return opened;
+  }
+  StatusOr<QuantizedDataset> codes_or = LoadQuantized(codes_path);
+  if (codes_or.ok() &&
+      (codes_or->size() != data.size() || codes_or->dim() != data.dim())) {
+    codes_or = Status::Corruption(
+        "codes/dataset mismatch: codes are " +
+        std::to_string(codes_or->size()) + "x" +
+        std::to_string(codes_or->dim()) + ", dataset is " +
+        std::to_string(data.size()) + "x" + std::to_string(data.dim()));
+  }
+  if (!codes_or.ok()) {
+    // The graph is fine, only the codes are not: serve float-row traversal.
+    // That is the *full-quality* backend, so nothing is tagged degraded —
+    // load_status carries the codes failure as an informational status.
+    opened.load_status = codes_or.status();
+    opened.engine.reset(new ServingEngine(
+        std::make_unique<LoadedGraphIndex>(*std::move(graph_or), data,
+                                           std::move(metadata)),
+        std::move(config)));
+    return opened;
+  }
+  opened.engine.reset(new ServingEngine(
+      std::make_unique<QuantizedIndex>(*std::move(graph_or),
+                                       *std::move(codes_or), data,
+                                       std::move(metadata)),
+      std::move(config)));
   return opened;
 }
 
@@ -251,6 +316,14 @@ bool ServingEngine::AdmitLocked(const RequestOptions& request,
   metrics_->GetCounter("serving.admitted")->Add(1);
   *tier = ladder_.OnSample(admission_.in_flight());
   outcome->tier = *tier;
+  // Backend transitions are counted here, under mu_ in submission order, so
+  // the quant.tier_transitions count is deterministic at any thread count —
+  // the same property the rest of the admission trace has.
+  const ServeMode mode = ladder_.ModeFor(*tier);
+  if (mode != last_mode_) {
+    metrics_->GetCounter("quant.tier_transitions")->Add(1);
+    last_mode_ = mode;
+  }
   return true;
 }
 
@@ -280,13 +353,25 @@ ServeOutcome ServingEngine::Execute(const float* query,
                                 ? remaining
                                 : std::min(params.time_budget_us, remaining);
   }
+  // Route by the tier's backend. Every degraded mode falls back to the best
+  // backend actually available — a tier asking for a backend this engine
+  // does not have serves on the primary instead of failing (the ladder
+  // degrades quality, never availability).
+  const ServeMode mode = ladder_.ModeFor(tier);
+  const Dataset* brute_data =
+      config_.degrade_data != nullptr ? config_.degrade_data : fallback_data_;
   try {
-    if (engine_ != nullptr) {
+    if (mode == ServeMode::kQuantized && quant_engine_ != nullptr) {
+      out.ids =
+          quant_engine_->SearchOne(query, params, &out.stats, request.trace);
+    } else if (mode == ServeMode::kBruteForce && brute_data != nullptr) {
+      out.ids = FallbackSearch(*brute_data, query, params, &out.stats);
+    } else if (engine_ != nullptr) {
       out.ids = engine_->SearchOne(query, params, &out.stats, request.trace);
     } else if (mutable_ != nullptr) {
       out.ids = mutable_->Search(query, params, &out.stats);
     } else {
-      out.ids = FallbackSearch(query, params, &out.stats);
+      out.ids = FallbackSearch(*fallback_data_, query, params, &out.stats);
     }
   } catch (const std::exception& error) {
     out.ids.clear();
@@ -312,13 +397,13 @@ ServeOutcome ServingEngine::Execute(const float* query,
   return out;
 }
 
-std::vector<uint32_t> ServingEngine::FallbackSearch(const float* query,
+std::vector<uint32_t> ServingEngine::FallbackSearch(const Dataset& data,
+                                                    const float* query,
                                                     const SearchParams& params,
                                                     QueryStats* stats) const {
   uint32_t rows = config_.fallback_shard == 0
-                      ? fallback_data_->size()
-                      : std::min(fallback_data_->size(),
-                                 config_.fallback_shard);
+                      ? data.size()
+                      : std::min(data.size(), config_.fallback_shard);
   bool truncated = false;
   if (params.max_distance_evals > 0 && params.max_distance_evals < rows) {
     // One evaluation per row makes the eval budget an exact row bound; the
@@ -328,7 +413,7 @@ std::vector<uint32_t> ServingEngine::FallbackSearch(const float* query,
     truncated = true;
   }
   std::vector<uint32_t> ids =
-      BruteForceTopK(*fallback_data_, query, params.k, rows, stats);
+      BruteForceTopK(data, query, params.k, rows, stats);
   if (stats != nullptr) stats->truncated = truncated;
   return ids;
 }

@@ -140,6 +140,16 @@ struct ServingConfig {
   DegradationConfig degradation;
   /// Rows the brute-force fallback scans per query (0 = whole dataset).
   uint32_t fallback_shard = 4096;
+  /// Backend for degradation tiers with mode == ServeMode::kQuantized: a
+  /// built `SQ8:<Algo>` (or loaded) quantized index over the same dataset,
+  /// outliving the engine. When null, quantized tiers serve on the primary
+  /// backend (caps still apply) — configuring a quantized tier without a
+  /// quantized index degrades parameters only, never fails.
+  const AnnIndex* quantized_index = nullptr;
+  /// Dataset for ServeMode::kBruteForce tiers (exact scan of last resort).
+  /// When null, brute-force tiers fall back to the primary backend unless
+  /// the engine is already in fallback mode (which has its own dataset).
+  const Dataset* degrade_data = nullptr;
   /// Serving clock; nullptr = process SteadyClock. Tests inject a
   /// VirtualClock for reproducible deadline/overload behavior.
   const Clock* clock = nullptr;
@@ -196,6 +206,19 @@ class ServingEngine {
   /// the brute-force fallback, as FromSavedGraph does.
   static Opened FromShardManifest(const std::string& manifest_path,
                                   const Dataset& data, ServingConfig config);
+
+  /// Opens a saved graph plus its WVSSQNT1 quantized codes
+  /// (quant/quant_io.h) and serves two-stage quantized search (traverse on
+  /// SQ8 codes, rescore with exact floats) as the healthy path. Corruption
+  /// degrades, never fails: a bad graph falls back to brute force like
+  /// FromSavedGraph; bad codes (load failure or a graph/codes shape
+  /// mismatch) fall back to float-row graph traversal with load_status
+  /// carrying the codes' failure — float traversal is full quality, just
+  /// without the quantized memory savings.
+  static Opened FromSavedGraphWithCodes(const std::string& graph_path,
+                                        const std::string& codes_path,
+                                        const Dataset& data,
+                                        ServingConfig config);
 
   /// Rebuilds one degraded shard from the manifest-recorded build options
   /// (bit-for-bit the original graph), rewrites its file, and restores the
@@ -281,7 +304,7 @@ class ServingEngine {
   ServeOutcome Execute(const float* query, const RequestOptions& request,
                        uint32_t tier, uint64_t admit_us) const;
 
-  std::vector<uint32_t> FallbackSearch(const float* query,
+  std::vector<uint32_t> FallbackSearch(const Dataset& data, const float* query,
                                        const SearchParams& params,
                                        QueryStats* stats) const;
 
@@ -296,12 +319,18 @@ class ServingEngine {
   ShardedIndex* sharded_ = nullptr;          // owned_index_, when sharded
   MutableShardedIndex* mutable_ = nullptr;   // mutable-index engines only
   std::unique_ptr<SearchEngine> engine_;     // null in fallback/mutable mode
+  // Secondary engine over config_.quantized_index, serving kQuantized
+  // degradation tiers (null when no quantized index is configured).
+  std::unique_ptr<SearchEngine> quant_engine_;
   mutable ThreadPool pool_;                  // ServeBatch execution streams
   AdmissionController admission_;
   mutable std::mutex mu_;                    // ladder + lifetime totals
   DegradationLadder ladder_;
   ServingReport lifetime_;
   MutationReport mutation_lifetime_;         // guarded by mu_
+  // Serve mode of the most recent admission decision; quant.tier_transitions
+  // counts its edges. Guarded by mu_ (admission order = transition order).
+  ServeMode last_mode_ = ServeMode::kExact;
 };
 
 /// Exact top-k ids (ascending distance, ties by id) over the first

@@ -27,6 +27,8 @@
 #include "fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "quant/quant_io.h"
+#include "quant/sq8.h"
 #include "search/serving.h"
 #include "test_util.h"
 
@@ -202,6 +204,117 @@ TEST(ChaosTest, MismatchedDatasetIsCorruptionFallback) {
       << opened.load_status.ToString();
   EXPECT_NE(opened.load_status.message().find("mismatch"), std::string::npos);
   EXPECT_TRUE(opened.engine->fallback_mode());
+}
+
+// ---------------------------------------------- scenario (b), SQ8 codes --
+
+TEST(ChaosTest, SavedGraphWithCleanCodesServesQuantizedTraversal) {
+  const TestWorkload& tw = SharedWorkload();
+  const std::string graph_path = TempPath("chaos_codes_graph.wvs");
+  const std::string codes_path = TempPath("chaos_codes_clean.sqnt");
+  ASSERT_TRUE(SaveGraph(SharedIndex().graph(), graph_path, "HNSW").ok());
+  ASSERT_TRUE(SaveQuantized(
+                  SQ8Codec::Train(tw.workload.base).Encode(tw.workload.base),
+                  codes_path)
+                  .ok());
+
+  ServingEngine::Opened opened = ServingEngine::FromSavedGraphWithCodes(
+      graph_path, codes_path, tw.workload.base, ServingConfig{});
+  ASSERT_TRUE(opened.load_status.ok()) << opened.load_status.ToString();
+  EXPECT_FALSE(opened.engine->fallback_mode());
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 100;
+  double recall = 0.0;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    const ServeOutcome out =
+        opened.engine->Serve(tw.workload.queries.Row(q), request);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    // The primary backend IS the quantized index: two-stage stats at tier 0,
+    // not flagged degraded (this deployment's full quality is quantized).
+    EXPECT_FALSE(out.stats.degraded);
+    EXPECT_GT(out.stats.quantized_evals, 0u);
+    EXPECT_GT(out.stats.rescore_evals, 0u);
+    recall += Recall(out.ids, tw.truth[q], 10);
+  }
+  EXPECT_GT(recall / tw.workload.queries.size(), 0.8);
+}
+
+TEST(ChaosTest, CorruptCodesDegradeToFloatTraversalNeverFail) {
+  // The quantization degradation contract (docs/QUANTIZATION.md): rotten
+  // codes next to a healthy graph cost the memory win, not availability
+  // and not quality — the shard serves float traversal at full quality.
+  const TestWorkload& tw = SharedWorkload();
+  const std::string graph_path = TempPath("chaos_codes_graph2.wvs");
+  ASSERT_TRUE(SaveGraph(SharedIndex().graph(), graph_path, "HNSW").ok());
+  const std::string clean = SerializeQuantized(
+      SQ8Codec::Train(tw.workload.base).Encode(tw.workload.base));
+  const std::string codes_path = TempPath("chaos_codes_corrupt.sqnt");
+  ASSERT_TRUE(
+      WriteStringToFile(FlipBit(clean, clean.size() * 4), codes_path).ok());
+
+  ServingEngine::Opened opened = ServingEngine::FromSavedGraphWithCodes(
+      graph_path, codes_path, tw.workload.base, ServingConfig{});
+  EXPECT_FALSE(opened.load_status.ok());
+  EXPECT_TRUE(opened.load_status.IsCorruption())
+      << opened.load_status.ToString();
+  EXPECT_FALSE(opened.engine->fallback_mode());  // float graph, not brute
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 100;
+  for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
+    const ServeOutcome out =
+        opened.engine->Serve(tw.workload.queries.Row(q), request);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_FALSE(out.stats.degraded);  // float traversal is full quality
+    EXPECT_EQ(out.stats.quantized_evals, 0u);
+    EXPECT_EQ(out.ids.size(), 10u);
+  }
+}
+
+TEST(ChaosTest, CorruptGraphWithCleanCodesStillFallsBackToBruteForce) {
+  // Codes cannot rescue a missing graph: there is nothing to traverse.
+  const TestWorkload& tw = SharedWorkload();
+  const std::string codes_path = TempPath("chaos_codes_clean2.sqnt");
+  ASSERT_TRUE(SaveQuantized(
+                  SQ8Codec::Train(tw.workload.base).Encode(tw.workload.base),
+                  codes_path)
+                  .ok());
+  ServingEngine::Opened opened = ServingEngine::FromSavedGraphWithCodes(
+      TempPath("no_such_graph.wvs"), codes_path, tw.workload.base,
+      ServingConfig{});
+  EXPECT_FALSE(opened.load_status.ok());
+  ASSERT_TRUE(opened.engine->fallback_mode());
+  RequestOptions request;
+  request.params.k = 10;
+  const float* query = tw.workload.queries.Row(0);
+  const ServeOutcome out = opened.engine->Serve(query, request);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.stats.degraded);
+  EXPECT_EQ(out.ids, BruteForceTopK(tw.workload.base, query, 10));
+}
+
+TEST(ChaosTest, MismatchedCodesAreRejectedLikeCorruption) {
+  // Structurally valid codes over the wrong row count must not be served:
+  // quantized distances would score the wrong vectors.
+  const TestWorkload& tw = SharedWorkload();
+  const std::string graph_path = TempPath("chaos_codes_graph3.wvs");
+  ASSERT_TRUE(SaveGraph(SharedIndex().graph(), graph_path, "HNSW").ok());
+  const auto tiny = MakeTestWorkload(50, 8, 2, 2);
+  const std::string codes_path = TempPath("chaos_codes_tiny.sqnt");
+  ASSERT_TRUE(
+      SaveQuantized(SQ8Codec::Train(tiny.workload.base).Encode(
+                        tiny.workload.base),
+                    codes_path)
+          .ok());
+  ServingEngine::Opened opened = ServingEngine::FromSavedGraphWithCodes(
+      graph_path, codes_path, tw.workload.base, ServingConfig{});
+  EXPECT_TRUE(opened.load_status.IsCorruption())
+      << opened.load_status.ToString();
+  EXPECT_NE(opened.load_status.message().find("mismatch"), std::string::npos);
+  EXPECT_FALSE(opened.engine->fallback_mode());  // graph still serves
 }
 
 // ------------------------------------------------------------ scenario (c)

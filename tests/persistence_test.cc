@@ -1,7 +1,8 @@
-// Corruption-matrix and round-trip tests for the versioned graph format.
-// Every injected fault — truncation at each section boundary, single-bit
-// flips across the whole file, short reads, failed writes — must surface as
-// the right Status code: no abort, no UB, no silently wrong graph.
+// Corruption-matrix and round-trip tests for the versioned on-disk formats
+// (WVSGRPH1 graphs, shard manifests, WVSSQNT1 quantized codes). Every
+// injected fault — truncation at each section boundary, single-bit flips
+// across the whole file, short reads, failed writes — must surface as the
+// right Status code: no abort, no UB, no silently wrong data.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -15,7 +16,10 @@
 #include "core/graph.h"
 #include "core/graph_io.h"
 #include "core/status.h"
+#include "core/rng.h"
 #include "fault_injection.h"
+#include "quant/quant_io.h"
+#include "quant/sq8.h"
 #include "search/router.h"
 #include "shard/manifest.h"
 #include "shard/sharded_index.h"
@@ -421,6 +425,141 @@ TEST(PersistenceTest, CorruptingEachShardFileDegradesOnlyThatShard) {
     // Restore the file for the next victim.
     ASSERT_TRUE(WriteStringToFile(bytes, path).ok());
   }
+}
+
+// -------------------------- WVSSQNT1 quantized-codes corruption matrix --
+
+QuantizedDataset MakeSmallCodes() {
+  // Tiny on purpose: the every-bit-flip matrix is O(bytes * parse), and a
+  // 5x6 code block still crosses every section boundary.
+  std::vector<float> flat;
+  Rng rng(77);
+  for (uint32_t i = 0; i < 5 * 6; ++i) {
+    flat.push_back(static_cast<float>(rng.NextGaussian()) * 3.0f);
+  }
+  Dataset data(5, 6, flat);
+  return SQ8Codec::Train(data).Encode(data);
+}
+
+TEST(QuantPersistenceTest, SerializeDeserializeRoundTrips) {
+  const QuantizedDataset codes = MakeSmallCodes();
+  const std::string bytes = SerializeQuantized(codes);
+  ASSERT_TRUE(IsQuantizedBytes(bytes));
+  StatusOr<QuantizedDataset> loaded = DeserializeQuantized(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), codes.size());
+  EXPECT_EQ(loaded->dim(), codes.dim());
+  EXPECT_EQ(loaded->code_stride(), codes.code_stride());
+  for (uint32_t i = 0; i < codes.size(); ++i) {
+    for (uint32_t d = 0; d < codes.dim(); ++d) {
+      ASSERT_EQ(loaded->Code(i)[d], codes.Code(i)[d]);
+      ASSERT_EQ(loaded->Dequantize(i, d), codes.Dequantize(i, d));
+    }
+  }
+  // Canonical bytes: re-serializing the loaded codes is bit-identical.
+  EXPECT_EQ(SerializeQuantized(*loaded), bytes);
+}
+
+TEST(QuantPersistenceTest, EveryBitFlipIsDetected) {
+  // The full corruption matrix, mirroring the graph format's: flip each
+  // bit of the serialized codes in turn. Every flip must yield kCorruption
+  // (CRC coverage is total — header, mins, scales, codes, and padding) —
+  // never OK, never an abort, never silently wrong codes.
+  const std::string bytes = SerializeQuantized(MakeSmallCodes());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    StatusOr<QuantizedDataset> loaded =
+        DeserializeQuantized(FlipBit(bytes, bit));
+    ASSERT_FALSE(loaded.ok()) << "bit " << bit << " flip went undetected";
+    EXPECT_TRUE(loaded.status().IsCorruption())
+        << "bit " << bit << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(QuantPersistenceTest, TruncationAtEveryLengthIsDetected) {
+  const std::string bytes = SerializeQuantized(MakeSmallCodes());
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    StatusOr<QuantizedDataset> loaded =
+        DeserializeQuantized(TruncateAt(bytes, length));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << length << " bytes parsed";
+    EXPECT_TRUE(loaded.status().IsCorruption())
+        << "length " << length << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(QuantPersistenceTest, AppendedGarbageIsDetected) {
+  std::string bytes = SerializeQuantized(MakeSmallCodes());
+  bytes.push_back('\0');
+  StatusOr<QuantizedDataset> loaded = DeserializeQuantized(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+}
+
+TEST(QuantPersistenceTest, UnsupportedVersionIsNotSupported) {
+  std::string bytes = SerializeQuantized(MakeSmallCodes());
+  // Bump the version field and re-stamp the header CRC so the version
+  // check itself is reached.
+  bytes[8] = 2;
+  const uint32_t crc = Crc32c(bytes.data(), 24);
+  std::memcpy(&bytes[24], &crc, sizeof(crc));
+  StatusOr<QuantizedDataset> loaded = DeserializeQuantized(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotSupported()) << loaded.status().ToString();
+}
+
+TEST(QuantPersistenceTest, ShortReadsStillLoadCorrectly) {
+  const QuantizedDataset codes = MakeSmallCodes();
+  const std::string bytes = SerializeQuantized(codes);
+  for (size_t chunk : {1ul, 3ul, 7ul, 64ul}) {
+    ShortReadReader reader(bytes, chunk);
+    StatusOr<QuantizedDataset> loaded = LoadQuantizedFromReader(reader);
+    ASSERT_TRUE(loaded.ok()) << "chunk " << chunk << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->size(), codes.size());
+  }
+}
+
+TEST(QuantPersistenceTest, FailedWriteIsIOErrorAtEveryCapacity) {
+  const QuantizedDataset codes = MakeSmallCodes();
+  const size_t total = SerializeQuantized(codes).size();
+  for (size_t capacity = 0; capacity < total; capacity += 7) {
+    FaultyWriter writer(capacity);
+    const Status status = SaveQuantizedToWriter(codes, writer);
+    ASSERT_FALSE(status.ok()) << "capacity " << capacity;
+    EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  }
+}
+
+TEST(QuantPersistenceTest, MidStreamReadFailureIsIOError) {
+  const std::string bytes = SerializeQuantized(MakeSmallCodes());
+  FailingReader reader(bytes, bytes.size() / 2);
+  StatusOr<QuantizedDataset> loaded = LoadQuantizedFromReader(reader);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+}
+
+TEST(QuantPersistenceTest, VerifyReportsEverySectionAndPinpointsTheBad) {
+  const std::string bytes = SerializeQuantized(MakeSmallCodes());
+  const QuantFileReport clean = VerifyQuantizedBytes(bytes);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  ASSERT_EQ(clean.sections.size(), 4u);
+  const char* expected[] = {"header", "mins", "scales", "codes"};
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(clean.sections[s].name, expected[s]);
+    EXPECT_TRUE(clean.sections[s].ok);
+    EXPECT_EQ(clean.sections[s].stored_crc, clean.sections[s].computed_crc);
+  }
+  // Corrupt one byte inside the scales payload: verify must keep checking
+  // and report exactly that section as bad.
+  const size_t scales_byte =
+      kQuantizedHeaderBytes + 6 * sizeof(float) + sizeof(uint32_t) + 3;
+  const QuantFileReport bad = VerifyQuantizedBytes(FlipBit(bytes,
+                                                           scales_byte * 8));
+  ASSERT_FALSE(bad.status.ok());
+  ASSERT_EQ(bad.sections.size(), 4u);
+  EXPECT_TRUE(bad.sections[0].ok);
+  EXPECT_TRUE(bad.sections[1].ok);
+  EXPECT_FALSE(bad.sections[2].ok);
+  EXPECT_TRUE(bad.sections[3].ok);
 }
 
 }  // namespace

@@ -209,6 +209,70 @@ std::vector<ScoredId> SortedPrefix(std::vector<ScoredId> all, uint32_t k) {
   return all;
 }
 
+// SQ8 two-stage search properties, parameterized over base algorithms:
+// results are sorted by exact float distance and duplicate-free (the
+// rescore stage re-sorts the quantized pool with exact kernels), and at a
+// large rescore factor the result set converges to what float traversal
+// finds — the quantized walk visits a slightly different region, but
+// rescoring enough of its pool recovers the same quality
+// (docs/QUANTIZATION.md).
+class QuantPropertyFixture : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QuantPropertyFixture, RescoredResultsSortedDupFreeAndConverging) {
+  const TestWorkload& tw = SmallWorkload();
+  auto quantized = CreateAlgorithm("SQ8:" + GetParam(), TinyOptions());
+  quantized->Build(tw.workload.base);
+  auto exact = CreateAlgorithm(GetParam(), TinyOptions());
+  exact->Build(tw.workload.base);
+  SearchParams params;
+  params.k = 10;
+  params.pool_size = 40;
+  double recall_small = 0.0;
+  double recall_large = 0.0;
+  double recall_float = 0.0;
+  const uint32_t num_queries = tw.workload.queries.size();
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    const float* query = tw.workload.queries.Row(q);
+    for (uint32_t factor : {1u, 16u}) {
+      params.rescore_factor = factor;
+      QueryStats stats;
+      const auto ids = quantized->Search(query, params, &stats);
+      ASSERT_EQ(ids.size(), 10u) << GetParam() << " query " << q;
+      const std::set<uint32_t> unique(ids.begin(), ids.end());
+      ASSERT_EQ(unique.size(), ids.size())
+          << "SQ8:" << GetParam() << " returned duplicates for query " << q
+          << " at rescore factor " << factor;
+      for (size_t i = 1; i < ids.size(); ++i) {
+        const float prev = L2Sqr(query, tw.workload.base.Row(ids[i - 1]),
+                                 tw.workload.base.dim());
+        const float curr = L2Sqr(query, tw.workload.base.Row(ids[i]),
+                                 tw.workload.base.dim());
+        ASSERT_LE(prev, curr)
+            << "SQ8:" << GetParam() << " not ascending by exact distance "
+            << "for query " << q << " at factor " << factor;
+      }
+      EXPECT_EQ(stats.distance_evals,
+                stats.quantized_evals + stats.rescore_evals);
+      (factor == 1 ? recall_small : recall_large) +=
+          Recall(ids, tw.truth[q], 10);
+    }
+    recall_float += Recall(exact->Search(query, params), tw.truth[q], 10);
+  }
+  recall_small /= num_queries;
+  recall_large /= num_queries;
+  recall_float /= num_queries;
+  // More rescoring never hurts on average, and at factor 16 the two-stage
+  // search has converged to float-traversal quality.
+  EXPECT_GE(recall_large, recall_small - 1e-9) << GetParam();
+  EXPECT_GE(recall_large, recall_float - 0.05)
+      << GetParam() << ": SQ8 at factor 16 = " << recall_large
+      << ", float traversal = " << recall_float;
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseAlgorithms, QuantPropertyFixture,
+                         ::testing::Values("HNSW", "NSG", "KGraph"),
+                         [](const auto& info) { return info.param; });
+
 TEST(TopKMergeProperty, AccumulatorMatchesSortOracle) {
   Rng rng(7);
   for (int trial = 0; trial < 50; ++trial) {

@@ -205,7 +205,7 @@ TEST(DegradationTest, LatencySamplesCountAsPressure) {
 
 TEST(DegradationTest, ApplyMergesTightestWins) {
   DegradationConfig config = TwoTierConfig();
-  config.tiers[0].max_distance_evals = 500;
+  config.tiers[0].params.max_distance_evals = 500;
   DegradationLadder ladder(config);
 
   SearchParams request;
@@ -405,6 +405,117 @@ TEST(ServingTest, StatusContractAcrossAllAlgorithms) {
       EXPECT_EQ(report.max_tier, 1u);
     }
   }
+}
+
+// ------------------------------------------------ quantized serving tier --
+
+TEST(QuantizedServingTest, QuantizedTierRoutesToQuantizedBackend) {
+  const TestWorkload& tw = SharedWorkload();
+  auto exact = CreateAlgorithm("HNSW", AlgorithmOptions());
+  exact->Build(tw.workload.base);
+  auto quantized = CreateAlgorithm("SQ8:HNSW", AlgorithmOptions());
+  quantized->Build(tw.workload.base);
+
+  ServingConfig config;
+  config.quantized_index = quantized.get();
+  SearchParams tier1;
+  tier1.pool_size = 40;
+  config.degradation.tiers = {{tier1, ServeMode::kQuantized}};
+  config.degradation.enter_depth = 1;  // every admit is "pressure"
+  config.degradation.exit_depth = 0;
+  config.degradation.step_down_after = 1;
+  ServingEngine serving(*exact, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 100;
+  const ServeOutcome out = serving.Serve(tw.workload.queries.Row(0), request);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_EQ(out.tier, 1u);
+  EXPECT_TRUE(out.stats.degraded);
+  // The quantized backend's fingerprint: the NDC split is populated.
+  EXPECT_GT(out.stats.quantized_evals, 0u);
+  EXPECT_GT(out.stats.rescore_evals, 0u);
+  EXPECT_EQ(out.stats.distance_evals,
+            out.stats.quantized_evals + out.stats.rescore_evals);
+  EXPECT_EQ(out.ids.size(), 10u);
+  // Exactly one backend-mode edge (exact -> quantized) was counted.
+  const std::string snapshot = serving.SnapshotMetrics();
+  EXPECT_NE(snapshot.find("\"quant.tier_transitions\":1"),
+            std::string::npos)
+      << snapshot;
+}
+
+TEST(QuantizedServingTest, QuantizedTierWithoutBackendServesOnPrimary) {
+  // A tier asking for the quantized backend when none is configured must
+  // degrade quality (the tier's caps still apply), never availability.
+  const TestWorkload& tw = SharedWorkload();
+  auto exact = CreateAlgorithm("HNSW", AlgorithmOptions());
+  exact->Build(tw.workload.base);
+  ServingConfig config;
+  SearchParams tier1;
+  tier1.pool_size = 16;
+  config.degradation.tiers = {{tier1, ServeMode::kQuantized}};
+  config.degradation.enter_depth = 1;
+  config.degradation.exit_depth = 0;
+  config.degradation.step_down_after = 1;
+  ServingEngine serving(*exact, config);
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 100;
+  const ServeOutcome out = serving.Serve(tw.workload.queries.Row(0), request);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_EQ(out.ids.size(), 10u);
+  EXPECT_EQ(out.stats.quantized_evals, 0u);  // served on the float backend
+}
+
+TEST(QuantizedServingTest, FullLadderStepsExactQuantizedBruteForce) {
+  // The three-tier ladder of docs/QUANTIZATION.md: exact at tier 0,
+  // quantized traversal at tier 1, brute force at tier 2 — stepping down
+  // under sustained pressure and serving at every step.
+  const TestWorkload& tw = SharedWorkload();
+  auto exact = CreateAlgorithm("HNSW", AlgorithmOptions());
+  exact->Build(tw.workload.base);
+  auto quantized = CreateAlgorithm("SQ8:HNSW", AlgorithmOptions());
+  quantized->Build(tw.workload.base);
+
+  ServingConfig config;
+  config.quantized_index = quantized.get();
+  config.degrade_data = &tw.workload.base;
+  SearchParams caps;  // quality knobs come from the request; modes differ
+  config.degradation.tiers = {{caps, ServeMode::kQuantized},
+                              {caps, ServeMode::kBruteForce}};
+  config.degradation.enter_depth = 1;
+  config.degradation.exit_depth = 0;
+  config.degradation.step_down_after = 2;  // two pressured admits per step
+  config.degradation.step_up_after = 1000;
+  ServingEngine serving(*exact, config);
+
+  RequestOptions request;
+  request.params.k = 10;
+  request.params.pool_size = 60;
+  std::vector<ServeOutcome> outcomes;
+  for (uint32_t i = 0; i < 6; ++i) {
+    outcomes.push_back(serving.Serve(tw.workload.queries.Row(0), request));
+    ASSERT_TRUE(outcomes.back().status.ok())
+        << i << ": " << outcomes.back().status.ToString();
+    ASSERT_EQ(outcomes.back().ids.size(), 10u) << i;
+  }
+  // Tier trace under step_down_after=2: 0, 1, 1, 2, 2, 2 (capped).
+  EXPECT_EQ(outcomes[0].tier, 0u);
+  EXPECT_EQ(outcomes[1].tier, 1u);
+  EXPECT_GT(outcomes[1].stats.quantized_evals, 0u);
+  EXPECT_EQ(outcomes[3].tier, 2u);
+  EXPECT_EQ(outcomes[3].stats.quantized_evals, 0u);
+  // Brute force is exact: its results are the true top-k.
+  EXPECT_EQ(outcomes[3].ids,
+            BruteForceTopK(tw.workload.base, tw.workload.queries.Row(0), 10,
+                           0, nullptr));
+  // Two mode edges: exact -> quantized, quantized -> brute force.
+  const std::string snapshot = serving.SnapshotMetrics();
+  EXPECT_NE(snapshot.find("\"quant.tier_transitions\":2"),
+            std::string::npos)
+      << snapshot;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //       PREFIX.gt.ivecs.
 //
 //   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.wvs]
+//                     [--save-codes CODES.sqnt]
 //                     [--shards S] [--partitioner random|kmeans]
 //                     [--replicas R]
 //       Builds the named index and prints construction stats (Fig. 5/6 and
@@ -17,11 +18,14 @@
 //       PREFIX additionally writes R replica copies (PREFIX.replicaN.wvs,
 //       or PREFIX.replicaN.manifest + shards when sharded) plus a
 //       WVSSREPL1 replica-set manifest PREFIX.replicas recording each
-//       copy's CRC32C (docs/SERVING.md).
+//       copy's CRC32C (docs/SERVING.md). --save-codes FILE additionally
+//       trains the SQ8 codec on the base vectors and writes the codes in
+//       the checksummed WVSSQNT1 format (docs/QUANTIZATION.md).
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
 //                    [--max-evals N] [--budget-us U] [--metrics-out FILE]
+//                    [--quantize sq8] [--rescore-factor N]
 //                    [--capacity C] [--deadline-us D] [--retry-after-us R]
 //                    [--degrade-pools 40,20]
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
@@ -45,7 +49,11 @@
 //       (--max-failover, default 2) and optional hedged second-sends
 //       (--hedge-us, default 0 = off); the table adds the terminal
 //       accounting (routed / completed / failed-over / hedge-won / failed)
-//       and quarantine counts.
+//       and quarantine counts. --quantize sq8 wraps the algorithm in the
+//       two-stage quantized index (equivalent to --algo SQ8:NAME): the
+//       sweep traverses SQ8 codes and rescores --rescore-factor N * k
+//       candidates (default 4) with exact float kernels
+//       (docs/QUANTIZATION.md).
 //
 //   weavess_cli verify --graph FILE
 //       Checks magic, format version, and every section CRC of a saved
@@ -57,7 +65,10 @@
 //       the replica-set magic WVSSREPL1 is verified as a replica-set
 //       manifest: header and body CRCs, then every replica's recorded
 //       file CRC32C against the bytes on disk, then each replica file by
-//       its own kind (graph or shard manifest), recursively.
+//       its own kind (graph or shard manifest), recursively. A file
+//       starting with the quantized-codes magic WVSSQNT1 is verified as an
+//       SQ8 code section: header CRC plus the mins / scales / codes
+//       section CRCs (docs/QUANTIZATION.md).
 //
 //   weavess_cli algorithms
 //       Lists the 17 registry names.
@@ -90,6 +101,8 @@
 #include "eval/table.h"
 #include "graph/exact_knng.h"
 #include "obs/metrics.h"
+#include "quant/quant_io.h"
+#include "quant/sq8.h"
 #include "search/engine.h"
 #include "search/replica_set.h"
 #include "shard/manifest.h"
@@ -256,6 +269,13 @@ int CmdMetrics() {
       "  replica.count / replica.quarantined          gauges (snapshot-time)\n"
       "  kernel.dispatch                 gauge: distance-kernel ISA tier\n"
       "      (0 scalar, 1 avx2, 2 avx512, 3 neon; docs/KERNELS.md)\n"
+      "  quant.quantized_evals / quant.rescore_evals  two-stage NDC split:\n"
+      "      search.distance_evals == quantized + rescore for SQ8 indexes\n"
+      "  quant.rescore_pool              histogram of per-query rescore\n"
+      "      candidates (quantized queries only)\n"
+      "  quant.code_bytes                gauge: resident SQ8 code bytes\n"
+      "  quant.tier_transitions          serving-backend mode edges on the\n"
+      "      degradation ladder (docs/QUANTIZATION.md)\n"
       "\nempty snapshot (version %u):\n",
       kMetricsSnapshotVersion);
   const MetricsRegistry registry;
@@ -440,6 +460,16 @@ int CmdBuild(const Args& args) {
                   replicas);
     }
   }
+  if (const char* save_codes = args.Get("save-codes");
+      save_codes != nullptr) {
+    const QuantizedDataset codes = SQ8Codec::Train(base).Encode(base);
+    if (Status s = SaveQuantized(codes, save_codes); !s.ok()) return Fail(s);
+    std::printf("SQ8 codes saved to %s (%s, %.1fx vs float rows)\n",
+                save_codes,
+                TablePrinter::Megabytes(codes.MemoryBytes()).c_str(),
+                static_cast<double>(base.MemoryBytes()) /
+                    static_cast<double>(codes.MemoryBytes()));
+  }
   return kExitOk;
 }
 
@@ -447,14 +477,29 @@ int CmdEval(const Args& args) {
   const char* base_path = args.Get("base");
   const char* query_path = args.Get("query");
   const char* gt_path = args.Get("gt");
-  const char* algo = args.Get("algo");
-  if (base_path == nullptr || query_path == nullptr || algo == nullptr ||
-      !IsKnownAlgorithm(algo)) {
+  const char* algo_flag = args.Get("algo");
+  if (base_path == nullptr || query_path == nullptr || algo_flag == nullptr ||
+      !IsKnownAlgorithm(algo_flag)) {
     std::fprintf(stderr,
                  "eval: --base, --query, --algo are required (and --gt, "
                  "else exact ground truth is computed on the fly)\n");
     return kExitUsage;
   }
+  std::string algo_name = algo_flag;
+  if (const char* quantize = args.Get("quantize"); quantize != nullptr) {
+    if (std::string(quantize) != "sq8") {
+      return Fail(Status::InvalidArgument(
+          std::string("--quantize supports only 'sq8', got '") + quantize +
+          "'"));
+    }
+    if (algo_name.rfind("SQ8:", 0) != 0) algo_name = "SQ8:" + algo_name;
+    if (!IsKnownAlgorithm(algo_name)) {
+      return Fail(Status::InvalidArgument(
+          "--quantize sq8 wraps a base algorithm; '" +
+          std::string(algo_flag) + "' cannot be wrapped"));
+    }
+  }
+  const char* algo = algo_name.c_str();
   const uint32_t k = args.GetU32("k", 10);
   const AlgorithmOptions options = OptionsFrom(args);
   if (args.Get("threads") != nullptr && args.status().ok() &&
@@ -465,6 +510,11 @@ int CmdEval(const Args& args) {
   SearchParams base_params;
   base_params.max_distance_evals = args.GetU64("max-evals", 0);
   base_params.time_budget_us = args.GetU64("budget-us", 0);
+  base_params.rescore_factor = args.GetU32("rescore-factor", 4);
+  if (args.Get("rescore-factor") != nullptr && args.status().ok() &&
+      base_params.rescore_factor == 0) {
+    return Fail(Status::InvalidArgument("--rescore-factor must be >= 1"));
+  }
   std::vector<uint32_t> pools;
   if (const char* list = args.Get("pools"); list != nullptr) {
     if (Status s = ParsePoolList("pools", list, &pools); !s.ok()) {
@@ -822,6 +872,33 @@ int VerifyReplicaManifest(const char* manifest_path) {
   return worst;
 }
 
+/// Verifies a WVSSQNT1 quantized-codes file: header CRC plus the mins /
+/// scales / codes section CRCs, with the same per-section table as a graph
+/// file. All sections are reported even after a failure.
+int VerifyQuantized(const char* path) {
+  std::printf("verify %s (SQ8 quantized codes)\n", path);
+  const QuantFileReport report = VerifyQuantizedFile(path);
+  if (!report.sections.empty()) {
+    std::printf("  %-10s %10s %12s %12s %12s  %s\n", "section", "offset",
+                "bytes", "stored", "computed", "status");
+    for (const QuantSectionReport& section : report.sections) {
+      std::printf("  %-10s %10llu %12llu   0x%08x   0x%08x  %s\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.offset),
+                  static_cast<unsigned long long>(section.length),
+                  section.stored_crc, section.computed_crc,
+                  section.ok ? "OK" : "CRC MISMATCH");
+    }
+  }
+  if (report.status.ok()) {
+    std::printf("  format v%u, %u x %u codes (stride %u)\n"
+                "  all sections OK\n",
+                report.version, report.num, report.dim, report.code_stride);
+    return kExitOk;
+  }
+  return Fail(report.status);
+}
+
 int CmdVerify(const Args& args) {
   const char* graph_path = args.Get("graph");
   if (graph_path == nullptr) {
@@ -836,6 +913,7 @@ int CmdVerify(const Args& args) {
   }
   if (IsReplicaManifestBytes(head)) return VerifyReplicaManifest(graph_path);
   if (IsManifestBytes(head)) return VerifyManifest(graph_path);
+  if (IsQuantizedBytes(head)) return VerifyQuantized(graph_path);
   const GraphFileReport report = VerifyGraphFile(graph_path);
   std::printf("verify %s\n", graph_path);
   if (!report.sections.empty()) {
