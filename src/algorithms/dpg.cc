@@ -20,7 +20,7 @@ PipelineConfig DpgConfig(const AlgorithmOptions& options) {
   config.seeds = SeedKind::kRandomPerQuery;
   config.num_seeds = 0;  // fill the pool with random seeds (KGraph-style)
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

@@ -15,7 +15,7 @@ PipelineConfig EfannaConfig(const AlgorithmOptions& options) {
   config.seeds = SeedKind::kKdForest;
   config.seed_tree_checks = options.build_pool;
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

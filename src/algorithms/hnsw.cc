@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "core/timer.h"
 #include "graph/neighbor_selection.h"
 
@@ -90,47 +91,116 @@ void HnswIndex::Build(const Dataset& data) {
   WEAVESS_CHECK(data_ == nullptr);
   WEAVESS_CHECK(data.size() >= 2);
   data_ = &data;
+  const uint32_t n = data.size();
+  const uint32_t workers = std::max(1u, params_.build_threads);
   Timer timer;
   DistanceCounter counter;
   DistanceOracle oracle(data, &counter);
-  SearchContext ctx(data.size());
+  SearchContext ctx(n);
 
-  links_.resize(data.size());
+  // Levels are pre-drawn in id order so the level sequence — and hence the
+  // hierarchy shape — consumes the seeded RNG stream exactly as the
+  // point-at-a-time formulation did, independent of batching and threads.
+  std::vector<uint32_t> levels(n, 0);
+  for (uint32_t point = 1; point < n; ++point) {
+    levels[point] = static_cast<uint32_t>(
+        -std::log(std::max(rng_.NextDouble(), 1e-12)) * level_lambda_);
+  }
+
+  links_.resize(n);
   // Vertex 0 starts the structure at level 0.
   links_[0].resize(1);
   entry_point_ = 0;
   max_level_ = 0;
 
-  for (uint32_t point = 1; point < data.size(); ++point) {
-    const auto level = static_cast<uint32_t>(
-        -std::log(std::max(rng_.NextDouble(), 1e-12)) * level_lambda_);
-    links_[point].resize(level + 1);
+  WorkerDistanceCounters counters(workers);
+  std::vector<SearchContext> contexts;
+  contexts.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) contexts.emplace_back(n);
+  // staged[j][l] = the selected neighbor list of point built + j at level
+  // l, computed against the frozen prefix (levels above the frozen maximum
+  // are handled at commit time).
+  std::vector<std::vector<std::vector<Neighbor>>> staged;
 
-    uint32_t entry = entry_point_;
-    // Phase 1: greedy descent through layers above `level`.
-    for (uint32_t l = max_level_; l > level && l > 0; --l) {
-      if (l <= max_level_) entry = GreedyStep(data.Row(point), entry, l,
-                                              oracle, ctx);
+  uint32_t built = 1;
+  while (built < n) {
+    const uint32_t batch = std::min(n - built, built);
+    const uint32_t frozen_entry = entry_point_;
+    const uint32_t frozen_max = max_level_;
+    staged.resize(batch);
+
+    // Search phase: every batch point searches the frozen prefix graph
+    // [0, built) — a pure function of (point, frozen prefix), so the
+    // staged lists are identical at any worker count. Workers never touch
+    // links_ here; distance evaluations land in per-worker counters.
+    ParallelForWithWorker(
+        built, built + batch, workers, [&](uint32_t point, uint32_t worker) {
+          DistanceOracle frozen_oracle(data, &counters.of(worker));
+          SearchContext& wctx = contexts[worker];
+          const float* query = data.Row(point);
+          const uint32_t level = levels[point];
+          uint32_t entry = frozen_entry;
+          // Phase 1: greedy descent through frozen layers above `level`.
+          for (uint32_t l = frozen_max; l > level; --l) {
+            entry = GreedyStep(query, entry, l, frozen_oracle, wctx);
+          }
+          // Phase 2: ef-search and heuristic selection per visible layer.
+          const uint32_t top = std::min(level, frozen_max);
+          auto& per_level = staged[point - built];
+          per_level.assign(top + 1, {});
+          for (uint32_t l = top + 1; l-- > 0;) {
+            wctx.BeginQuery();
+            CandidatePool pool(params_.ef_construction);
+            SeedPool({entry}, query, frozen_oracle, wctx, pool);
+            SearchLevel(query, l, frozen_oracle, wctx, pool);
+            std::vector<Neighbor> candidates(pool.entries().begin(),
+                                             pool.entries().end());
+            per_level[l] =
+                SelectRng(frozen_oracle, point, candidates, params_.m);
+            if (!pool.entries().empty()) entry = pool[0].id;
+          }
+        });
+
+    // Commit phase: strictly in id order, single-threaded — bidirectional
+    // linking and neighbor-list shrinking mutate shared state, and id
+    // order makes the result independent of the search schedule above.
+    for (uint32_t j = 0; j < batch; ++j) {
+      const uint32_t point = built + j;
+      const uint32_t level = levels[point];
+      links_[point].resize(level + 1);
+      if (level > frozen_max) {
+        // Layers the frozen search could not see. Earlier batch members
+        // may have raised the hierarchy by now, so search them live.
+        uint32_t entry = entry_point_;
+        for (uint32_t l = max_level_; l > level; --l) {
+          entry = GreedyStep(data.Row(point), entry, l, oracle, ctx);
+        }
+        for (uint32_t l = std::min(level, max_level_); l > frozen_max; --l) {
+          ctx.BeginQuery();
+          CandidatePool pool(params_.ef_construction);
+          SeedPool({entry}, data.Row(point), oracle, ctx, pool);
+          SearchLevel(data.Row(point), l, oracle, ctx, pool);
+          std::vector<Neighbor> candidates(pool.entries().begin(),
+                                           pool.entries().end());
+          const std::vector<Neighbor> selected =
+              SelectRng(oracle, point, candidates, params_.m);
+          ConnectNeighbors(point, l, selected, oracle);
+          if (!pool.entries().empty()) entry = pool[0].id;
+        }
+      }
+      for (uint32_t l = std::min(level, frozen_max) + 1; l-- > 0;) {
+        ConnectNeighbors(point, l, staged[j][l], oracle);
+      }
+      if (level > max_level_) {
+        max_level_ = level;
+        entry_point_ = point;
+      }
     }
-    // Phase 2: ef-search and heuristic selection on each layer below.
-    const uint32_t top = std::min(level, max_level_);
-    for (uint32_t l = top + 1; l-- > 0;) {
-      ctx.BeginQuery();
-      CandidatePool pool(params_.ef_construction);
-      SeedPool({entry}, data.Row(point), oracle, ctx, pool);
-      SearchLevel(data.Row(point), l, oracle, ctx, pool);
-      std::vector<Neighbor> candidates(pool.entries().begin(),
-                                       pool.entries().end());
-      const std::vector<Neighbor> selected =
-          SelectRng(oracle, point, candidates, params_.m);
-      ConnectNeighbors(point, l, selected, oracle);
-      if (!pool.entries().empty()) entry = pool[0].id;
-    }
-    if (level > max_level_) {
-      max_level_ = level;
-      entry_point_ = point;
-    }
+    built += batch;
   }
+  // Search-phase evaluations fold in worker-index order; the evaluated
+  // *set* is batch-determined, so the total is exact and thread-invariant.
+  counters.FoldInto(&counter);
 
   // Materialize layer 0 for the uniform metrics interface, plus a flat CSR
   // copy that the query-time level-0 search walks.
@@ -189,6 +259,7 @@ std::unique_ptr<AnnIndex> CreateHnsw(const AlgorithmOptions& options) {
   params.m = std::max(2u, options.max_degree / 2);
   params.ef_construction = options.build_pool;
   params.seed = options.seed;
+  params.build_threads = options.build_threads;
   return std::make_unique<HnswIndex>(params);
 }
 

@@ -22,10 +22,20 @@ class HnswIndex : public AnnIndex {
     uint32_t m = 15;
     uint32_t ef_construction = 100;
     uint64_t seed = 2024;
+    /// Workers for the batched insertion phases. Output is bit-for-bit
+    /// identical at any value — see Build.
+    uint32_t build_threads = 1;
   };
 
   explicit HnswIndex(const Params& params);
 
+  /// Batched prefix-doubling construction (ParlayANN-style): levels are
+  /// pre-drawn from the seeded RNG stream in id order, then each doubling
+  /// batch [built, built + batch) searches the *frozen* prefix graph in
+  /// parallel and commits its links sequentially in id order. Every
+  /// parallel stage is a pure function of the frozen prefix, so adjacency
+  /// lists, entry point, and distance_evals are bit-for-bit identical at
+  /// any build_threads value (docs/CONCURRENCY.md).
   void Build(const Dataset& data) override;
   std::vector<uint32_t> SearchWith(SearchScratch& scratch, const float* query,
                                    const SearchParams& params,
@@ -42,6 +52,11 @@ class HnswIndex : public AnnIndex {
   /// Level assigned to vertex v (tests validate the geometric decay).
   uint32_t LevelOf(uint32_t v) const {
     return static_cast<uint32_t>(links_[v].size()) - 1;
+  }
+  /// Neighbor list of v at `level` — read access for the determinism and
+  /// descent-pin tests.
+  const std::vector<uint32_t>& LinksOf(uint32_t v, uint32_t level) const {
+    return links_[v][level];
   }
 
  private:

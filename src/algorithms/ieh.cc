@@ -13,7 +13,7 @@ PipelineConfig IehConfig(const AlgorithmOptions& options) {
   config.seeds = SeedKind::kLsh;
   config.num_seeds = options.num_seeds;
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

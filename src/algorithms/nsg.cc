@@ -15,7 +15,7 @@ PipelineConfig NsgConfig(const AlgorithmOptions& options) {
   config.connectivity = ConnectivityKind::kDfsTree;
   config.seeds = SeedKind::kCentroid;
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

@@ -16,7 +16,7 @@ PipelineConfig NssgConfig(const AlgorithmOptions& options) {
   config.seeds = SeedKind::kRandomFixed;
   config.num_seeds = options.num_seeds;
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

@@ -21,7 +21,7 @@ PipelineConfig OptimizedConfig(const AlgorithmOptions& options) {
   config.num_seeds = options.num_seeds;
   // C7: two-stage routing (guided, then best-first).
   config.routing = RoutingKind::kTwoStage;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

@@ -32,12 +32,13 @@ struct AlgorithmOptions {
   float alpha = 2.0f;
   /// NSSG's minimum inter-neighbor angle θ (degrees).
   float angle_degrees = 60.0f;
-  /// Construction threads for the stages that parallelize safely (exact-
-  /// KNNG init, refinement pass); 1 = fully deterministic single-core.
+  /// Construction threads (exact-KNNG init, NN-Descent local joins, HNSW
+  /// batch insertion, refinement pass). Every parallel build stage is
+  /// bit-for-bit thread-count invariant — adjacency lists, entry points,
+  /// and distance_evals are identical at any value (docs/CONCURRENCY.md).
   /// For "Sharded:<algo>" this bounds the parallel per-shard builds (each
-  /// inner build is single-threaded); results are thread-count invariant
-  /// either way.
-  uint32_t num_threads = 1;
+  /// inner build is single-threaded).
+  uint32_t build_threads = 1;
   uint64_t seed = 2024;
   /// "Sharded:<algo>" only: shard count (>= 1) and partitioner spelling
   /// ("random" / "kmeans", see shard/partitioner.h). Ignored by base

@@ -18,7 +18,7 @@ PipelineConfig VamanaConfig(const AlgorithmOptions& options) {
   config.connectivity = ConnectivityKind::kNone;
   config.seeds = SeedKind::kCentroid;
   config.routing = RoutingKind::kBestFirst;
-  config.num_threads = options.num_threads;
+  config.build_threads = options.build_threads;
   config.seed = options.seed;
   return config;
 }

@@ -12,9 +12,11 @@
 #ifndef WEAVESS_CORE_DISTANCE_H_
 #define WEAVESS_CORE_DISTANCE_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/dataset.h"
 
@@ -118,9 +120,41 @@ uint32_t L2SqrSQ8Scalar(const uint8_t* query_code, const uint8_t* code,
 
 /// Counts distance evaluations. One DistanceCounter is threaded through each
 /// build or search call; NDC (number of distance computations) per query is
-/// the paper's machine-independent efficiency measure.
+/// the paper's machine-independent efficiency measure. The count is a plain
+/// uint64_t on purpose — the hot path must not pay for an atomic — so a
+/// single counter must never be shared across workers; parallel build
+/// stages use WorkerDistanceCounters below instead.
 struct DistanceCounter {
   uint64_t count = 0;
+};
+
+/// Per-worker distance counters for the parallel construction stages
+/// (docs/CONCURRENCY.md). Each ParallelForWithWorker slot owns one
+/// cache-line-aligned counter (no false sharing, no data race), and the
+/// total is folded into the build counter in worker-index order after the
+/// parallel region joins. Because every parallel build stage evaluates a
+/// thread-count-invariant *set* of distances, the folded total is exact and
+/// bit-for-bit identical at any thread count — `build_stats_.distance_evals`
+/// stays a deterministic quantity, not a sampling artifact.
+class WorkerDistanceCounters {
+ public:
+  explicit WorkerDistanceCounters(uint32_t workers)
+      : slots_(std::max(1u, workers)) {}
+
+  DistanceCounter& of(uint32_t worker) { return slots_[worker].counter; }
+
+  /// Folds every worker's count into `total` in worker-index order
+  /// (0, 1, ...). No-op when `total` is null.
+  void FoldInto(DistanceCounter* total) const {
+    if (total == nullptr) return;
+    for (const Slot& slot : slots_) total->count += slot.counter.count;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    DistanceCounter counter;
+  };
+  std::vector<Slot> slots_;
 };
 
 /// Distance oracle over a dataset: bundles the data, the metric, and the

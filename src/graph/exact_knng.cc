@@ -14,10 +14,10 @@ Graph BuildExactKnng(const Dataset& data, uint32_t k,
   const uint32_t effective_k = std::min(k, n - 1);
   Graph graph(n);
   const uint32_t workers = std::max(1u, num_threads);
-  std::vector<DistanceCounter> worker_counters(workers);
+  WorkerDistanceCounters worker_counters(workers);
   ParallelForWithWorker(
       0, n, workers, [&](uint32_t i, uint32_t worker) {
-        DistanceOracle oracle(data, &worker_counters[worker]);
+        DistanceOracle oracle(data, &worker_counters.of(worker));
         std::vector<Neighbor> scored;
         scored.reserve(n - 1);
         for (uint32_t j = 0; j < n; ++j) {
@@ -32,9 +32,7 @@ Graph BuildExactKnng(const Dataset& data, uint32_t k,
           list.push_back(scored[t].id);
         }
       });
-  if (counter != nullptr) {
-    for (const DistanceCounter& c : worker_counters) counter->count += c.count;
-  }
+  worker_counters.FoldInto(counter);
   return graph;
 }
 

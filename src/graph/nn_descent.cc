@@ -1,7 +1,9 @@
 #include "graph/nn_descent.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace weavess {
@@ -60,6 +62,22 @@ void NnDescent::InitRandom() {
       if (j == i) continue;
       if (InsertIntoPool(i, j, oracle.Between(i, j))) ++added;
     }
+    // The 3x oversampling above can still under-fill on small or
+    // duplicate-heavy datasets (birthday collisions eat the attempts), so
+    // top up with the same guarded loop InitFromGraph uses. Extra rng
+    // draws happen only when the pool is actually short, so full pools —
+    // the common case — consume an unchanged stream.
+    uint32_t guard = 0;
+    while (pools_[i].size() < want && guard++ < 4 * want) {
+      const auto j = static_cast<uint32_t>(rng.NextBounded(n));
+      if (j != i) InsertIntoPool(i, j, oracle.Between(i, j));
+    }
+    // Last resort at n ≈ k, where random draws need coupon-collector luck:
+    // a deterministic sweep (no rng consumed) guarantees every pool holds
+    // min(pool_capacity, n-1) entries, so every vertex joins every round.
+    for (uint32_t j = 0; pools_[i].size() < want && j < n; ++j) {
+      if (j != i) InsertIntoPool(i, j, oracle.Between(i, j));
+    }
   }
 }
 
@@ -84,8 +102,8 @@ void NnDescent::InitFromGraph(const Graph& initial) {
 
 uint32_t NnDescent::Run() {
   const uint32_t n = data_->size();
-  DistanceOracle oracle(*data_, counter_);
   Rng rng(params_.seed ^ 0xdecafULL);
+  const uint32_t workers = std::max(1u, params_.num_threads);
   std::vector<std::vector<uint32_t>> new_lists(n), old_lists(n);
   std::vector<std::vector<uint32_t>> reverse_new(n), reverse_old(n);
 
@@ -93,6 +111,8 @@ uint32_t NnDescent::Run() {
   for (uint32_t iter = 0; iter < params_.iterations; ++iter) {
     ++iterations_run;
     // --- Sampling phase: split each pool into sampled-new and old. ---
+    // Sequential on purpose: it is rng-driven and distance-free, so it
+    // costs little and keeps one canonical stream at every thread count.
     for (uint32_t i = 0; i < n; ++i) {
       auto& pool = pools_[i];
       new_lists[i].clear();
@@ -129,35 +149,139 @@ uint32_t NnDescent::Run() {
       subsample(reverse_old[i], params_.reverse_sample);
     }
     // --- Local join: new x new and new x old around every vertex. ---
-    uint64_t updates = 0;
-    std::vector<uint32_t> join_new, join_old;
-    for (uint32_t i = 0; i < n; ++i) {
-      join_new = new_lists[i];
-      join_new.insert(join_new.end(), reverse_new[i].begin(),
-                      reverse_new[i].end());
-      join_old = old_lists[i];
-      join_old.insert(join_old.end(), reverse_old[i].begin(),
-                      reverse_old[i].end());
-      for (size_t a = 0; a < join_new.size(); ++a) {
-        const uint32_t u = join_new[a];
-        for (size_t b = a + 1; b < join_new.size(); ++b) {
-          const uint32_t v = join_new[b];
-          if (u == v) continue;
-          const float dist = oracle.Between(u, v);
-          updates += InsertIntoPool(u, v, dist) ? 1 : 0;
-          updates += InsertIntoPool(v, u, dist) ? 1 : 0;
-        }
-        for (uint32_t v : join_old) {
-          if (u == v) continue;
-          const float dist = oracle.Between(u, v);
-          updates += InsertIntoPool(u, v, dist) ? 1 : 0;
-          updates += InsertIntoPool(v, u, dist) ? 1 : 0;
-        }
-      }
-    }
+    const uint64_t updates =
+        workers > 1 ? JoinParallel(new_lists, old_lists, reverse_new,
+                                   reverse_old, workers)
+                    : JoinSequential(new_lists, old_lists, reverse_new,
+                                     reverse_old);
     if (updates < params_.delta * static_cast<double>(n) * params_.k) break;
   }
   return iterations_run;
+}
+
+uint64_t NnDescent::JoinSequential(
+    const std::vector<std::vector<uint32_t>>& new_lists,
+    const std::vector<std::vector<uint32_t>>& old_lists,
+    const std::vector<std::vector<uint32_t>>& rev_new,
+    const std::vector<std::vector<uint32_t>>& rev_old) {
+  const uint32_t n = data_->size();
+  DistanceOracle oracle(*data_, counter_);
+  uint64_t updates = 0;
+  std::vector<uint32_t> join_new, join_old;
+  for (uint32_t i = 0; i < n; ++i) {
+    join_new = new_lists[i];
+    join_new.insert(join_new.end(), rev_new[i].begin(), rev_new[i].end());
+    join_old = old_lists[i];
+    join_old.insert(join_old.end(), rev_old[i].begin(), rev_old[i].end());
+    for (size_t a = 0; a < join_new.size(); ++a) {
+      const uint32_t u = join_new[a];
+      for (size_t b = a + 1; b < join_new.size(); ++b) {
+        const uint32_t v = join_new[b];
+        if (u == v) continue;
+        const float dist = oracle.Between(u, v);
+        updates += InsertIntoPool(u, v, dist) ? 1 : 0;
+        updates += InsertIntoPool(v, u, dist) ? 1 : 0;
+      }
+      for (uint32_t v : join_old) {
+        if (u == v) continue;
+        const float dist = oracle.Between(u, v);
+        updates += InsertIntoPool(u, v, dist) ? 1 : 0;
+        updates += InsertIntoPool(v, u, dist) ? 1 : 0;
+      }
+    }
+  }
+  return updates;
+}
+
+uint64_t NnDescent::JoinParallel(
+    const std::vector<std::vector<uint32_t>>& new_lists,
+    const std::vector<std::vector<uint32_t>>& old_lists,
+    const std::vector<std::vector<uint32_t>>& rev_new,
+    const std::vector<std::vector<uint32_t>>& rev_old,
+    uint32_t workers) {
+  // Equivalence argument (tested bit-for-bit in parallel_test.cc): the
+  // sequential join visits pivots in id order and, per pivot, emits
+  // InsertIntoPool calls in a fixed pair order. Each call reads and writes
+  // only the target's pool, so the final pool state is fully determined by
+  // the per-pool call sequence. Staging reproduces exactly that sequence:
+  // workers record (target, id, distance) triples per pivot (pure
+  // functions of the frozen join lists — no pool reads), the triples are
+  // bucketed per target in pivot order, and each bucket is replayed
+  // sequentially. Pivots are processed in fixed-size blocks so staging
+  // memory stays bounded at large cardinality; block boundaries preserve
+  // the global pivot order and therefore the per-pool call sequence.
+  const uint32_t n = data_->size();
+  constexpr uint32_t kJoinBlock = 4096;
+  WorkerDistanceCounters counters(workers);
+  std::vector<std::vector<StagedCandidate>> staged(
+      std::min(n, kJoinBlock));
+  std::vector<std::vector<std::pair<uint32_t, float>>> per_target(n);
+  std::vector<uint32_t> touched;
+  std::vector<uint64_t> worker_updates(workers, 0);
+  uint64_t updates = 0;
+
+  for (uint32_t block_begin = 0; block_begin < n;
+       block_begin += kJoinBlock) {
+    const uint32_t block_end = std::min(n, block_begin + kJoinBlock);
+    // Stage: compute every join pair around pivots [block_begin,
+    // block_end) in the sequential visit order. Distance-heavy; parallel.
+    ParallelForWithWorker(
+        block_begin, block_end, workers, [&](uint32_t i, uint32_t worker) {
+          DistanceOracle oracle(*data_, &counters.of(worker));
+          auto& out = staged[i - block_begin];
+          out.clear();
+          std::vector<uint32_t> join_new = new_lists[i];
+          join_new.insert(join_new.end(), rev_new[i].begin(),
+                          rev_new[i].end());
+          std::vector<uint32_t> join_old = old_lists[i];
+          join_old.insert(join_old.end(), rev_old[i].begin(),
+                          rev_old[i].end());
+          for (size_t a = 0; a < join_new.size(); ++a) {
+            const uint32_t u = join_new[a];
+            for (size_t b = a + 1; b < join_new.size(); ++b) {
+              const uint32_t v = join_new[b];
+              if (u == v) continue;
+              const float dist = oracle.Between(u, v);
+              out.push_back({u, v, dist});
+              out.push_back({v, u, dist});
+            }
+            for (uint32_t v : join_old) {
+              if (u == v) continue;
+              const float dist = oracle.Between(u, v);
+              out.push_back({u, v, dist});
+              out.push_back({v, u, dist});
+            }
+          }
+        });
+    // Bucket in pivot order: per-target candidate sequences now match the
+    // sequential insertion order exactly.
+    for (uint32_t i = block_begin; i < block_end; ++i) {
+      for (const StagedCandidate& c : staged[i - block_begin]) {
+        if (per_target[c.target].empty()) touched.push_back(c.target);
+        per_target[c.target].emplace_back(c.id, c.distance);
+      }
+    }
+    // Merge: pools are disjoint per target, so targets commit in
+    // parallel; each pool replays its candidates sequentially in order.
+    ParallelForWithWorker(
+        0, static_cast<uint32_t>(touched.size()), workers,
+        [&](uint32_t t, uint32_t worker) {
+          const uint32_t target = touched[t];
+          uint64_t local = 0;
+          for (const auto& [id, dist] : per_target[target]) {
+            local += InsertIntoPool(target, id, dist) ? 1 : 0;
+          }
+          per_target[target].clear();
+          worker_updates[worker] += local;
+        });
+    touched.clear();
+  }
+  // Updates and distance evaluations fold in worker-index order; both are
+  // sums of per-pool / per-pivot quantities that are themselves
+  // deterministic, so the totals match the sequential join exactly.
+  for (const uint64_t u : worker_updates) updates += u;
+  counters.FoldInto(counter_);
+  return updates;
 }
 
 Graph NnDescent::ExtractGraph(uint32_t k) const {

@@ -30,6 +30,9 @@ struct NnDescentParams {
   /// Early-stop when the fraction of pool updates drops below delta.
   double delta = 0.001;
   uint64_t seed = 7;
+  /// Workers for the local-join rounds (the distance-heavy phase). Results
+  /// are bit-for-bit identical at any value — see NnDescent::Run.
+  uint32_t num_threads = 1;
 };
 
 class NnDescent {
@@ -48,6 +51,17 @@ class NnDescent {
   void InitFromGraph(const Graph& initial);
 
   /// Runs refinement rounds; returns the number executed (may stop early).
+  ///
+  /// With params.num_threads > 1 each round's local join runs as a
+  /// parallel-for over pivot vertices on the shared ThreadPool: workers
+  /// stage (target, candidate, distance) triples instead of mutating pools
+  /// in place, and the staged candidates are then merged into each target's
+  /// pool in deterministic pivot order. Because InsertIntoPool's
+  /// accept/reject decision depends only on the target pool's own state,
+  /// replaying the exact sequential insertion order per pool makes the
+  /// refined pools — and the distance-evaluation count — bit-for-bit
+  /// identical to the single-threaded run at any thread count
+  /// (docs/CONCURRENCY.md).
   uint32_t Run();
 
   /// Extracts the directed KNNG: each vertex's closest `k` pool entries in
@@ -59,9 +73,33 @@ class NnDescent {
   const std::vector<std::vector<Neighbor>>& pools() const { return pools_; }
 
  private:
+  // One staged join product: candidate `id` at `distance` destined for
+  // pools_[target]. Staging decouples the (parallel, distance-heavy) join
+  // from the (per-pool sequential) merge that keeps builds deterministic.
+  struct StagedCandidate {
+    uint32_t target;
+    uint32_t id;
+    float distance;
+  };
+
   // Inserts into pools_[node] keeping it sorted/bounded; returns true if
   // the pool changed. `Neighbor::checked == false` marks "new" entries.
   bool InsertIntoPool(uint32_t node, uint32_t id, float distance);
+
+  // One round's local join over every pivot vertex, in place (the original
+  // sequential formulation). Returns the number of pool updates.
+  uint64_t JoinSequential(const std::vector<std::vector<uint32_t>>& new_lists,
+                          const std::vector<std::vector<uint32_t>>& old_lists,
+                          const std::vector<std::vector<uint32_t>>& rev_new,
+                          const std::vector<std::vector<uint32_t>>& rev_old);
+
+  // The same join, staged block-by-block across `workers` threads and
+  // merged in pivot order — bit-for-bit identical to JoinSequential.
+  uint64_t JoinParallel(const std::vector<std::vector<uint32_t>>& new_lists,
+                        const std::vector<std::vector<uint32_t>>& old_lists,
+                        const std::vector<std::vector<uint32_t>>& rev_new,
+                        const std::vector<std::vector<uint32_t>>& rev_old,
+                        uint32_t workers);
 
   const Dataset* data_;
   NnDescentParams params_;

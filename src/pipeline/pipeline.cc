@@ -53,6 +53,7 @@ Graph PipelineIndex::BuildInitialGraph(DistanceCounter* counter) {
     case InitKind::kKdNnDescent: {
       NnDescentParams nd = config_.nn_descent;
       nd.seed = config_.seed;
+      nd.num_threads = config_.build_threads;
       NnDescent descent(data, nd, counter);
       if (config_.init == InitKind::kKdNnDescent) {
         KdForest forest(data, config_.kd_trees, /*leaf_size=*/16,
@@ -76,7 +77,7 @@ Graph PipelineIndex::BuildInitialGraph(DistanceCounter* counter) {
       return descent.ExtractGraph(nd.k);
     }
     case InitKind::kBruteForce:
-      return BuildExactKnng(data, degree, counter, config_.num_threads);
+      return BuildExactKnng(data, degree, counter, config_.build_threads);
   }
   WEAVESS_CHECK(false);
   return Graph();
@@ -193,9 +194,9 @@ Graph PipelineIndex::RefinePass(const Graph& base, float alpha,
   // Parallel path: refinement reads only `base` and writes only vertex p's
   // list, so distinct vertices are independent (not available for the
   // in-place variant, whose passes are inherently sequential).
-  const uint32_t workers = std::max(1u, config_.num_threads);
+  const uint32_t workers = std::max(1u, config_.build_threads);
   if (!config_.refine_in_place && workers > 1) {
-    std::vector<DistanceCounter> worker_counters(workers);
+    WorkerDistanceCounters worker_counters(workers);
     std::vector<std::unique_ptr<SearchContext>> contexts;
     contexts.reserve(workers);
     for (uint32_t w = 0; w < workers; ++w) {
@@ -203,15 +204,11 @@ Graph PipelineIndex::RefinePass(const Graph& base, float alpha,
     }
     ParallelForWithWorker(0, data.size(), workers,
                           [&](uint32_t p, uint32_t worker) {
-                            DistanceOracle oracle(data,
-                                                  &worker_counters[worker]);
+                            DistanceOracle oracle(
+                                data, &worker_counters.of(worker));
                             refine_one(p, oracle, *contexts[worker]);
                           });
-    if (counter != nullptr) {
-      for (const DistanceCounter& c : worker_counters) {
-        counter->count += c.count;
-      }
-    }
+    worker_counters.FoldInto(counter);
     return refined;
   }
 

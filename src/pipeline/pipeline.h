@@ -113,11 +113,12 @@ struct PipelineConfig {
   /// edge p→x also inserts the backward edge x→p, re-pruned on overflow.
   bool refine_in_place = false;
 
-  /// Construction threads for the brute-force init and the (non-in-place)
-  /// refinement pass — the parts the paper parallelized (§5.1). 1 keeps
-  /// builds bit-for-bit deterministic; results are thread-count-invariant
-  /// for these stages regardless.
-  uint32_t num_threads = 1;
+  /// Construction threads for the brute-force init, NN-Descent's local
+  /// joins, and the (non-in-place) refinement pass — the parts the paper
+  /// parallelized (§5.1). Every parallel stage is bit-for-bit
+  /// thread-count-invariant, so any value yields the same graph and
+  /// distance_evals as 1 (docs/CONCURRENCY.md).
+  uint32_t build_threads = 1;
 
   uint64_t seed = 2024;
 };

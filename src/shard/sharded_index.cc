@@ -77,7 +77,7 @@ AlgorithmOptions ShardedIndex::ShardBuildOptions(uint32_t shard) const {
   // Inner builds are single-threaded — outer shard parallelism is the
   // concurrency story — and each shard gets its own derived RNG stream, so
   // the composed index is independent of thread count and build order.
-  per_shard.num_threads = 1;
+  per_shard.build_threads = 1;
   per_shard.seed = DeriveShardSeed(options_.seed, shard);
   return per_shard;
 }
@@ -99,7 +99,7 @@ void ShardedIndex::Build(const Dataset& data) {
     shards_[s].data = data.Subset(shards_[s].ids);
   }
 
-  ThreadPool pool(options_.num_threads > 0 ? options_.num_threads - 1 : 0);
+  ThreadPool pool(options_.build_threads > 0 ? options_.build_threads - 1 : 0);
   pool.RunTasks(num_shards, [this](uint32_t s) {
     // Shards below the graph-construction floor serve exact scans by
     // design (kMinGraphShardRows); they never get an inner index.

@@ -56,7 +56,7 @@ class ShardedIndex final : public AnnIndex {
  public:
   /// An unbuilt sharded index over `options.num_shards` shards of inner
   /// `algorithm` (a base registry name; sharding does not nest). The
-  /// partitioner is options.partitioner; options.num_threads bounds the
+  /// partitioner is options.partitioner; options.build_threads bounds the
   /// parallel shard builds; options.seed is the base seed.
   ShardedIndex(std::string algorithm, AlgorithmOptions options);
 

@@ -179,5 +179,32 @@ TEST(HnswTest, BottomLayerDegreeBounded) {
   EXPECT_LE(stats.max, 2 * params.m);  // M0 = 2M enforced by shrink
 }
 
+TEST(HnswTest, DescentLayersAreNavigable) {
+  // Pins the structure the phase-1 greedy descent relies on (the batched
+  // rewrite dropped a dead `l <= max_level_` guard from the descent loop):
+  // the entry point tops the hierarchy, and every vertex linked at layer l
+  // itself exists at layer l — so descending from max_level down to
+  // level + 1 only ever walks vertices present on the layer being
+  // searched, and each layer respects its degree bound.
+  const TestWorkload& tw = SharedWorkload();
+  HnswIndex::Params params;
+  params.m = 8;
+  HnswIndex index(params);
+  index.Build(tw.workload.base);
+  ASSERT_GE(index.max_level(), 1u);  // a hierarchy actually formed
+  EXPECT_EQ(index.LevelOf(index.entry_point()), index.max_level());
+  for (uint32_t v = 0; v < tw.workload.base.size(); ++v) {
+    for (uint32_t l = 0; l <= index.LevelOf(v); ++l) {
+      const auto& links = index.LinksOf(v, l);
+      EXPECT_LE(links.size(), l == 0 ? 2 * params.m : params.m);
+      for (uint32_t nb : links) {
+        EXPECT_NE(nb, v);
+        ASSERT_GE(index.LevelOf(nb), l)
+            << "vertex " << v << " links to " << nb << " at layer " << l;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace weavess

@@ -48,7 +48,7 @@ TEST_P(GoldenRecallTest, PinnedRecallAndNdc) {
 
 INSTANTIATE_TEST_SUITE_P(
     Flagships, GoldenRecallTest,
-    ::testing::Values(GoldenCase{"HNSW", 60, 1.000, 234.175},
+    ::testing::Values(GoldenCase{"HNSW", 60, 1.000, 233.025},
                       GoldenCase{"NSG", 60, 1.000, 213.675},
                       GoldenCase{"KGraph", 60, 1.000, 228.500},
                       GoldenCase{"OA", 60, 0.920, 185.325}),

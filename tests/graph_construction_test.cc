@@ -186,6 +186,53 @@ TEST(NnDescentTest, InitFromGraphUsesProvidedNeighbors) {
   EXPECT_GT(ComputeGraphQuality(descent.ExtractGraph(8), exact), 0.95);
 }
 
+TEST(NnDescentTest, InitRandomFillsPoolsAtTinyCardinality) {
+  // Regression: the 3x-oversampling attempt cap could leave pools below
+  // capacity when n ≈ k — hitting every distinct id by random draws needs
+  // coupon-collector luck. The deterministic top-up sweep guarantees every
+  // pool holds min(pool_capacity, n - 1) entries.
+  const Dataset data = SmallData(12, 4);
+  NnDescentParams params;
+  params.k = 10;
+  params.iterations = 0;
+  NnDescent descent(data, params);
+  descent.InitRandom();
+  const size_t want = data.size() - 1;  // pool capacity clamps to n - 1
+  for (uint32_t v = 0; v < data.size(); ++v) {
+    EXPECT_EQ(descent.pools()[v].size(), want) << "vertex " << v;
+  }
+}
+
+TEST(NnDescentTest, RunThreadCountInvariant) {
+  // The staged parallel join must replay the sequential insertion order
+  // per pool: adjacency and the distance-evaluation count are bit-for-bit
+  // identical at any thread count (docs/CONCURRENCY.md).
+  const Dataset data = SmallData(600, 10);
+  Graph reference;
+  uint64_t reference_evals = 0;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    NnDescentParams params;
+    params.k = 10;
+    params.iterations = 4;
+    params.num_threads = threads;
+    DistanceCounter counter;
+    NnDescent descent(data, params, &counter);
+    descent.InitRandom();
+    descent.Run();
+    Graph graph = descent.ExtractGraph(10);
+    if (threads == 1) {
+      reference = std::move(graph);
+      reference_evals = counter.count;
+      continue;
+    }
+    for (uint32_t v = 0; v < data.size(); ++v) {
+      ASSERT_EQ(graph.Neighbors(v), reference.Neighbors(v))
+          << "vertex " << v << " at " << threads << " threads";
+    }
+    EXPECT_EQ(counter.count, reference_evals) << threads << " threads";
+  }
+}
+
 TEST(NnDescentTest, PoolsSortedWithoutDuplicates) {
   const Dataset data = SmallData(200, 6);
   NnDescentParams params;

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 
 #include "algorithms/nsg.h"
+#include "algorithms/registry.h"
 #include "core/parallel.h"
 #include "eval/ground_truth.h"
 #include "eval/synthetic.h"
@@ -102,12 +104,42 @@ TEST(ParallelTest, GroundTruthThreadCountInvariant) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(ParallelTest, BuildThreadCountInvariantAcrossAlgorithms) {
+  // The deterministic-construction contract of docs/CONCURRENCY.md: the
+  // staged NN-Descent joins (KGraph, EFANNA) and HNSW's batched insertion
+  // must produce bit-identical adjacency — and an identical distance-
+  // evaluation count — at 1, 2, and 8 build threads.
+  const auto tw = ::weavess::testing::MakeTestWorkload(500, 8, 10);
+  for (const char* algo : {"KGraph", "EFANNA", "HNSW"}) {
+    std::unique_ptr<AnnIndex> reference;
+    uint64_t reference_evals = 0;
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      AlgorithmOptions options;
+      options.build_threads = threads;
+      auto index = CreateAlgorithm(algo, options);
+      index->Build(tw.workload.base);
+      if (reference == nullptr) {
+        reference = std::move(index);
+        reference_evals = reference->build_stats().distance_evals;
+        continue;
+      }
+      for (uint32_t v = 0; v < tw.workload.base.size(); ++v) {
+        ASSERT_EQ(index->graph().Neighbors(v),
+                  reference->graph().Neighbors(v))
+            << algo << " vertex " << v << " at " << threads << " threads";
+      }
+      EXPECT_EQ(index->build_stats().distance_evals, reference_evals)
+          << algo << " at " << threads << " threads";
+    }
+  }
+}
+
 TEST(ParallelTest, NsgBuildThreadCountInvariant) {
   const auto tw = ::weavess::testing::MakeTestWorkload(500, 8, 10);
   AlgorithmOptions serial_options;
-  serial_options.num_threads = 1;
+  serial_options.build_threads = 1;
   AlgorithmOptions parallel_options = serial_options;
-  parallel_options.num_threads = 4;
+  parallel_options.build_threads = 4;
   auto a = CreateNsg(serial_options);
   auto b = CreateNsg(parallel_options);
   a->Build(tw.workload.base);

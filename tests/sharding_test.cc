@@ -236,7 +236,7 @@ TEST(ShardedBuildTest, BitForBitIdenticalAtAnyThreadCount) {
   std::unique_ptr<AnnIndex> reference;
   for (uint32_t threads : {1u, 2u, 8u}) {
     AlgorithmOptions options = ShardedOptions(4, "kmeans");
-    options.num_threads = threads;
+    options.build_threads = threads;
     auto index = CreateAlgorithm("Sharded:HNSW", options);
     index->Build(tw.workload.base);
     if (reference == nullptr) {
@@ -321,9 +321,12 @@ TEST(ShardedPersistenceTest, SaveLoadRoundTripsSearchResults) {
   EXPECT_EQ(loaded.num_degraded_shards(), 0u);
   EXPECT_EQ(loaded.algorithm(), "HNSW");
   ExpectSameGraph(loaded.graph(), built->graph(), "loaded combined graph");
+  // The built index searches hierarchically while the loaded one runs a
+  // flat seeded best-first walk; they agree only when both converge to the
+  // exact per-shard top-k, so give the comparison a generous pool.
   SearchParams params;
   params.k = 10;
-  params.pool_size = 40;
+  params.pool_size = 80;
   for (uint32_t q = 0; q < tw.workload.queries.size(); ++q) {
     EXPECT_EQ(loaded.Search(tw.workload.queries.Row(q), params),
               built->Search(tw.workload.queries.Row(q), params))

@@ -6,11 +6,14 @@
 //       PREFIX.gt.ivecs.
 //
 //   weavess_cli build --base FILE.fvecs --algo NAME [--save GRAPH.wvs]
-//                     [--save-codes CODES.sqnt]
+//                     [--save-codes CODES.sqnt] [--build-threads T]
 //                     [--shards S] [--partitioner random|kmeans]
 //                     [--replicas R]
 //       Builds the named index and prints construction stats (Fig. 5/6 and
-//       Table 4 metrics for a single run). --save persists the graph in the
+//       Table 4 metrics for a single run). --build-threads T parallelizes
+//       construction on the shared pool; the built index is bit-for-bit
+//       identical at any T (docs/CONCURRENCY.md), so the flag trades build
+//       time only. --save persists the graph in the
 //       checksummed format of docs/PERSISTENCE.md. For --algo Sharded:NAME
 //       the dataset is partitioned (--shards shards, --partitioner policy)
 //       and --save PREFIX writes PREFIX.manifest plus one PREFIX.shardN.wvs
@@ -24,6 +27,7 @@
 //
 //   weavess_cli eval --base FILE.fvecs --query FILE.fvecs --gt FILE.ivecs
 //                    --algo NAME [--k K] [--pools 10,40,160] [--threads T]
+//                    [--build-threads T]
 //                    [--max-evals N] [--budget-us U] [--metrics-out FILE]
 //                    [--quantize sq8] [--rescore-factor N]
 //                    [--capacity C] [--deadline-us D] [--retry-after-us R]
@@ -31,7 +35,9 @@
 //       Builds and sweeps the recall/QPS/Speedup tradeoff (Fig. 7/8 rows).
 //       --threads T (default 1) runs each sweep point through a T-stream
 //       SearchEngine batch; recall/NDC/PL are identical at any T (see
-//       docs/CONCURRENCY.md), only QPS changes. The optional search
+//       docs/CONCURRENCY.md), only QPS changes. --build-threads (defaults
+//       to --threads) parallelizes the build the sweep runs on, also with
+//       bit-identical results. The optional search
 //       budgets demonstrate graceful degradation and apply per query; the
 //       Trunc column counts budget-truncated queries per sweep point.
 //       Any of --capacity/--deadline-us/--retry-after-us/--degrade-pools
@@ -351,7 +357,12 @@ AlgorithmOptions OptionsFrom(const Args& args) {
   options.knng_degree = args.GetU32("knng", options.knng_degree);
   options.max_degree = args.GetU32("degree", options.max_degree);
   options.build_pool = args.GetU32("build-pool", options.build_pool);
-  options.num_threads = args.GetU32("threads", 1);
+  // Construction parallelism. --build-threads sets it directly; it
+  // defaults to --threads so `eval --threads T` accelerates the build it
+  // sweeps too. Builds are bit-for-bit identical at any value
+  // (docs/CONCURRENCY.md), so this never changes results — only speed.
+  options.build_threads =
+      args.GetU32("build-threads", args.GetU32("threads", 1));
   options.seed = args.GetU32("seed", 2024);
   options.num_shards = args.GetU32("shards", options.num_shards);
   options.partitioner =
@@ -502,9 +513,14 @@ int CmdEval(const Args& args) {
   const char* algo = algo_name.c_str();
   const uint32_t k = args.GetU32("k", 10);
   const AlgorithmOptions options = OptionsFrom(args);
+  const uint32_t search_threads = args.GetU32("threads", 1);
   if (args.Get("threads") != nullptr && args.status().ok() &&
-      options.num_threads == 0) {
+      search_threads == 0) {
     return Fail(Status::InvalidArgument("--threads must be >= 1"));
+  }
+  if (args.Get("build-threads") != nullptr && args.status().ok() &&
+      options.build_threads == 0) {
+    return Fail(Status::InvalidArgument("--build-threads must be >= 1"));
   }
   if (Status s = ValidateShardFlags(options); !s.ok()) return Fail(s);
   SearchParams base_params;
@@ -529,7 +545,7 @@ int CmdEval(const Args& args) {
                             args.Get("retry-after-us") != nullptr ||
                             args.Get("degrade-pools") != nullptr;
   ServingConfig serving_config;
-  serving_config.num_threads = options.num_threads;
+  serving_config.num_threads = search_threads;
   serving_config.admission.capacity = args.GetU32("capacity", 64);
   serving_config.admission.retry_after_us =
       args.GetU64("retry-after-us", 1000);
@@ -615,7 +631,7 @@ int CmdEval(const Args& args) {
     // calm health trackers, like the fresh-engine-per-point serving sweep.
     MetricsRegistry registry;
     ReplicaSetConfig set_config;
-    set_config.num_threads = options.num_threads;
+    set_config.num_threads = search_threads;
     set_config.dim = base.dim();
     set_config.max_failover = max_failover;
     set_config.hedge_after_us = hedge_us;
@@ -742,7 +758,7 @@ int CmdEval(const Args& args) {
     return kExitOk;
   }
   MetricsRegistry registry;
-  const SearchEngine engine(*index, options.num_threads, &registry);
+  const SearchEngine engine(*index, search_threads, &registry);
   std::printf("searching with %u thread(s)\n", engine.num_threads());
 
   TablePrinter table({"L", "Recall@k", "QPS", "Speedup", "NDC", "PL",
